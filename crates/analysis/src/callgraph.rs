@@ -1,0 +1,191 @@
+//! Static call graph construction.
+//!
+//! Our IR names callees directly by [`MethodId`] (Concert's concrete type
+//! inference resolves virtual dispatch before this point — see Plevyak &
+//! Chien, OOPSLA '94 — so a monomorphic graph is the faithful input here).
+//! Each edge records whether the site is a plain invocation or a forward,
+//! and the compiler's locality knowledge at the site.
+
+use hem_ir::{Instr, LocalityHint, MethodId, Program};
+
+/// The kind of a call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `Invoke`: result future in the caller.
+    Invoke,
+    /// `Forward`: the caller's continuation is passed along.
+    Forward,
+}
+
+/// One call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// Caller method.
+    pub caller: MethodId,
+    /// Instruction index within the caller.
+    pub at: usize,
+    /// Callee method.
+    pub callee: MethodId,
+    /// Invoke or forward.
+    pub kind: CallKind,
+    /// Compiler locality knowledge at the site.
+    pub hint: LocalityHint,
+}
+
+/// A static call graph: per-method outgoing edges plus reverse edges for
+/// the fixpoint worklist.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Outgoing call sites, indexed by caller method.
+    pub callees: Vec<Vec<CallSite>>,
+    /// Incoming caller methods, indexed by callee method (deduplicated).
+    pub callers: Vec<Vec<MethodId>>,
+}
+
+impl CallGraph {
+    /// Build the call graph of a program.
+    pub fn build(program: &Program) -> Self {
+        let n = program.methods.len();
+        let mut callees: Vec<Vec<CallSite>> = vec![Vec::new(); n];
+        let mut callers: Vec<Vec<MethodId>> = vec![Vec::new(); n];
+        for (mi, m) in program.methods.iter().enumerate() {
+            let caller = MethodId(mi as u32);
+            for (at, ins) in m.body.iter().enumerate() {
+                let (callee, kind, hint) = match ins {
+                    Instr::Invoke { method, hint, .. } => (*method, CallKind::Invoke, *hint),
+                    Instr::Forward { method, hint, .. } => (*method, CallKind::Forward, *hint),
+                    _ => continue,
+                };
+                callees[mi].push(CallSite {
+                    caller,
+                    at,
+                    callee,
+                    kind,
+                    hint,
+                });
+                if !callers[callee.idx()].contains(&caller) {
+                    callers[callee.idx()].push(caller);
+                }
+            }
+        }
+        CallGraph { callees, callers }
+    }
+
+    /// Number of methods in the graph.
+    pub fn len(&self) -> usize {
+        self.callees.len()
+    }
+
+    /// True when the graph has no methods.
+    pub fn is_empty(&self) -> bool {
+        self.callees.is_empty()
+    }
+
+    /// Call sites out of `m`.
+    pub fn sites(&self, m: MethodId) -> &[CallSite] {
+        &self.callees[m.idx()]
+    }
+
+    /// Methods that call `m`.
+    pub fn callers_of(&self, m: MethodId) -> &[MethodId] {
+        &self.callers[m.idx()]
+    }
+
+    /// Methods reachable from `root` (including `root`), in discovery order.
+    pub fn reachable(&self, root: MethodId) -> Vec<MethodId> {
+        let mut seen = vec![false; self.len()];
+        let mut order = Vec::new();
+        let mut stack = vec![root];
+        while let Some(m) = stack.pop() {
+            if std::mem::replace(&mut seen[m.idx()], true) {
+                continue;
+            }
+            order.push(m);
+            for s in self.sites(m) {
+                if !seen[s.callee.idx()] {
+                    stack.push(s.callee);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_ir::{LocalityHint, ProgramBuilder};
+
+    fn chain_program() -> (Program, MethodId, MethodId, MethodId) {
+        // a -> b (invoke), b -> c (forward), c leaf.
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("C", false);
+        let a = pb.declare(cls, "a", 0);
+        let b = pb.declare(cls, "b", 0);
+        let c = pb.declare(cls, "c", 0);
+        pb.define(a, |mb| {
+            let me = mb.self_ref();
+            let s = mb.invoke_into(me, b, &[]);
+            let v = mb.touch_get(s);
+            mb.reply(v);
+        });
+        pb.define(b, |mb| {
+            let me = mb.self_ref();
+            mb.forward(me, c, &[], LocalityHint::AlwaysLocal);
+        });
+        pb.define(c, |mb| mb.reply(7i64));
+        (pb.finish(), a, b, c)
+    }
+
+    #[test]
+    fn edges_and_kinds() {
+        let (p, a, b, c) = chain_program();
+        let g = CallGraph::build(&p);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.sites(a).len(), 1);
+        assert_eq!(g.sites(a)[0].callee, b);
+        assert_eq!(g.sites(a)[0].kind, CallKind::Invoke);
+        assert_eq!(g.sites(a)[0].hint, LocalityHint::Unknown);
+        assert_eq!(g.sites(b)[0].callee, c);
+        assert_eq!(g.sites(b)[0].kind, CallKind::Forward);
+        assert_eq!(g.sites(b)[0].hint, LocalityHint::AlwaysLocal);
+        assert!(g.sites(c).is_empty());
+    }
+
+    #[test]
+    fn reverse_edges() {
+        let (p, a, b, c) = chain_program();
+        let g = CallGraph::build(&p);
+        assert_eq!(g.callers_of(b), &[a]);
+        assert_eq!(g.callers_of(c), &[b]);
+        assert!(g.callers_of(a).is_empty());
+    }
+
+    #[test]
+    fn reachability() {
+        let (p, a, b, c) = chain_program();
+        let g = CallGraph::build(&p);
+        let r = g.reachable(a);
+        assert!(r.contains(&a) && r.contains(&b) && r.contains(&c));
+        let r = g.reachable(c);
+        assert_eq!(r, vec![c]);
+    }
+
+    #[test]
+    fn recursive_edges_deduplicated_in_callers() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("C", false);
+        let f = pb.declare(cls, "f", 1);
+        pb.define(f, |mb| {
+            let me = mb.self_ref();
+            let s1 = mb.invoke_local(me, f, &[mb.arg(0).into()]);
+            let s2 = mb.invoke_local(me, f, &[mb.arg(0).into()]);
+            mb.touch(&[s1, s2]);
+            mb.reply_nil();
+        });
+        let p = pb.finish();
+        let g = CallGraph::build(&p);
+        assert_eq!(g.sites(f).len(), 2);
+        assert_eq!(g.callers_of(f), &[f]); // deduplicated
+    }
+}

@@ -1,0 +1,278 @@
+//! May-block and requires-continuation flow analyses.
+//!
+//! **Requires-continuation** is syntactic and local: a method needs its own
+//! continuation iff it contains a `Forward` (it passes the continuation
+//! along) or a `StoreCont` (it captures the continuation into a data
+//! structure). Note that merely *calling* a continuation-passing method
+//! does not make the caller continuation-passing — the caller supplies
+//! `caller_info` describing itself, which is a property of the call site,
+//! not of the caller's own interface (paper Fig. 7: only methods on the
+//! forwarding chain are CP).
+//!
+//! **May-block** is a transitive fixpoint over the call graph. A method may
+//! block — i.e. its sequential version may have to unwind into the heap —
+//! iff it contains an `Invoke` that can suspend or fall back:
+//!
+//! 1. the target's location is unknown at compile time (it may be remote,
+//!    and a remote request forces lazy creation of the caller's context so
+//!    the reply has somewhere to land);
+//! 2. the target class carries an implicit lock (the object may be busy);
+//! 3. the callee itself may block (the caller must be able to absorb a
+//!    `Blocked` return and link a continuation into the callee's lazily
+//!    created context), or the callee may consume its continuation (the
+//!    caller must be able to absorb a lazily created shell context).
+//!
+//! `Touch` contributes nothing extra: under rules 1–3 every invocation that
+//! feeds a touched slot either completed synchronously on the stack (slot
+//! already full) or already triggered a fallback.
+
+use crate::callgraph::{CallGraph, CallKind};
+use hem_ir::{Instr, LocalityHint, MethodId, Program};
+
+/// The computed facts, indexed by method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowFacts {
+    /// Whether the method's sequential version may have to unwind.
+    pub may_block: Vec<bool>,
+    /// Whether the method may require its own continuation.
+    pub requires_cont: Vec<bool>,
+}
+
+impl FlowFacts {
+    /// Run both analyses to fixpoint.
+    pub fn compute(program: &Program, graph: &CallGraph) -> Self {
+        let n = program.methods.len();
+
+        // Requires-continuation: purely syntactic.
+        let requires_cont: Vec<bool> = program
+            .methods
+            .iter()
+            .map(|m| {
+                m.body
+                    .iter()
+                    .any(|i| matches!(i, Instr::Forward { .. } | Instr::StoreCont { .. }))
+            })
+            .collect();
+
+        // May-block: monotone fixpoint with a worklist seeded by the
+        // syntactic triggers (rules 1 and 2).
+        let mut may_block = vec![false; n];
+        let mut work: Vec<MethodId> = Vec::new();
+        for (mi, _) in program.methods.iter().enumerate() {
+            let m = MethodId(mi as u32);
+            if Self::local_trigger(program, graph, m, &may_block, &requires_cont) {
+                may_block[mi] = true;
+                work.push(m);
+            }
+        }
+        while let Some(m) = work.pop() {
+            for &caller in graph.callers_of(m) {
+                if may_block[caller.idx()] {
+                    continue;
+                }
+                if Self::local_trigger(program, graph, caller, &may_block, &requires_cont) {
+                    may_block[caller.idx()] = true;
+                    work.push(caller);
+                }
+            }
+        }
+
+        FlowFacts {
+            may_block,
+            requires_cont,
+        }
+    }
+
+    /// Does `m` currently have a blocking trigger, given the facts so far?
+    fn local_trigger(
+        program: &Program,
+        graph: &CallGraph,
+        m: MethodId,
+        may_block: &[bool],
+        requires_cont: &[bool],
+    ) -> bool {
+        graph.sites(m).iter().any(|s| {
+            // Forwards never block the forwarder itself: the method
+            // completes, and any fallout (shell contexts) is absorbed by
+            // *its* caller via the requires-continuation classification.
+            if s.kind == CallKind::Forward {
+                return false;
+            }
+            let callee = program.method(s.callee);
+            s.hint == LocalityHint::Unknown
+                || program.class(callee.class).locked
+                || may_block[s.callee.idx()]
+                || requires_cont[s.callee.idx()]
+        })
+    }
+
+    /// Convenience accessor.
+    pub fn blocks(&self, m: MethodId) -> bool {
+        self.may_block[m.idx()]
+    }
+
+    /// Convenience accessor.
+    pub fn needs_cont(&self, m: MethodId) -> bool {
+        self.requires_cont[m.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_ir::{LocalityHint, ProgramBuilder};
+
+    fn facts(p: &Program) -> FlowFacts {
+        FlowFacts::compute(p, &CallGraph::build(p))
+    }
+
+    #[test]
+    fn leaf_is_nonblocking() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C", false);
+        let leaf = pb.method(c, "leaf", 0, |mb| mb.reply(1i64));
+        let p = pb.finish();
+        let f = facts(&p);
+        assert!(!f.blocks(leaf));
+        assert!(!f.needs_cont(leaf));
+    }
+
+    #[test]
+    fn unknown_locality_blocks() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C", false);
+        let leaf = pb.method(c, "leaf", 0, |mb| mb.reply(1i64));
+        let m = pb.method(c, "m", 1, |mb| {
+            let s = mb.invoke_into(mb.arg(0), leaf, &[]);
+            let v = mb.touch_get(s);
+            mb.reply(v);
+        });
+        let p = pb.finish();
+        let f = facts(&p);
+        assert!(!f.blocks(leaf));
+        assert!(
+            f.blocks(m),
+            "invoke on unknown-location object may be remote"
+        );
+    }
+
+    #[test]
+    fn locked_class_blocks_even_locally() {
+        let mut pb = ProgramBuilder::new();
+        let locked = pb.class("L", true);
+        let unlocked = pb.class("U", false);
+        let leaf = pb.method(locked, "leaf", 0, |mb| mb.reply(1i64));
+        let m = pb.method(unlocked, "m", 1, |mb| {
+            let s = mb.invoke_local(mb.arg(0), leaf, &[]);
+            let v = mb.touch_get(s);
+            mb.reply(v);
+        });
+        let p = pb.finish();
+        let f = facts(&p);
+        assert!(f.blocks(m), "target lock may be held");
+        assert!(!f.blocks(leaf));
+    }
+
+    #[test]
+    fn may_block_is_transitive() {
+        // a -> b -> c where only c has a remote invoke.
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("C", false);
+        let leaf = pb.method(cls, "leaf", 0, |mb| mb.reply(1i64));
+        let c = pb.method(cls, "c", 1, |mb| {
+            let s = mb.invoke_into(mb.arg(0), leaf, &[]); // Unknown hint
+            let v = mb.touch_get(s);
+            mb.reply(v);
+        });
+        let b = pb.method(cls, "b", 1, |mb| {
+            let me = mb.self_ref();
+            let s = mb.invoke_local(me, c, &[mb.arg(0).into()]);
+            let v = mb.touch_get(s);
+            mb.reply(v);
+        });
+        let a = pb.method(cls, "a", 1, |mb| {
+            let me = mb.self_ref();
+            let s = mb.invoke_local(me, b, &[mb.arg(0).into()]);
+            let v = mb.touch_get(s);
+            mb.reply(v);
+        });
+        let p = pb.finish();
+        let f = facts(&p);
+        assert!(f.blocks(c));
+        assert!(f.blocks(b));
+        assert!(f.blocks(a));
+        assert!(!f.blocks(leaf));
+    }
+
+    #[test]
+    fn recursion_terminates_and_stays_nonblocking() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("C", false);
+        let f_id = pb.declare(cls, "f", 1);
+        pb.define(f_id, |mb| {
+            let me = mb.self_ref();
+            let s = mb.invoke_local(me, f_id, &[mb.arg(0).into()]);
+            let v = mb.touch_get(s);
+            mb.reply(v);
+        });
+        let p = pb.finish();
+        let f = facts(&p);
+        assert!(
+            !f.blocks(f_id),
+            "self-recursion on local unlocked object is stack-safe"
+        );
+    }
+
+    #[test]
+    fn forward_marks_cp_but_not_blocking() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("C", false);
+        let leaf = pb.method(cls, "leaf", 0, |mb| mb.reply(1i64));
+        let fwd = pb.method(cls, "fwd", 0, |mb| {
+            let me = mb.self_ref();
+            mb.forward(me, leaf, &[], LocalityHint::AlwaysLocal);
+        });
+        let p = pb.finish();
+        let f = facts(&p);
+        assert!(f.needs_cont(fwd));
+        assert!(!f.blocks(fwd), "forwarding completes the forwarder");
+    }
+
+    #[test]
+    fn calling_cp_callee_blocks_caller() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("C", false);
+        let leaf = pb.method(cls, "leaf", 0, |mb| mb.reply(1i64));
+        let fwd = pb.method(cls, "fwd", 0, |mb| {
+            let me = mb.self_ref();
+            mb.forward(me, leaf, &[], LocalityHint::AlwaysLocal);
+        });
+        let caller = pb.method(cls, "caller", 0, |mb| {
+            let me = mb.self_ref();
+            let s = mb.invoke_local(me, fwd, &[]);
+            let v = mb.touch_get(s);
+            mb.reply(v);
+        });
+        let p = pb.finish();
+        let f = facts(&p);
+        assert!(
+            !f.needs_cont(caller),
+            "callers of CP methods are not CP themselves"
+        );
+        assert!(f.blocks(caller), "a CP callee may consume its continuation");
+    }
+
+    #[test]
+    fn store_cont_marks_cp() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("B", false);
+        let fld = pb.field(cls, "waiter");
+        let arrive = pb.method(cls, "arrive", 0, |mb| {
+            mb.store_cont(fld);
+            mb.halt();
+        });
+        let p = pb.finish();
+        let f = facts(&p);
+        assert!(f.needs_cont(arrive));
+    }
+}

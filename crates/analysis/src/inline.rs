@@ -1,0 +1,148 @@
+//! Automatic speculative-inlining candidate selection.
+//!
+//! Concert's compiler chose inlining candidates itself; the kernels in
+//! `hem-apps` mark accessors by hand, but a frontend lowering to the IR
+//! wants this decided automatically. The policy mirrors §4.2: a method is
+//! a candidate iff its sequential version is **provably non-blocking**
+//! (the guard only has to re-check locality and lock state, never absorb
+//! a fallback), it is small, and it performs no further invocations
+//! (a leaf — inlining call-containing bodies would require the guard
+//! machinery at every transitive site).
+
+use crate::{Analysis, Schema};
+use hem_ir::{Instr, Program};
+
+/// Inlining policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct InlinePolicy {
+    /// Maximum body length (instructions) of a candidate.
+    pub max_body: usize,
+}
+
+impl Default for InlinePolicy {
+    fn default() -> Self {
+        InlinePolicy { max_body: 8 }
+    }
+}
+
+/// Mark every method that satisfies `policy` as inlinable. Returns how
+/// many methods were (newly) marked. Never *unmarks* hand-chosen
+/// candidates.
+pub fn mark_inlinable(program: &mut Program, policy: InlinePolicy) -> usize {
+    let analysis = Analysis::analyze(program);
+    let schemas = analysis.schemas(crate::InterfaceSet::Full);
+    let mut marked = 0;
+    for (i, m) in program.methods.iter_mut().enumerate() {
+        if m.inlinable {
+            continue;
+        }
+        let leaf = !m.body.iter().any(|ins| {
+            matches!(
+                ins,
+                Instr::Invoke { .. } | Instr::Forward { .. } | Instr::StoreCont { .. }
+            )
+        });
+        if leaf
+            && m.body.len() <= policy.max_body
+            && schemas.of(hem_ir::MethodId(i as u32)) == Schema::NonBlocking
+        {
+            m.inlinable = true;
+            marked += 1;
+        }
+    }
+    marked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_ir::{BinOp, ProgramBuilder};
+
+    #[test]
+    fn marks_leaves_only() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C", false);
+        let f = pb.field(c, "x");
+        let leaf = pb.method(c, "get", 0, |mb| {
+            let v = mb.get_field(f);
+            mb.reply(v);
+        });
+        let caller = pb.method(c, "go", 0, |mb| {
+            let me = mb.self_ref();
+            let s = mb.invoke_local(me, leaf, &[]);
+            let v = mb.touch_get(s);
+            mb.reply(v);
+        });
+        let mut p = pb.finish();
+        let n = mark_inlinable(&mut p, InlinePolicy::default());
+        assert_eq!(n, 1);
+        assert!(p.method(leaf).inlinable);
+        assert!(
+            !p.method(caller).inlinable,
+            "call-containing bodies stay out"
+        );
+    }
+
+    #[test]
+    fn respects_size_cap_and_blocking() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C", false);
+        let big = pb.method(c, "big", 1, |mb| {
+            let mut acc = mb.arg(0);
+            for _ in 0..20 {
+                acc = mb.binl(BinOp::Add, acc, 1);
+            }
+            mb.reply(acc);
+        });
+        let locked = pb.class("L", true);
+        let on_locked = pb.method(locked, "tiny", 0, |mb| mb.reply(1i64));
+        let mut p = pb.finish();
+        mark_inlinable(&mut p, InlinePolicy { max_body: 8 });
+        assert!(!p.method(big).inlinable, "too big");
+        // A tiny method on a locked class is still NB itself (the lock
+        // check happens at the call site), so it is a candidate.
+        assert!(p.method(on_locked).inlinable);
+    }
+
+    #[test]
+    fn idempotent_and_preserves_manual_marks() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C", false);
+        pb.method(c, "hand", 0, |mb| {
+            mb.inlinable();
+            mb.reply(1i64);
+        });
+        let mut p = pb.finish();
+        assert_eq!(mark_inlinable(&mut p, InlinePolicy::default()), 0);
+        assert!(p.methods[0].inlinable);
+    }
+
+    #[test]
+    fn auto_marked_program_still_correct() {
+        // fib with auto-inlining enabled must compute the same value and
+        // validate (end-to-end through the runtime is covered by the
+        // hem-core tests; here: the pass keeps the program well-formed).
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("Math", false);
+        let fib = pb.declare(c, "fib", 1);
+        pb.define(fib, |mb| {
+            let n = mb.arg(0);
+            let small = mb.binl(BinOp::Lt, n, 2);
+            mb.if_else(
+                small,
+                |mb| mb.reply(n),
+                |mb| {
+                    let me = mb.self_ref();
+                    let a = mb.binl(BinOp::Sub, n, 1);
+                    let s = mb.invoke_local(me, fib, &[a.into()]);
+                    let v = mb.touch_get(s);
+                    mb.reply(v);
+                },
+            );
+        });
+        let mut p = pb.finish();
+        mark_inlinable(&mut p, InlinePolicy::default());
+        assert!(p.validate().is_ok());
+        assert!(!p.method(fib).inlinable, "recursive caller is not a leaf");
+    }
+}

@@ -1,0 +1,163 @@
+//! Invocation schema selection (paper Table 1).
+//!
+//! Each method gets exactly one *sequential* interface; the heap-based
+//! parallel version always exists alongside it. [`InterfaceSet`] models
+//! Table 3's restricted configurations: with `CpOnly` every method is
+//! invoked through the most general (and most expensive) interface; `MbCp`
+//! adds the may-block fast path; `Full` enables all three.
+
+use crate::flow::FlowFacts;
+use hem_ir::MethodId;
+
+/// The sequential invocation schema of a method (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Schema {
+    /// Straight C call; provably cannot block.
+    NonBlocking,
+    /// Optimistic stack execution with lazy context allocation.
+    MayBlock,
+    /// Lazy context *and* continuation creation; supports forwarding.
+    ContPassing,
+}
+
+impl std::fmt::Display for Schema {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Schema::NonBlocking => "NB",
+            Schema::MayBlock => "MB",
+            Schema::ContPassing => "CP",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Which sequential interfaces the generated code may use (Table 3's
+/// "1 interface" / "2 interfaces" / "3 interfaces").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterfaceSet {
+    /// Only the continuation-passing interface (most general, 1 interface).
+    CpOnly,
+    /// May-block + continuation-passing (2 interfaces).
+    MbCp,
+    /// All three (3 interfaces).
+    Full,
+}
+
+impl InterfaceSet {
+    /// Clamp an analyzed schema to this interface set: a method classified
+    /// below the available set is invoked through the next more general
+    /// interface (always sound, just slower).
+    pub fn clamp(self, s: Schema) -> Schema {
+        match (self, s) {
+            (InterfaceSet::CpOnly, _) => Schema::ContPassing,
+            (InterfaceSet::MbCp, Schema::NonBlocking) => Schema::MayBlock,
+            (_, s) => s,
+        }
+    }
+}
+
+/// Per-method selected sequential schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaMap {
+    /// Schema per method, indexed by `MethodId`.
+    pub seq: Vec<Schema>,
+    /// The interface set used for selection.
+    pub interfaces: InterfaceSet,
+}
+
+impl SchemaMap {
+    /// Fold flow facts into schemas under an interface restriction.
+    pub fn select(facts: &FlowFacts, interfaces: InterfaceSet) -> Self {
+        let seq = facts
+            .may_block
+            .iter()
+            .zip(&facts.requires_cont)
+            .map(|(&blocks, &cp)| {
+                let s = if cp {
+                    Schema::ContPassing
+                } else if blocks {
+                    Schema::MayBlock
+                } else {
+                    Schema::NonBlocking
+                };
+                interfaces.clamp(s)
+            })
+            .collect();
+        SchemaMap { seq, interfaces }
+    }
+
+    /// Schema of a method.
+    #[inline]
+    pub fn of(&self, m: MethodId) -> Schema {
+        self.seq[m.idx()]
+    }
+
+    /// Count of methods per schema `(nb, mb, cp)`.
+    pub fn histogram(&self) -> (usize, usize, usize) {
+        let mut h = (0, 0, 0);
+        for s in &self.seq {
+            match s {
+                Schema::NonBlocking => h.0 += 1,
+                Schema::MayBlock => h.1 += 1,
+                Schema::ContPassing => h.2 += 1,
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(may_block: Vec<bool>, requires_cont: Vec<bool>) -> FlowFacts {
+        FlowFacts {
+            may_block,
+            requires_cont,
+        }
+    }
+
+    #[test]
+    fn selection_order() {
+        // (blocks, cp) -> schema
+        let f = facts(
+            vec![false, true, false, true],
+            vec![false, false, true, true],
+        );
+        let m = SchemaMap::select(&f, InterfaceSet::Full);
+        assert_eq!(m.of(MethodId(0)), Schema::NonBlocking);
+        assert_eq!(m.of(MethodId(1)), Schema::MayBlock);
+        assert_eq!(m.of(MethodId(2)), Schema::ContPassing);
+        assert_eq!(m.of(MethodId(3)), Schema::ContPassing);
+        assert_eq!(m.histogram(), (1, 1, 2));
+    }
+
+    #[test]
+    fn cp_only_clamps_everything() {
+        let f = facts(vec![false, true], vec![false, false]);
+        let m = SchemaMap::select(&f, InterfaceSet::CpOnly);
+        assert!(m.seq.iter().all(|s| *s == Schema::ContPassing));
+    }
+
+    #[test]
+    fn mbcp_clamps_only_nonblocking() {
+        let f = facts(vec![false, true, false], vec![false, false, true]);
+        let m = SchemaMap::select(&f, InterfaceSet::MbCp);
+        assert_eq!(m.of(MethodId(0)), Schema::MayBlock);
+        assert_eq!(m.of(MethodId(1)), Schema::MayBlock);
+        assert_eq!(m.of(MethodId(2)), Schema::ContPassing);
+    }
+
+    #[test]
+    fn schema_ordering_reflects_generality() {
+        assert!(Schema::NonBlocking < Schema::MayBlock);
+        assert!(Schema::MayBlock < Schema::ContPassing);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Schema::NonBlocking.to_string(), "NB");
+        assert_eq!(Schema::MayBlock.to_string(), "MB");
+        assert_eq!(Schema::ContPassing.to_string(), "CP");
+    }
+}

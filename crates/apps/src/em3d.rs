@@ -1,0 +1,767 @@
+//! EM3D — electromagnetic wave propagation on a bipartite graph (Table 6).
+//!
+//! The data structure is a graph with **E** (electric) and **H** (magnetic)
+//! nodes; each node's value is updated by a linear function of the values
+//! carried along its in-edges from nodes of the other type. Following the
+//! paper, three versions exercise different communication/synchronization
+//! structures:
+//!
+//! * **pull** — a node reads the values directly from its (possibly
+//!   remote) in-neighbours: one `get` future per in-edge, one multi-way
+//!   touch, compute in place;
+//! * **push** — source nodes write their value to every subscriber
+//!   (`recv(edge, v)` accumulates `w[edge]·v`), each push acknowledged, and
+//!   a commit phase folds the accumulator into the value. More replies,
+//!   shorter messages;
+//! * **forward** — a source sends a *single* message that is forwarded
+//!   through the chain of subscribers (each applies the value and forwards
+//!   the caller's continuation to the next); only the final subscriber
+//!   replies. Fewer replies, longer (continuation-carrying) messages —
+//!   the trade the paper uses to contrast the CM-5 (cheap replies) with
+//!   the T3D (expensive replies).
+//!
+//! Graph placement has a locality knob: each in-neighbour is chosen on the
+//! same node with probability `p_local`, matching Table 6's low
+//! (random placement ≈ 1/64 local) and high (99:1) locality rows.
+
+use hem_core::{Runtime, Trap};
+use hem_ir::{
+    BinOp, FieldId, LocalityHint, MethodId, ObjRef, Program, ProgramBuilder, UnOp, Value,
+};
+use hem_machine::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which communication structure a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Style {
+    /// Read remote values directly.
+    Pull,
+    /// Write values to subscribers, ack each.
+    Push,
+    /// Forward one message through the subscriber chain.
+    Forward,
+}
+
+impl std::fmt::Display for Style {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Style::Pull => write!(f, "pull"),
+            Style::Push => write!(f, "push"),
+            Style::Forward => write!(f, "forward"),
+        }
+    }
+}
+
+/// IR program + handles for EM3D, built for a fixed in-degree `d`
+/// (the pull update is unrolled over the in-edges so each neighbour read
+/// is a distinct future slot).
+#[derive(Debug, Clone)]
+pub struct Em3dProgram {
+    /// The program.
+    pub program: Program,
+    /// In-degree the program was built for.
+    pub degree: u32,
+    /// `GNode.get`.
+    pub get: MethodId,
+    /// `GNode.pull_update`.
+    pub pull_update: MethodId,
+    /// `GNode.recv(edge, v)`.
+    pub recv: MethodId,
+    /// `GNode.push_send`.
+    pub push_send: MethodId,
+    /// `GNode.commit`.
+    pub commit: MethodId,
+    /// `GNode.fwd_send`.
+    pub fwd_send: MethodId,
+    /// `GNode.deliver(v, edge)`.
+    pub deliver: MethodId,
+    /// Fields of `GNode`.
+    pub f_val: FieldId,
+    /// Accumulator field.
+    pub f_acc: FieldId,
+    /// In-edge weights array.
+    pub f_weights: FieldId,
+    /// In-neighbour refs array.
+    pub f_nbrs: FieldId,
+    /// Out-edge target refs (subscribers).
+    pub f_out_to: FieldId,
+    /// This node's edge index at each subscriber.
+    pub f_out_idx: FieldId,
+    /// First subscriber in this node's forwarding chain (or Nil).
+    pub f_chain_head: FieldId,
+    /// Edge index at the chain head.
+    pub f_chain_head_edge: FieldId,
+    /// Per-in-edge: next subscriber in the source's chain (or Nil).
+    pub f_chain_next: FieldId,
+    /// Per-in-edge: edge index at that next subscriber.
+    pub f_chain_next_edge: FieldId,
+    /// `Worker` phase drivers: run `m` over the worker's E or H list.
+    pub w_pull_e: MethodId,
+    /// Pull-update all local H nodes.
+    pub w_pull_h: MethodId,
+    /// H sources push (updates E).
+    pub w_push_h: MethodId,
+    /// E sources push (updates H).
+    pub w_push_e: MethodId,
+    /// Commit all local E nodes.
+    pub w_commit_e: MethodId,
+    /// Commit all local H nodes.
+    pub w_commit_h: MethodId,
+    /// H sources forward-send.
+    pub w_fwd_h: MethodId,
+    /// E sources forward-send.
+    pub w_fwd_e: MethodId,
+    /// `Worker.e_nodes`.
+    pub w_e_nodes: FieldId,
+    /// `Worker.h_nodes`.
+    pub w_h_nodes: FieldId,
+    /// `Main` fan-out methods, one per worker phase (same order as the
+    /// worker methods above).
+    pub main_phases: MainPhases,
+    /// `Main.workers`.
+    pub m_workers: FieldId,
+}
+
+/// `Main`'s fan-out entry points.
+#[derive(Debug, Clone, Copy)]
+pub struct MainPhases {
+    /// Pull-update all E.
+    pub pull_e: MethodId,
+    /// Pull-update all H.
+    pub pull_h: MethodId,
+    /// H push (into E).
+    pub push_h: MethodId,
+    /// E push (into H).
+    pub push_e: MethodId,
+    /// Commit E.
+    pub commit_e: MethodId,
+    /// Commit H.
+    pub commit_h: MethodId,
+    /// H forward (into E).
+    pub fwd_h: MethodId,
+    /// E forward (into H).
+    pub fwd_e: MethodId,
+}
+
+/// Build the EM3D program for in-degree `degree`.
+pub fn build(degree: u32) -> Em3dProgram {
+    assert!((1..=32).contains(&degree), "degree out of slot range");
+    let mut pb = ProgramBuilder::new();
+
+    let g = pb.class("GNode", false);
+    let f_val = pb.field(g, "val");
+    let f_acc = pb.field(g, "acc");
+    let f_weights = pb.array_field(g, "weights");
+    let f_nbrs = pb.array_field(g, "nbrs");
+    let f_out_to = pb.array_field(g, "out_to");
+    let f_out_idx = pb.array_field(g, "out_idx");
+    let f_chain_head = pb.field(g, "chain_head");
+    let f_chain_head_edge = pb.field(g, "chain_head_edge");
+    let f_chain_next = pb.array_field(g, "chain_next");
+    let f_chain_next_edge = pb.array_field(g, "chain_next_edge");
+
+    let get = pb.method(g, "get", 0, |mb| {
+        mb.inlinable();
+        let v = mb.get_field(f_val);
+        mb.reply(v);
+    });
+
+    // pull: unrolled over the in-edges so every read is its own future.
+    let pull_update = pb.method(g, "pull_update", 0, |mb| {
+        let mut slots = Vec::new();
+        for e in 0..degree as i64 {
+            let nb = mb.get_elem(f_nbrs, e);
+            let s = mb.invoke_into(nb, get, &[]);
+            slots.push(s);
+        }
+        mb.touch(&slots);
+        let mut sum = mb.local();
+        mb.mov(sum, 0.0f64);
+        for (e, s) in slots.iter().enumerate() {
+            let v = mb.get_slot(*s);
+            let w = mb.get_elem(f_weights, e as i64);
+            let wv = mb.binl(BinOp::Mul, w, v);
+            let ns = mb.binl(BinOp::Add, sum, wv);
+            sum = ns;
+        }
+        let cur = mb.get_field(f_val);
+        let nv = mb.binl(BinOp::Sub, cur, sum);
+        mb.set_field(f_val, nv);
+        mb.reply_nil();
+    });
+
+    // push: receiver accumulates w[edge]·v.
+    let recv = pb.method(g, "recv", 2, |mb| {
+        let (e, v) = (mb.arg(0), mb.arg(1));
+        let w = mb.get_elem(f_weights, e);
+        let wv = mb.binl(BinOp::Mul, w, v);
+        let a = mb.get_field(f_acc);
+        let na = mb.binl(BinOp::Add, a, wv);
+        mb.set_field(f_acc, na);
+        mb.reply_nil();
+    });
+    let push_send = pb.method(g, "push_send", 0, |mb| {
+        let n = mb.arr_len(f_out_to);
+        let join = mb.slot();
+        mb.join_init(join, n);
+        let v = mb.get_field(f_val);
+        mb.for_range(0i64, n, |mb, k| {
+            let d = mb.get_elem(f_out_to, k);
+            let e = mb.get_elem(f_out_idx, k);
+            mb.invoke(
+                Some(join),
+                d,
+                recv,
+                &[e.into(), v.into()],
+                LocalityHint::Unknown,
+            );
+        });
+        mb.touch(&[join]);
+        mb.reply_nil();
+    });
+    let commit = pb.method(g, "commit", 0, |mb| {
+        let a = mb.get_field(f_acc);
+        let cur = mb.get_field(f_val);
+        let nv = mb.binl(BinOp::Sub, cur, a);
+        mb.set_field(f_val, nv);
+        mb.set_field(f_acc, 0.0f64);
+        mb.reply_nil();
+    });
+
+    // forward: one message threads the subscriber chain; the last
+    // subscriber replies straight to the source (continuation forwarding).
+    let deliver = pb.declare(g, "deliver", 2); // (v, edge)
+    pb.define(deliver, |mb| {
+        let (v, e) = (mb.arg(0), mb.arg(1));
+        let w = mb.get_elem(f_weights, e);
+        let wv = mb.binl(BinOp::Mul, w, v);
+        let a = mb.get_field(f_acc);
+        let na = mb.binl(BinOp::Add, a, wv);
+        mb.set_field(f_acc, na);
+        let next = mb.get_elem(f_chain_next, e);
+        let done = mb.unl(UnOp::IsNil, next);
+        mb.if_else(
+            done,
+            |mb| mb.reply_nil(),
+            |mb| {
+                let ne = mb.get_elem(f_chain_next_edge, e);
+                mb.forward(next, deliver, &[v.into(), ne.into()], LocalityHint::Unknown);
+            },
+        );
+    });
+    let fwd_send = pb.method(g, "fwd_send", 0, |mb| {
+        let head = mb.get_field(f_chain_head);
+        let none = mb.unl(UnOp::IsNil, head);
+        mb.if_else(
+            none,
+            |mb| mb.reply_nil(),
+            |mb| {
+                let v = mb.get_field(f_val);
+                let e = mb.get_field(f_chain_head_edge);
+                let s = mb.slot();
+                mb.invoke(
+                    Some(s),
+                    head,
+                    deliver,
+                    &[v.into(), e.into()],
+                    LocalityHint::Unknown,
+                );
+                mb.touch(&[s]);
+                mb.reply_nil();
+            },
+        );
+    });
+
+    // Workers: loop a method over the local E or H list.
+    let worker = pb.class("Worker", false);
+    let w_e_nodes = pb.array_field(worker, "e_nodes");
+    let w_h_nodes = pb.array_field(worker, "h_nodes");
+    let sweep = |pb: &mut ProgramBuilder, name: &str, list: FieldId, m: MethodId| {
+        pb.method(worker, name, 0, |mb| {
+            let n = mb.arr_len(list);
+            let join = mb.slot();
+            mb.join_init(join, n);
+            mb.for_range(0i64, n, |mb, k| {
+                let p = mb.get_elem(list, k);
+                mb.invoke(Some(join), p, m, &[], LocalityHint::AlwaysLocal);
+            });
+            mb.touch(&[join]);
+            mb.reply_nil();
+        })
+    };
+    let w_pull_e = sweep(&mut pb, "pull_e", w_e_nodes, pull_update);
+    let w_pull_h = sweep(&mut pb, "pull_h", w_h_nodes, pull_update);
+    let w_push_h = sweep(&mut pb, "push_h", w_h_nodes, push_send);
+    let w_push_e = sweep(&mut pb, "push_e", w_e_nodes, push_send);
+    let w_commit_e = sweep(&mut pb, "commit_e", w_e_nodes, commit);
+    let w_commit_h = sweep(&mut pb, "commit_h", w_h_nodes, commit);
+    let w_fwd_h = sweep(&mut pb, "fwd_h", w_h_nodes, fwd_send);
+    let w_fwd_e = sweep(&mut pb, "fwd_e", w_e_nodes, fwd_send);
+
+    // Main fan-out.
+    let main = pb.class("Main", false);
+    let m_workers = pb.array_field(main, "workers");
+    let fan = |pb: &mut ProgramBuilder, name: &str, m: MethodId| {
+        pb.method(main, name, 0, |mb| {
+            let n = mb.arr_len(m_workers);
+            let join = mb.slot();
+            mb.join_init(join, n);
+            mb.for_range(0i64, n, |mb, k| {
+                let w = mb.get_elem(m_workers, k);
+                mb.invoke(Some(join), w, m, &[], LocalityHint::Unknown);
+            });
+            mb.touch(&[join]);
+            mb.reply_nil();
+        })
+    };
+    let main_phases = MainPhases {
+        pull_e: fan(&mut pb, "m_pull_e", w_pull_e),
+        pull_h: fan(&mut pb, "m_pull_h", w_pull_h),
+        push_h: fan(&mut pb, "m_push_h", w_push_h),
+        push_e: fan(&mut pb, "m_push_e", w_push_e),
+        commit_e: fan(&mut pb, "m_commit_e", w_commit_e),
+        commit_h: fan(&mut pb, "m_commit_h", w_commit_h),
+        fwd_h: fan(&mut pb, "m_fwd_h", w_fwd_h),
+        fwd_e: fan(&mut pb, "m_fwd_e", w_fwd_e),
+    };
+
+    Em3dProgram {
+        program: pb.finish(),
+        degree,
+        get,
+        pull_update,
+        recv,
+        push_send,
+        commit,
+        fwd_send,
+        deliver,
+        f_val,
+        f_acc,
+        f_weights,
+        f_nbrs,
+        f_out_to,
+        f_out_idx,
+        f_chain_head,
+        f_chain_head_edge,
+        f_chain_next,
+        f_chain_next_edge,
+        w_pull_e,
+        w_pull_h,
+        w_push_h,
+        w_push_e,
+        w_commit_e,
+        w_commit_h,
+        w_fwd_h,
+        w_fwd_e,
+        w_e_nodes,
+        w_h_nodes,
+        main_phases,
+        m_workers,
+    }
+}
+
+/// The synthetic EM3D graph, shared between the IR setup and the native
+/// reference.
+#[derive(Debug, Clone)]
+pub struct Em3dGraph {
+    /// Nodes per kind.
+    pub n_each: u32,
+    /// In-degree.
+    pub degree: u32,
+    /// E-node placements.
+    pub e_owner: Vec<NodeId>,
+    /// H-node placements.
+    pub h_owner: Vec<NodeId>,
+    /// E in-neighbours (indices into H), `n_each × degree`.
+    pub e_in: Vec<Vec<u32>>,
+    /// H in-neighbours (indices into E).
+    pub h_in: Vec<Vec<u32>>,
+    /// E in-edge weights.
+    pub e_w: Vec<Vec<f64>>,
+    /// H in-edge weights.
+    pub h_w: Vec<Vec<f64>>,
+    /// Initial E values.
+    pub e0: Vec<f64>,
+    /// Initial H values.
+    pub h0: Vec<f64>,
+}
+
+/// Generate a graph: `n_each` nodes of each kind on `nodes` machine nodes,
+/// each in-neighbour co-located with probability `p_local`.
+pub fn generate(n_each: u32, degree: u32, nodes: u32, p_local: f64, seed: u64) -> Em3dGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let owner = |rng: &mut SmallRng| NodeId(rng.gen_range(0..nodes));
+    let e_owner: Vec<NodeId> = (0..n_each).map(|_| owner(&mut rng)).collect();
+    let h_owner: Vec<NodeId> = (0..n_each).map(|_| owner(&mut rng)).collect();
+
+    // Index of other-kind nodes per machine node, for local picks.
+    let mut h_by_node: Vec<Vec<u32>> = vec![Vec::new(); nodes as usize];
+    for (i, o) in h_owner.iter().enumerate() {
+        h_by_node[o.idx()].push(i as u32);
+    }
+    let mut e_by_node: Vec<Vec<u32>> = vec![Vec::new(); nodes as usize];
+    for (i, o) in e_owner.iter().enumerate() {
+        e_by_node[o.idx()].push(i as u32);
+    }
+
+    let pick = |rng: &mut SmallRng, my: NodeId, pool: &[Vec<u32>], total: u32| -> u32 {
+        let local = &pool[my.idx()];
+        if !local.is_empty() && rng.gen_bool(p_local) {
+            local[rng.gen_range(0..local.len())]
+        } else {
+            rng.gen_range(0..total)
+        }
+    };
+
+    let mut e_in = Vec::with_capacity(n_each as usize);
+    let mut h_in = Vec::with_capacity(n_each as usize);
+    let mut e_w = Vec::with_capacity(n_each as usize);
+    let mut h_w = Vec::with_capacity(n_each as usize);
+    for i in 0..n_each {
+        let mut ins = Vec::with_capacity(degree as usize);
+        let mut ws = Vec::with_capacity(degree as usize);
+        for _ in 0..degree {
+            ins.push(pick(&mut rng, e_owner[i as usize], &h_by_node, n_each));
+            ws.push(rng.gen_range(-0.01..0.01));
+        }
+        e_in.push(ins);
+        e_w.push(ws);
+        let mut ins = Vec::with_capacity(degree as usize);
+        let mut ws = Vec::with_capacity(degree as usize);
+        for _ in 0..degree {
+            ins.push(pick(&mut rng, h_owner[i as usize], &e_by_node, n_each));
+            ws.push(rng.gen_range(-0.01..0.01));
+        }
+        h_in.push(ins);
+        h_w.push(ws);
+    }
+    let e0: Vec<f64> = (0..n_each).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let h0: Vec<f64> = (0..n_each).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Em3dGraph {
+        n_each,
+        degree,
+        e_owner,
+        h_owner,
+        e_in,
+        h_in,
+        e_w,
+        h_w,
+        e0,
+        h0,
+    }
+}
+
+/// A placed EM3D instance.
+pub struct Em3dInstance {
+    /// Program handles.
+    pub ids: Em3dProgram,
+    /// Driver object.
+    pub main: ObjRef,
+    /// E-node objects.
+    pub e_refs: Vec<ObjRef>,
+    /// H-node objects.
+    pub h_refs: Vec<ObjRef>,
+}
+
+/// Place a generated graph into the runtime.
+pub fn setup(rt: &mut Runtime, ids: &Em3dProgram, g: &Em3dGraph) -> Em3dInstance {
+    assert_eq!(ids.degree, g.degree);
+    let e_refs: Vec<ObjRef> = g
+        .e_owner
+        .iter()
+        .map(|o| rt.alloc_object_by_name("GNode", *o))
+        .collect();
+    let h_refs: Vec<ObjRef> = g
+        .h_owner
+        .iter()
+        .map(|o| rt.alloc_object_by_name("GNode", *o))
+        .collect();
+
+    // Populate both kinds: (refs of this kind, in-lists, weights, initial
+    // values, refs of the other kind).
+    let fill = |rt: &mut Runtime,
+                refs: &[ObjRef],
+                ins: &[Vec<u32>],
+                ws: &[Vec<f64>],
+                v0: &[f64],
+                other: &[ObjRef]| {
+        for (i, r) in refs.iter().enumerate() {
+            rt.set_field(*r, ids.f_val, Value::Float(v0[i]));
+            rt.set_field(*r, ids.f_acc, Value::Float(0.0));
+            rt.set_array(
+                *r,
+                ids.f_nbrs,
+                ins[i]
+                    .iter()
+                    .map(|k| Value::Obj(other[*k as usize]))
+                    .collect(),
+            );
+            rt.set_array(
+                *r,
+                ids.f_weights,
+                ws[i].iter().map(|w| Value::Float(*w)).collect(),
+            );
+            rt.set_array(*r, ids.f_chain_next, vec![Value::Nil; ids.degree as usize]);
+            rt.set_array(
+                *r,
+                ids.f_chain_next_edge,
+                vec![Value::Int(0); ids.degree as usize],
+            );
+            rt.set_field(*r, ids.f_chain_head, Value::Nil);
+            rt.set_field(*r, ids.f_chain_head_edge, Value::Int(0));
+        }
+    };
+    fill(rt, &e_refs, &g.e_in, &g.e_w, &g.e0, &h_refs);
+    fill(rt, &h_refs, &g.h_in, &g.h_w, &g.h0, &e_refs);
+
+    // Out-edges and forwarding chains: for each source, its subscribers
+    // are the (dest, edge) pairs that list it as an in-neighbour.
+    let wire_out =
+        |rt: &mut Runtime, srcs: &[ObjRef], dest_refs: &[ObjRef], dest_in: &[Vec<u32>]| {
+            let mut subs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); srcs.len()];
+            for (d, ins) in dest_in.iter().enumerate() {
+                for (e, s) in ins.iter().enumerate() {
+                    subs[*s as usize].push((d as u32, e as u32));
+                }
+            }
+            for (s, list) in subs.iter().enumerate() {
+                let sref = srcs[s];
+                rt.set_array(
+                    sref,
+                    ids.f_out_to,
+                    list.iter()
+                        .map(|(d, _)| Value::Obj(dest_refs[*d as usize]))
+                        .collect(),
+                );
+                rt.set_array(
+                    sref,
+                    ids.f_out_idx,
+                    list.iter().map(|(_, e)| Value::Int(*e as i64)).collect(),
+                );
+                // Chain: d1 -> d2 -> ... -> dk.
+                if let Some((d1, e1)) = list.first() {
+                    rt.set_field(sref, ids.f_chain_head, Value::Obj(dest_refs[*d1 as usize]));
+                    rt.set_field(sref, ids.f_chain_head_edge, Value::Int(*e1 as i64));
+                    for w in list.windows(2) {
+                        let (da, ea) = w[0];
+                        let (db, eb) = w[1];
+                        let dref = dest_refs[da as usize];
+                        let mut next = rt.get_array(dref, ids.f_chain_next).to_vec();
+                        let mut nexte = rt.get_array(dref, ids.f_chain_next_edge).to_vec();
+                        next[ea as usize] = Value::Obj(dest_refs[db as usize]);
+                        nexte[ea as usize] = Value::Int(eb as i64);
+                        rt.set_array(dref, ids.f_chain_next, next);
+                        rt.set_array(dref, ids.f_chain_next_edge, nexte);
+                    }
+                }
+            }
+        };
+    // H sources feed E nodes (E's in-lists), E sources feed H nodes.
+    wire_out(rt, &h_refs, &e_refs, &g.e_in);
+    wire_out(rt, &e_refs, &h_refs, &g.h_in);
+
+    // Workers + main.
+    let mut per_node_e: Vec<Vec<Value>> = vec![Vec::new(); rt.n_nodes()];
+    let mut per_node_h: Vec<Vec<Value>> = vec![Vec::new(); rt.n_nodes()];
+    for r in &e_refs {
+        per_node_e[r.node.idx()].push(Value::Obj(*r));
+    }
+    for r in &h_refs {
+        per_node_h[r.node.idx()].push(Value::Obj(*r));
+    }
+    let mut workers = Vec::new();
+    for n in 0..rt.n_nodes() {
+        let w = rt.alloc_object_by_name("Worker", NodeId(n as u32));
+        rt.set_array(w, ids.w_e_nodes, std::mem::take(&mut per_node_e[n]));
+        rt.set_array(w, ids.w_h_nodes, std::mem::take(&mut per_node_h[n]));
+        workers.push(Value::Obj(w));
+    }
+    // Remote workers first, the driver's co-located worker last (see sor).
+    workers.rotate_left(1);
+    let main = rt.alloc_object_by_name("Main", NodeId(0));
+    rt.set_array(main, ids.m_workers, workers);
+
+    Em3dInstance {
+        ids: ids.clone(),
+        main,
+        e_refs,
+        h_refs,
+    }
+}
+
+/// Run `iters` timesteps in the given style. Each timestep updates E from
+/// H, then H from E, with global barriers between phases.
+pub fn run(rt: &mut Runtime, inst: &Em3dInstance, style: Style, iters: u32) -> Result<(), Trap> {
+    let p = inst.ids.main_phases;
+    for _ in 0..iters {
+        match style {
+            Style::Pull => {
+                rt.call(inst.main, p.pull_e, &[])?;
+                rt.call(inst.main, p.pull_h, &[])?;
+            }
+            Style::Push => {
+                rt.call(inst.main, p.push_h, &[])?;
+                rt.call(inst.main, p.commit_e, &[])?;
+                rt.call(inst.main, p.push_e, &[])?;
+                rt.call(inst.main, p.commit_h, &[])?;
+            }
+            Style::Forward => {
+                rt.call(inst.main, p.fwd_h, &[])?;
+                rt.call(inst.main, p.commit_e, &[])?;
+                rt.call(inst.main, p.fwd_e, &[])?;
+                rt.call(inst.main, p.commit_h, &[])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extract current (E, H) values.
+pub fn values(rt: &Runtime, inst: &Em3dInstance) -> (Vec<f64>, Vec<f64>) {
+    let f = |r: &ObjRef| match rt.get_field(*r, inst.ids.f_val) {
+        Value::Float(x) => x,
+        v => panic!("non-float value {v:?}"),
+    };
+    (
+        inst.e_refs.iter().map(f).collect(),
+        inst.h_refs.iter().map(f).collect(),
+    )
+}
+
+/// Native reference (in-edge summation order — matches `pull` exactly;
+/// push/forward accumulate in arrival order and match to tolerance).
+pub fn native(g: &Em3dGraph, iters: u32) -> (Vec<f64>, Vec<f64>) {
+    let mut e = g.e0.clone();
+    let mut h = g.h0.clone();
+    for _ in 0..iters {
+        for (i, ev) in e.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for (k, s) in g.e_in[i].iter().enumerate() {
+                sum += g.e_w[i][k] * h[*s as usize];
+            }
+            *ev -= sum;
+        }
+        for (i, hv) in h.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for (k, s) in g.h_in[i].iter().enumerate() {
+                sum += g.h_w[i][k] * e[*s as usize];
+            }
+            *hv -= sum;
+        }
+    }
+    (e, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_analysis::{InterfaceSet, Schema};
+    use hem_core::ExecMode;
+    use hem_machine::cost::CostModel;
+
+    fn close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (k, (x, y)) in a.iter().zip(b).enumerate() {
+            let d = (x - y).abs();
+            let m = x.abs().max(y.abs()).max(1.0);
+            assert!(d / m < tol, "element {k}: {x} vs {y}");
+        }
+    }
+
+    fn run_style(
+        style: Style,
+        mode: ExecMode,
+        p_local: f64,
+    ) -> ((Vec<f64>, Vec<f64>), Runtime, Em3dGraph) {
+        let ids = build(4);
+        let g = generate(24, 4, 4, p_local, 99);
+        let mut rt = crate::make_runtime(
+            ids.program.clone(),
+            4,
+            CostModel::cm5(),
+            mode,
+            InterfaceSet::Full,
+        );
+        let inst = setup(&mut rt, &ids, &g);
+        run(&mut rt, &inst, style, 2).expect("em3d run");
+        let v = values(&rt, &inst);
+        (v, rt, g)
+    }
+
+    #[test]
+    fn schemas() {
+        let ids = build(4);
+        let rt = crate::make_runtime(
+            ids.program.clone(),
+            2,
+            CostModel::cm5(),
+            ExecMode::Hybrid,
+            InterfaceSet::Full,
+        );
+        assert_eq!(rt.schemas().of(ids.get), Schema::NonBlocking);
+        assert_eq!(rt.schemas().of(ids.recv), Schema::NonBlocking);
+        assert_eq!(rt.schemas().of(ids.commit), Schema::NonBlocking);
+        assert_eq!(rt.schemas().of(ids.pull_update), Schema::MayBlock);
+        assert_eq!(
+            rt.schemas().of(ids.deliver),
+            Schema::ContPassing,
+            "deliver forwards"
+        );
+    }
+
+    #[test]
+    fn pull_matches_native_exactly() {
+        let ((e, h), _, g) = run_style(Style::Pull, ExecMode::Hybrid, 0.5);
+        let (en, hn) = native(&g, 2);
+        assert_eq!(e, en);
+        assert_eq!(h, hn);
+    }
+
+    #[test]
+    fn push_matches_native() {
+        let ((e, h), _, g) = run_style(Style::Push, ExecMode::Hybrid, 0.5);
+        let (en, hn) = native(&g, 2);
+        close(&e, &en, 1e-9);
+        close(&h, &hn, 1e-9);
+    }
+
+    #[test]
+    fn forward_matches_native() {
+        let ((e, h), _, g) = run_style(Style::Forward, ExecMode::Hybrid, 0.5);
+        let (en, hn) = native(&g, 2);
+        close(&e, &en, 1e-9);
+        close(&h, &hn, 1e-9);
+    }
+
+    #[test]
+    fn all_styles_agree_across_modes() {
+        for style in [Style::Pull, Style::Push, Style::Forward] {
+            let ((eh, hh), _, _) = run_style(style, ExecMode::Hybrid, 0.3);
+            let ((ep, hp), _, _) = run_style(style, ExecMode::ParallelOnly, 0.3);
+            close(&eh, &ep, 1e-12);
+            close(&hh, &hp, 1e-12);
+        }
+    }
+
+    #[test]
+    fn forward_sends_fewer_replies_than_push() {
+        let (_, rt_push, _) = run_style(Style::Push, ExecMode::Hybrid, 0.0);
+        let (_, rt_fwd, _) = run_style(Style::Forward, ExecMode::Hybrid, 0.0);
+        let pr = rt_push.stats().totals().replies_sent;
+        let fr = rt_fwd.stats().totals().replies_sent;
+        assert!(
+            fr < pr,
+            "forward replies {fr} should undercut push replies {pr}"
+        );
+    }
+
+    #[test]
+    fn high_locality_reduces_messages() {
+        let (_, lo, _) = run_style(Style::Pull, ExecMode::Hybrid, 0.0);
+        let (_, hi, _) = run_style(Style::Pull, ExecMode::Hybrid, 0.95);
+        let ml = lo.stats().totals().msgs_sent;
+        let mh = hi.stats().totals().msgs_sent;
+        assert!(mh < ml / 2, "local picks {mh} vs random {ml}");
+    }
+}

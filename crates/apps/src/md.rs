@@ -1,0 +1,841 @@
+//! MD-Force — the nonbonded force kernel of a molecular dynamics
+//! simulation (Table 5).
+//!
+//! The computation iterates over atom pairs within a spatial cutoff,
+//! updating the force fields of both atoms from their coordinates. The
+//! paper's implementation (reproduced here) reduces communication by
+//! **caching the coordinates of remote atoms** and by **combining force
+//! increments** destined for the same remote atom into one message.
+//!
+//! Each pair is processed by a *method invocation* — the unit the hybrid
+//! model optimizes — with the three dynamic cases of §4.3.2:
+//!
+//! * both atoms local → the computation is small and **speculatively
+//!   inlined** (`do_pair_local`);
+//! * partner remote but its coordinates already cached → larger, but
+//!   completes **entirely on the stack** (`do_pair_cached`, cache hit);
+//! * otherwise → **communication required**: the invocation blocks on the
+//!   coordinate fetch and falls back to the parallel version (cache miss).
+//!
+//! The paper used a 10503-atom protein input from CEDAR; we substitute a
+//! synthetic clustered particle set (Gaussian blobs in a box) whose cutoff
+//! pair list has the same locality structure: under a **random** layout
+//! almost every pair straddles nodes, while under an **orthogonal
+//! recursive bisection** (spatial) layout most pairs are node-local.
+
+use hem_core::{Runtime, Trap};
+use hem_ir::{BinOp, FieldId, LocalityHint, MethodId, ObjRef, Program, ProgramBuilder, Value};
+use hem_machine::topology::orb_partition;
+use hem_machine::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// IR program + handles for MD-Force.
+#[derive(Debug, Clone)]
+pub struct MdProgram {
+    /// The program.
+    pub program: Program,
+    /// `Atom.push_coords(worker, k)` — deliver coordinates into a cache.
+    pub push_coords: MethodId,
+    /// `Atom.add_force(dx, dy, dz)`.
+    pub add_force: MethodId,
+    /// `Atom.get_x` (inlinable; likewise y, z).
+    pub get_x: MethodId,
+    /// `Atom.get_y`.
+    pub get_y: MethodId,
+    /// `Atom.get_z`.
+    pub get_z: MethodId,
+    /// Atom position fields.
+    pub f_x: FieldId,
+    /// y.
+    pub f_y: FieldId,
+    /// z.
+    pub f_z: FieldId,
+    /// Atom force fields.
+    pub f_fx: FieldId,
+    /// fy.
+    pub f_fy: FieldId,
+    /// fz.
+    pub f_fz: FieldId,
+    /// `PairWorker.do_pair_local(a, b)` — both-local pair.
+    pub do_pair_local: MethodId,
+    /// `PairWorker.do_pair_cached(p)` — remote partner through the cache.
+    pub do_pair_cached: MethodId,
+    /// `PairWorker.store3(k, x, y, z)` — cache write-back target.
+    pub w_store3: MethodId,
+    /// `PairWorker.compute` — run all pairs.
+    pub w_compute: MethodId,
+    /// `PairWorker.flush` — send combined force increments.
+    pub w_flush: MethodId,
+    /// Worker fields (see `setup`).
+    pub wf: WorkerFields,
+    /// `Main.run_compute` fan-out.
+    pub m_compute: MethodId,
+    /// `Main.run_flush` fan-out.
+    pub m_flush: MethodId,
+    /// `Main.workers`.
+    pub m_workers: FieldId,
+}
+
+/// The `PairWorker` field handles.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerFields {
+    /// Refs of pair-first atoms (always local).
+    pub pi: FieldId,
+    /// Kind of the pair's second atom: 0 = local ref, 1 = cache index.
+    pub pj_kind: FieldId,
+    /// Second-atom local refs (Nil when cached).
+    pub pj_ref: FieldId,
+    /// Second-atom cache indices (0 when local).
+    pub pj_cidx: FieldId,
+    /// Remote atoms cached by this worker.
+    pub cache_atoms: FieldId,
+    /// Cache validity flags (0/1), reset each iteration.
+    pub cvalid: FieldId,
+    /// Cached coordinates.
+    pub cx: FieldId,
+    /// Cached y.
+    pub cy: FieldId,
+    /// Cached z.
+    pub cz: FieldId,
+    /// Combined force increments for cached atoms.
+    pub cfx: FieldId,
+    /// fy increments.
+    pub cfy: FieldId,
+    /// fz increments.
+    pub cfz: FieldId,
+}
+
+/// Build the MD-Force program.
+pub fn build() -> MdProgram {
+    let mut pb = ProgramBuilder::new();
+
+    // ---- Atom ----
+    let atom = pb.class("Atom", false);
+    let f_x = pb.field(atom, "x");
+    let f_y = pb.field(atom, "y");
+    let f_z = pb.field(atom, "z");
+    let f_fx = pb.field(atom, "fx");
+    let f_fy = pb.field(atom, "fy");
+    let f_fz = pb.field(atom, "fz");
+
+    let getter = |pb: &mut ProgramBuilder, name: &str, f: FieldId| {
+        pb.method(atom, name, 0, |mb| {
+            mb.inlinable();
+            let v = mb.get_field(f);
+            mb.reply(v);
+        })
+    };
+    let get_x = getter(&mut pb, "get_x", f_x);
+    let get_y = getter(&mut pb, "get_y", f_y);
+    let get_z = getter(&mut pb, "get_z", f_z);
+
+    let add_force = pb.method(atom, "add_force", 3, |mb| {
+        mb.inlinable();
+        let fx = mb.get_field(f_fx);
+        let nfx = mb.binl(BinOp::Add, fx, mb.arg(0));
+        mb.set_field(f_fx, nfx);
+        let fy = mb.get_field(f_fy);
+        let nfy = mb.binl(BinOp::Add, fy, mb.arg(1));
+        mb.set_field(f_fy, nfy);
+        let fz = mb.get_field(f_fz);
+        let nfz = mb.binl(BinOp::Add, fz, mb.arg(2));
+        mb.set_field(f_fz, nfz);
+        mb.reply_nil();
+    });
+
+    // ---- PairWorker ----
+    let worker = pb.class("PairWorker", false);
+    let pi = pb.array_field(worker, "pi");
+    let pj_kind = pb.array_field(worker, "pj_kind");
+    let pj_ref = pb.array_field(worker, "pj_ref");
+    let pj_cidx = pb.array_field(worker, "pj_cidx");
+    let cache_atoms = pb.array_field(worker, "cache_atoms");
+    let cvalid = pb.array_field(worker, "cvalid");
+    let cx = pb.array_field(worker, "cx");
+    let cy = pb.array_field(worker, "cy");
+    let cz = pb.array_field(worker, "cz");
+    let cfx = pb.array_field(worker, "cfx");
+    let cfy = pb.array_field(worker, "cfy");
+    let cfz = pb.array_field(worker, "cfz");
+
+    let w_store3 = pb.method(worker, "store3", 4, |mb| {
+        let k = mb.arg(0);
+        mb.set_elem(cx, k, mb.arg(1));
+        mb.set_elem(cy, k, mb.arg(2));
+        mb.set_elem(cz, k, mb.arg(3));
+        mb.reply_nil();
+    });
+
+    // Atom.push_coords(worker, k): send x,y,z to the worker's cache slot k
+    // and complete when stored — one round trip fills the whole coordinate
+    // triple (the paper's message-combining discipline).
+    let push_coords = pb.method(atom, "push_coords", 2, |mb| {
+        let (w, k) = (mb.arg(0), mb.arg(1));
+        let x = mb.get_field(f_x);
+        let y = mb.get_field(f_y);
+        let z = mb.get_field(f_z);
+        let s = mb.invoke_into(w, w_store3, &[k.into(), x.into(), y.into(), z.into()]);
+        mb.touch(&[s]);
+        mb.reply_nil();
+    });
+
+    // Emit the force arithmetic: given coordinate registers, apply +f to
+    // atom `a` (local invoke) and return the (-fx,-fy,-fz) registers.
+    struct Coords {
+        xi: hem_ir::Local,
+        yi: hem_ir::Local,
+        zi: hem_ir::Local,
+        xj: hem_ir::Local,
+        yj: hem_ir::Local,
+        zj: hem_ir::Local,
+    }
+    let force_body = |mb: &mut hem_ir::MethodBuilder,
+                      a: hem_ir::Local,
+                      c: Coords,
+                      s: hem_ir::Slot|
+     -> (hem_ir::Local, hem_ir::Local, hem_ir::Local) {
+        // Pairwise repulsive force: f = 1/(r² + ε) along the separation
+        // vector (no sqrt keeps the arithmetic exactly reproducible).
+        let dx = mb.binl(BinOp::Sub, c.xi, c.xj);
+        let dy = mb.binl(BinOp::Sub, c.yi, c.yj);
+        let dz = mb.binl(BinOp::Sub, c.zi, c.zj);
+        let dx2 = mb.binl(BinOp::Mul, dx, dx);
+        let dy2 = mb.binl(BinOp::Mul, dy, dy);
+        let dz2 = mb.binl(BinOp::Mul, dz, dz);
+        let r2a = mb.binl(BinOp::Add, dx2, dy2);
+        let r2 = mb.binl(BinOp::Add, r2a, dz2);
+        let r2e = mb.binl(BinOp::Add, r2, 0.01f64);
+        let f = mb.binl(BinOp::Div, 1.0f64, r2e);
+        let fx = mb.binl(BinOp::Mul, f, dx);
+        let fy = mb.binl(BinOp::Mul, f, dy);
+        let fz = mb.binl(BinOp::Mul, f, dz);
+        mb.invoke(
+            Some(s),
+            a,
+            add_force,
+            &[fx.into(), fy.into(), fz.into()],
+            LocalityHint::AlwaysLocal,
+        );
+        mb.touch(&[s]);
+        let nfx = mb.binl(BinOp::Sub, 0.0f64, fx);
+        let nfy = mb.binl(BinOp::Sub, 0.0f64, fy);
+        let nfz = mb.binl(BinOp::Sub, 0.0f64, fz);
+        (nfx, nfy, nfz)
+    };
+
+    // Both atoms local (§4.3.2 case 1): the computation is small and all
+    // of its sub-invocations (coordinate accessors, force accumulation)
+    // are speculatively inlined; the pair invocation itself is the unit
+    // the hybrid model turns into a plain stack call.
+    let do_pair_local = pb.method(worker, "do_pair_local", 2, |mb| {
+        let (a, b) = (mb.arg(0), mb.arg(1));
+        let s = mb.slot();
+        let sx = mb.invoke_local(a, get_x, &[]);
+        let sy = mb.invoke_local(a, get_y, &[]);
+        let sz = mb.invoke_local(a, get_z, &[]);
+        let tx = mb.invoke_local(b, get_x, &[]);
+        let ty = mb.invoke_local(b, get_y, &[]);
+        let tz = mb.invoke_local(b, get_z, &[]);
+        mb.touch(&[sx, sy, sz, tx, ty, tz]);
+        let c = Coords {
+            xi: mb.get_slot(sx),
+            yi: mb.get_slot(sy),
+            zi: mb.get_slot(sz),
+            xj: mb.get_slot(tx),
+            yj: mb.get_slot(ty),
+            zj: mb.get_slot(tz),
+        };
+        let (nfx, nfy, nfz) = force_body(mb, a, c, s);
+        mb.invoke(
+            Some(s),
+            b,
+            add_force,
+            &[nfx.into(), nfy.into(), nfz.into()],
+            LocalityHint::AlwaysLocal,
+        );
+        mb.touch(&[s]);
+        mb.reply_nil();
+    });
+
+    // Remote partner: on a cache hit the computation completes on the
+    // stack; on a miss it blocks fetching the coordinates and falls back
+    // (§4.3.2 cases 2 and 3). The remote force increment is combined into
+    // the cache, flushed once per iteration.
+    let do_pair_cached = pb.method(worker, "do_pair_cached", 1, |mb| {
+        let p = mb.arg(0);
+        let s = mb.slot();
+        let a = mb.get_elem(pi, p);
+        let k = mb.get_elem(pj_cidx, p);
+        let valid = mb.get_elem(cvalid, k);
+        let miss = mb.binl(BinOp::Eq, valid, 0);
+        mb.if_(miss, |mb| {
+            // Communication required: round-trip to the remote atom, which
+            // pushes its coordinates back into our cache.
+            let me = mb.self_ref();
+            let ra = mb.get_elem(cache_atoms, k);
+            mb.invoke(
+                Some(s),
+                ra,
+                push_coords,
+                &[me.into(), k.into()],
+                LocalityHint::Unknown,
+            );
+            mb.touch(&[s]);
+            mb.set_elem(cvalid, k, 1i64);
+        });
+        let sx = mb.invoke_local(a, get_x, &[]);
+        let sy = mb.invoke_local(a, get_y, &[]);
+        let sz = mb.invoke_local(a, get_z, &[]);
+        mb.touch(&[sx, sy, sz]);
+        let c = Coords {
+            xi: mb.get_slot(sx),
+            yi: mb.get_slot(sy),
+            zi: mb.get_slot(sz),
+            xj: mb.get_elem(cx, k),
+            yj: mb.get_elem(cy, k),
+            zj: mb.get_elem(cz, k),
+        };
+        let (nfx, nfy, nfz) = force_body(mb, a, c, s);
+        let ax = mb.get_elem(cfx, k);
+        let sx2 = mb.binl(BinOp::Add, ax, nfx);
+        mb.set_elem(cfx, k, sx2);
+        let ay = mb.get_elem(cfy, k);
+        let sy2 = mb.binl(BinOp::Add, ay, nfy);
+        mb.set_elem(cfy, k, sy2);
+        let az = mb.get_elem(cfz, k);
+        let sz2 = mb.binl(BinOp::Add, az, nfz);
+        mb.set_elem(cfz, k, sz2);
+        mb.reply_nil();
+    });
+
+    let w_compute = pb.method(worker, "compute", 0, |mb| {
+        let n = mb.arr_len(pi);
+        let s = mb.slot();
+        let me = mb.self_ref();
+        mb.for_range(0i64, n, |mb, p| {
+            let kind = mb.get_elem(pj_kind, p);
+            let is_local = mb.binl(BinOp::Eq, kind, 0);
+            mb.if_else(
+                is_local,
+                |mb| {
+                    let a = mb.get_elem(pi, p);
+                    let b = mb.get_elem(pj_ref, p);
+                    mb.invoke(
+                        Some(s),
+                        me,
+                        do_pair_local,
+                        &[a.into(), b.into()],
+                        LocalityHint::AlwaysLocal,
+                    );
+                    mb.touch(&[s]);
+                },
+                |mb| {
+                    mb.invoke(
+                        Some(s),
+                        me,
+                        do_pair_cached,
+                        &[p.into()],
+                        LocalityHint::AlwaysLocal,
+                    );
+                    mb.touch(&[s]);
+                },
+            );
+        });
+        mb.reply_nil();
+    });
+
+    let w_flush = pb.method(worker, "flush", 0, |mb| {
+        let n = mb.arr_len(cache_atoms);
+        let join = mb.slot();
+        mb.join_init(join, n);
+        mb.for_range(0i64, n, |mb, k| {
+            let a = mb.get_elem(cache_atoms, k);
+            let x = mb.get_elem(cfx, k);
+            let y = mb.get_elem(cfy, k);
+            let z = mb.get_elem(cfz, k);
+            mb.invoke(
+                Some(join),
+                a,
+                add_force,
+                &[x.into(), y.into(), z.into()],
+                LocalityHint::Unknown,
+            );
+            mb.set_elem(cfx, k, 0.0f64);
+            mb.set_elem(cfy, k, 0.0f64);
+            mb.set_elem(cfz, k, 0.0f64);
+            mb.set_elem(cvalid, k, 0i64);
+        });
+        mb.touch(&[join]);
+        mb.reply_nil();
+    });
+
+    // ---- Main ----
+    let main = pb.class("Main", false);
+    let m_workers = pb.array_field(main, "workers");
+    let fan = |pb: &mut ProgramBuilder, name: &str, m: MethodId| {
+        pb.method(main, name, 0, |mb| {
+            let n = mb.arr_len(m_workers);
+            let join = mb.slot();
+            mb.join_init(join, n);
+            mb.for_range(0i64, n, |mb, k| {
+                let w = mb.get_elem(m_workers, k);
+                mb.invoke(Some(join), w, m, &[], LocalityHint::Unknown);
+            });
+            mb.touch(&[join]);
+            mb.reply_nil();
+        })
+    };
+    let m_compute = fan(&mut pb, "run_compute", w_compute);
+    let m_flush = fan(&mut pb, "run_flush", w_flush);
+
+    MdProgram {
+        program: pb.finish(),
+        push_coords,
+        add_force,
+        get_x,
+        get_y,
+        get_z,
+        f_x,
+        f_y,
+        f_z,
+        f_fx,
+        f_fy,
+        f_fz,
+        do_pair_local,
+        do_pair_cached,
+        w_store3,
+        w_compute,
+        w_flush,
+        wf: WorkerFields {
+            pi,
+            pj_kind,
+            pj_ref,
+            pj_cidx,
+            cache_atoms,
+            cvalid,
+            cx,
+            cy,
+            cz,
+            cfx,
+            cfy,
+            cfz,
+        },
+        m_compute,
+        m_flush,
+        m_workers,
+    }
+}
+
+/// How atoms are placed on nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Uniformly random assignment (ignores spatial structure).
+    Random,
+    /// Orthogonal recursive bisection: spatially proximate atoms
+    /// co-located.
+    Spatial,
+}
+
+impl std::fmt::Display for Layout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Layout::Random => write!(f, "random"),
+            Layout::Spatial => write!(f, "spatial"),
+        }
+    }
+}
+
+/// The synthetic particle system + pair list, shared with the native
+/// reference.
+#[derive(Debug, Clone)]
+pub struct MdSystem {
+    /// Atom positions.
+    pub pos: Vec<[f64; 3]>,
+    /// Cutoff pairs `(i, j)`, i < j.
+    pub pairs: Vec<(u32, u32)>,
+    /// Atom → node assignment.
+    pub owner: Vec<NodeId>,
+}
+
+/// Generate `n_atoms` in Gaussian-ish clusters inside a box, list all
+/// pairs within `cutoff` (via a cell list), and assign owners.
+pub fn generate(n_atoms: u32, cutoff: f64, nodes: u32, layout: Layout, seed: u64) -> MdSystem {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Box sized for roughly constant density; clusters mimic a folded
+    // protein's spatial locality.
+    let box_l = (n_atoms as f64).cbrt() * 1.2;
+    let n_clusters = (n_atoms / 64).max(1);
+    let centers: Vec<[f64; 3]> = (0..n_clusters)
+        .map(|_| {
+            [
+                rng.gen_range(0.0..box_l),
+                rng.gen_range(0.0..box_l),
+                rng.gen_range(0.0..box_l),
+            ]
+        })
+        .collect();
+    let mut pos = Vec::with_capacity(n_atoms as usize);
+    for i in 0..n_atoms {
+        let c = centers[(i % n_clusters) as usize];
+        let jitter = 1.5;
+        pos.push([
+            (c[0] + rng.gen_range(-jitter..jitter)).rem_euclid(box_l),
+            (c[1] + rng.gen_range(-jitter..jitter)).rem_euclid(box_l),
+            (c[2] + rng.gen_range(-jitter..jitter)).rem_euclid(box_l),
+        ]);
+    }
+
+    // Cell list for cutoff pairs.
+    let cell = cutoff.max(0.3);
+    let dims = ((box_l / cell).ceil() as i64).max(1);
+    let key = |p: &[f64; 3]| -> (i64, i64, i64) {
+        (
+            (p[0] / cell) as i64,
+            (p[1] / cell) as i64,
+            (p[2] / cell) as i64,
+        )
+    };
+    let mut cells: std::collections::BTreeMap<(i64, i64, i64), Vec<u32>> = Default::default();
+    for (i, p) in pos.iter().enumerate() {
+        cells.entry(key(p)).or_default().push(i as u32);
+    }
+    let c2 = cutoff * cutoff;
+    let mut pairs = Vec::new();
+    for (&(cx, cy, cz), atoms) in &cells {
+        for dx in -1..=1i64 {
+            for dy in -1..=1i64 {
+                for dz in -1..=1i64 {
+                    let nk = (cx + dx, cy + dy, cz + dz);
+                    if nk.0 < 0
+                        || nk.1 < 0
+                        || nk.2 < 0
+                        || nk.0 >= dims
+                        || nk.1 >= dims
+                        || nk.2 >= dims
+                    {
+                        continue;
+                    }
+                    let Some(nbrs) = cells.get(&nk) else { continue };
+                    for &i in atoms {
+                        for &j in nbrs {
+                            if i < j {
+                                let (a, b) = (&pos[i as usize], &pos[j as usize]);
+                                let d = [a[0] - b[0], a[1] - b[1], a[2] - b[2]];
+                                if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] <= c2 {
+                                    pairs.push((i, j));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+
+    let owner = match layout {
+        Layout::Spatial => orb_partition(&pos, nodes),
+        Layout::Random => (0..n_atoms)
+            .map(|_| NodeId(rng.gen_range(0..nodes)))
+            .collect(),
+    };
+    MdSystem { pos, pairs, owner }
+}
+
+/// A placed MD instance.
+pub struct MdInstance {
+    /// Program handles.
+    pub ids: MdProgram,
+    /// Driver.
+    pub main: ObjRef,
+    /// Atom objects, by atom index.
+    pub atom_refs: Vec<ObjRef>,
+}
+
+/// Place the system: atom objects on their owners, a `PairWorker` per
+/// node owning the pairs whose first atom lives there, with a coordinate
+/// cache entry for every distinct remote partner.
+pub fn setup(rt: &mut Runtime, ids: &MdProgram, sys: &MdSystem) -> MdInstance {
+    let atom_refs: Vec<ObjRef> = sys
+        .owner
+        .iter()
+        .map(|o| rt.alloc_object_by_name("Atom", *o))
+        .collect();
+    for (i, r) in atom_refs.iter().enumerate() {
+        rt.set_field(*r, ids.f_x, Value::Float(sys.pos[i][0]));
+        rt.set_field(*r, ids.f_y, Value::Float(sys.pos[i][1]));
+        rt.set_field(*r, ids.f_z, Value::Float(sys.pos[i][2]));
+        rt.set_field(*r, ids.f_fx, Value::Float(0.0));
+        rt.set_field(*r, ids.f_fy, Value::Float(0.0));
+        rt.set_field(*r, ids.f_fz, Value::Float(0.0));
+    }
+
+    // Partition pairs by the owner of the first atom.
+    let n_nodes = rt.n_nodes();
+    struct W {
+        pi: Vec<Value>,
+        kind: Vec<Value>,
+        jref: Vec<Value>,
+        jcidx: Vec<Value>,
+        cache: Vec<Value>,
+        cache_of: std::collections::BTreeMap<u32, usize>,
+    }
+    let mut ws: Vec<W> = (0..n_nodes)
+        .map(|_| W {
+            pi: Vec::new(),
+            kind: Vec::new(),
+            jref: Vec::new(),
+            jcidx: Vec::new(),
+            cache: Vec::new(),
+            cache_of: Default::default(),
+        })
+        .collect();
+    for &(i, j) in &sys.pairs {
+        let home = sys.owner[i as usize].idx();
+        let w = &mut ws[home];
+        w.pi.push(Value::Obj(atom_refs[i as usize]));
+        if sys.owner[j as usize].idx() == home {
+            w.kind.push(Value::Int(0));
+            w.jref.push(Value::Obj(atom_refs[j as usize]));
+            w.jcidx.push(Value::Int(0));
+        } else {
+            let next = w.cache.len();
+            let cidx = *w.cache_of.entry(j).or_insert(next);
+            if cidx == next {
+                w.cache.push(Value::Obj(atom_refs[j as usize]));
+            }
+            w.kind.push(Value::Int(1));
+            w.jref.push(Value::Nil);
+            w.jcidx.push(Value::Int(cidx as i64));
+        }
+    }
+
+    let mut workers = Vec::new();
+    for (nid, w) in ws.into_iter().enumerate() {
+        let wo = rt.alloc_object_by_name("PairWorker", NodeId(nid as u32));
+        let ncache = w.cache.len();
+        rt.set_array(wo, ids.wf.pi, w.pi);
+        rt.set_array(wo, ids.wf.pj_kind, w.kind);
+        rt.set_array(wo, ids.wf.pj_ref, w.jref);
+        rt.set_array(wo, ids.wf.pj_cidx, w.jcidx);
+        rt.set_array(wo, ids.wf.cache_atoms, w.cache);
+        rt.set_array(wo, ids.wf.cvalid, vec![Value::Int(0); ncache]);
+        for f in [ids.wf.cx, ids.wf.cy, ids.wf.cz] {
+            rt.set_array(wo, f, vec![Value::Float(0.0); ncache]);
+        }
+        for f in [ids.wf.cfx, ids.wf.cfy, ids.wf.cfz] {
+            rt.set_array(wo, f, vec![Value::Float(0.0); ncache]);
+        }
+        workers.push(Value::Obj(wo));
+    }
+    // Remote workers first, the driver's co-located worker last (see sor).
+    workers.rotate_left(1);
+    let main = rt.alloc_object_by_name("Main", NodeId(0));
+    rt.set_array(main, ids.m_workers, workers);
+    MdInstance {
+        ids: ids.clone(),
+        main,
+        atom_refs,
+    }
+}
+
+/// Run one force iteration (compute with lazy coordinate caching, then
+/// flush the combined remote force increments).
+pub fn run_iteration(rt: &mut Runtime, inst: &MdInstance) -> Result<(), Trap> {
+    rt.call(inst.main, inst.ids.m_compute, &[])?;
+    rt.call(inst.main, inst.ids.m_flush, &[])?;
+    Ok(())
+}
+
+/// Extract the force vectors.
+pub fn forces(rt: &Runtime, inst: &MdInstance) -> Vec<[f64; 3]> {
+    inst.atom_refs
+        .iter()
+        .map(|r| {
+            let g = |f| match rt.get_field(*r, f) {
+                Value::Float(x) => x,
+                v => panic!("non-float force {v:?}"),
+            };
+            [g(inst.ids.f_fx), g(inst.ids.f_fy), g(inst.ids.f_fz)]
+        })
+        .collect()
+}
+
+/// Native reference force computation over the same pair list.
+pub fn native_forces(sys: &MdSystem) -> Vec<[f64; 3]> {
+    let mut f = vec![[0.0f64; 3]; sys.pos.len()];
+    for &(i, j) in &sys.pairs {
+        let (a, b) = (sys.pos[i as usize], sys.pos[j as usize]);
+        let d = [a[0] - b[0], a[1] - b[1], a[2] - b[2]];
+        let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2] + 0.01;
+        let s = 1.0 / r2;
+        for k in 0..3 {
+            f[i as usize][k] += s * d[k];
+            f[j as usize][k] -= s * d[k];
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_analysis::{InterfaceSet, Schema};
+    use hem_core::ExecMode;
+    use hem_machine::cost::CostModel;
+
+    fn run_layout(layout: Layout, mode: ExecMode) -> (Vec<[f64; 3]>, Runtime, MdSystem) {
+        let ids = build();
+        let sys = generate(200, 1.2, 4, layout, 7);
+        let mut rt = crate::make_runtime(
+            ids.program.clone(),
+            4,
+            CostModel::cm5(),
+            mode,
+            InterfaceSet::Full,
+        );
+        let inst = setup(&mut rt, &ids, &sys);
+        run_iteration(&mut rt, &inst).expect("md iteration");
+        let f = forces(&rt, &inst);
+        (f, rt, sys)
+    }
+
+    fn close(a: &[[f64; 3]], b: &[[f64; 3]]) {
+        assert_eq!(a.len(), b.len());
+        for (k, (x, y)) in a.iter().zip(b).enumerate() {
+            for c in 0..3 {
+                let d = (x[c] - y[c]).abs();
+                let m = x[c].abs().max(y[c].abs()).max(1.0);
+                assert!(d / m < 1e-9, "atom {k} axis {c}: {} vs {}", x[c], y[c]);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_list_is_sane() {
+        let sys = generate(200, 1.2, 4, Layout::Spatial, 7);
+        assert!(!sys.pairs.is_empty(), "clusters must produce cutoff pairs");
+        for &(i, j) in &sys.pairs {
+            assert!(i < j);
+            assert!((j as usize) < sys.pos.len());
+        }
+    }
+
+    #[test]
+    fn schemas_match_the_three_cases() {
+        let ids = build();
+        let rt = crate::make_runtime(
+            ids.program.clone(),
+            2,
+            CostModel::cm5(),
+            ExecMode::Hybrid,
+            InterfaceSet::Full,
+        );
+        assert_eq!(rt.schemas().of(ids.get_x), Schema::NonBlocking);
+        assert_eq!(rt.schemas().of(ids.add_force), Schema::NonBlocking);
+        assert_eq!(rt.schemas().of(ids.do_pair_local), Schema::NonBlocking);
+        assert!(!rt.program().method(ids.do_pair_local).inlinable);
+        assert!(rt.program().method(ids.get_x).inlinable);
+        assert!(rt.program().method(ids.add_force).inlinable);
+        // Cache misses communicate ⇒ may-block; not inlinable.
+        assert_eq!(rt.schemas().of(ids.do_pair_cached), Schema::MayBlock);
+        assert!(!rt.program().method(ids.do_pair_cached).inlinable);
+        assert_eq!(rt.schemas().of(ids.w_compute), Schema::MayBlock);
+    }
+
+    #[test]
+    fn forces_match_native_spatial() {
+        let (f, _, sys) = run_layout(Layout::Spatial, ExecMode::Hybrid);
+        close(&f, &native_forces(&sys));
+    }
+
+    #[test]
+    fn forces_match_native_random() {
+        let (f, _, sys) = run_layout(Layout::Random, ExecMode::Hybrid);
+        close(&f, &native_forces(&sys));
+    }
+
+    #[test]
+    fn parallel_only_agrees() {
+        let (fh, _, _) = run_layout(Layout::Spatial, ExecMode::Hybrid);
+        let (fp, _, _) = run_layout(Layout::Spatial, ExecMode::ParallelOnly);
+        close(&fh, &fp);
+    }
+
+    #[test]
+    fn spatial_layout_localizes_pairs() {
+        let (_, rt_s, sys_s) = run_layout(Layout::Spatial, ExecMode::Hybrid);
+        let (_, rt_r, sys_r) = run_layout(Layout::Random, ExecMode::Hybrid);
+        let local = |sys: &MdSystem| {
+            sys.pairs
+                .iter()
+                .filter(|(i, j)| sys.owner[*i as usize] == sys.owner[*j as usize])
+                .count() as f64
+                / sys.pairs.len() as f64
+        };
+        assert!(
+            local(&sys_s) > local(&sys_r) + 0.3,
+            "ORB pair locality {} should clearly beat random {}",
+            local(&sys_s),
+            local(&sys_r)
+        );
+        // And the hybrid should win more under the spatial layout.
+        let _ = (rt_s, rt_r);
+    }
+
+    #[test]
+    fn hybrid_wins_more_with_spatial_locality() {
+        let run = |layout, mode| {
+            let ids = build();
+            let sys = generate(400, 1.2, 8, layout, 11);
+            let mut rt = crate::make_runtime(
+                ids.program.clone(),
+                8,
+                CostModel::cm5(),
+                mode,
+                InterfaceSet::Full,
+            );
+            let inst = setup(&mut rt, &ids, &sys);
+            run_iteration(&mut rt, &inst).expect("md");
+            rt.makespan() as f64
+        };
+        let sp =
+            run(Layout::Spatial, ExecMode::ParallelOnly) / run(Layout::Spatial, ExecMode::Hybrid);
+        let rd =
+            run(Layout::Random, ExecMode::ParallelOnly) / run(Layout::Random, ExecMode::Hybrid);
+        assert!(sp > 1.05, "spatial hybrid speedup {sp}");
+        assert!(sp > rd, "spatial speedup {sp} should exceed random {rd}");
+    }
+
+    #[test]
+    fn caching_combines_messages() {
+        // The number of coordinate-fetch round trips must track the number
+        // of *distinct* remote atoms per worker, not remote pairs.
+        let ids = build();
+        let sys = generate(200, 1.2, 4, Layout::Random, 7);
+        let mut rt = crate::make_runtime(
+            ids.program.clone(),
+            4,
+            CostModel::cm5(),
+            ExecMode::Hybrid,
+            InterfaceSet::Full,
+        );
+        let inst = setup(&mut rt, &ids, &sys);
+        rt.call(inst.main, inst.ids.m_compute, &[]).unwrap();
+        let msgs = rt.stats().totals().msgs_sent;
+        let remote_pairs = sys
+            .pairs
+            .iter()
+            .filter(|(i, j)| sys.owner[*i as usize] != sys.owner[*j as usize])
+            .count() as u64;
+        // Each distinct remote atom costs 2 request messages (push_coords
+        // out, store3 back); worker fan-out adds a handful more.
+        assert!(
+            msgs < remote_pairs * 2,
+            "compute-phase msgs {msgs} should undercut per-pair traffic {}",
+            remote_pairs * 2
+        );
+    }
+}

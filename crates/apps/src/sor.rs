@@ -1,0 +1,418 @@
+//! SOR — successive over-relaxation on a distributed grid (Table 4, Fig. 9).
+//!
+//! A 5-point stencil over an `n × n` grid of point *objects*, distributed
+//! block-cyclically over a `p × p` processor grid. Every iteration has two
+//! half-iterations, exactly as in the paper: a *compute* phase in which
+//! each interior point reads its four neighbours (method invocations —
+//! local or remote depending on the layout) and computes its new value,
+//! and an *update* phase in which the point commits it.
+//!
+//! The hybrid model's win (Fig. 9): points interior to a block have four
+//! local neighbours, so their whole compute runs on the stack; only points
+//! on the block perimeter suspend waiting for a remote `get` and fall back
+//! to a heap context. The block size knob therefore dials the
+//! local-to-remote invocation ratio, which is the x-axis of Table 4.
+
+use hem_core::{Runtime, Trap};
+use hem_ir::{BinOp, FieldId, LocalityHint, MethodId, ObjRef, Program, ProgramBuilder, Value};
+use hem_machine::topology::{BlockCyclic, ProcGrid};
+use hem_machine::NodeId;
+
+/// IR program + handles for the SOR kernel.
+#[derive(Debug, Clone)]
+pub struct SorProgram {
+    /// The program.
+    pub program: Program,
+    /// `Point.get` — inlinable accessor.
+    pub get: MethodId,
+    /// `Point.compute` — the stencil.
+    pub compute: MethodId,
+    /// `Point.update` — commit.
+    pub update: MethodId,
+    /// `Point.val`.
+    pub val: FieldId,
+    /// `Point.newval`.
+    pub newval: FieldId,
+    /// `Point.neighbors` (4 refs, up/down/left/right).
+    pub neighbors: FieldId,
+    /// `Worker.compute_all`.
+    pub compute_all: MethodId,
+    /// `Worker.update_all`.
+    pub update_all: MethodId,
+    /// `Worker.points` — this node's interior points.
+    pub points: FieldId,
+    /// `Main.step_compute`.
+    pub step_compute: MethodId,
+    /// `Main.step_update`.
+    pub step_update: MethodId,
+    /// `Main.workers`.
+    pub workers: FieldId,
+}
+
+/// Build the SOR program.
+pub fn build() -> SorProgram {
+    let mut pb = ProgramBuilder::new();
+
+    let point = pb.class("Point", false);
+    let val = pb.field(point, "val");
+    let newval = pb.field(point, "newval");
+    let neighbors = pb.array_field(point, "neighbors");
+
+    let get = pb.method(point, "get", 0, |mb| {
+        mb.inlinable();
+        let v = mb.get_field(val);
+        mb.reply(v);
+    });
+
+    let compute = pb.method(point, "compute", 0, |mb| {
+        // Read the four neighbours as futures, touch them together
+        // (paper Fig. 4: one multi-way touch), then average.
+        let mut slots = Vec::new();
+        for i in 0..4i64 {
+            let nb = mb.get_elem(neighbors, i);
+            let s = mb.invoke_into(nb, get, &[]);
+            slots.push(s);
+        }
+        mb.touch(&slots);
+        let mine = mb.get_field(val);
+        let mut sum = mine;
+        for s in slots {
+            let v = mb.get_slot(s);
+            sum = mb.binl(BinOp::Add, sum, v);
+        }
+        let nv = mb.binl(BinOp::Mul, sum, 0.2f64);
+        mb.set_field(newval, nv);
+        mb.reply_nil();
+    });
+
+    let update = pb.method(point, "update", 0, |mb| {
+        let nv = mb.get_field(newval);
+        mb.set_field(val, nv);
+        mb.reply_nil();
+    });
+
+    let worker = pb.class("Worker", false);
+    let points = pb.array_field(worker, "points");
+    let compute_all = pb.method(worker, "compute_all", 0, |mb| {
+        let n = mb.arr_len(points);
+        let join = mb.slot();
+        mb.join_init(join, n);
+        mb.for_range(0i64, n, |mb, k| {
+            let p = mb.get_elem(points, k);
+            // Owner computes: the point is local by construction.
+            mb.invoke(Some(join), p, compute, &[], LocalityHint::AlwaysLocal);
+        });
+        mb.touch(&[join]);
+        mb.reply_nil();
+    });
+    let update_all = pb.method(worker, "update_all", 0, |mb| {
+        let n = mb.arr_len(points);
+        let join = mb.slot();
+        mb.join_init(join, n);
+        mb.for_range(0i64, n, |mb, k| {
+            let p = mb.get_elem(points, k);
+            mb.invoke(Some(join), p, update, &[], LocalityHint::AlwaysLocal);
+        });
+        mb.touch(&[join]);
+        mb.reply_nil();
+    });
+
+    let main = pb.class("Main", false);
+    let workers = pb.array_field(main, "workers");
+    let fan = |pb: &mut ProgramBuilder, name: &str, m: MethodId| {
+        pb.method(main, name, 0, |mb| {
+            let n = mb.arr_len(workers);
+            let join = mb.slot();
+            mb.join_init(join, n);
+            mb.for_range(0i64, n, |mb, k| {
+                let w = mb.get_elem(workers, k);
+                mb.invoke(Some(join), w, m, &[], LocalityHint::Unknown);
+            });
+            mb.touch(&[join]);
+            mb.reply_nil();
+        })
+    };
+    let step_compute = fan(&mut pb, "step_compute", compute_all);
+    let step_update = fan(&mut pb, "step_update", update_all);
+
+    SorProgram {
+        program: pb.finish(),
+        get,
+        compute,
+        update,
+        val,
+        newval,
+        neighbors,
+        compute_all,
+        update_all,
+        points,
+        step_compute,
+        step_update,
+        workers,
+    }
+}
+
+/// SOR experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SorParams {
+    /// Grid side length.
+    pub n: u32,
+    /// Block edge of the block-cyclic layout.
+    pub block: u32,
+    /// Processor grid.
+    pub procs: ProcGrid,
+}
+
+/// A placed SOR instance.
+pub struct SorInstance {
+    /// Parameters it was built with.
+    pub params: SorParams,
+    /// The driver object (on node 0).
+    pub main: ObjRef,
+    /// Point objects, row-major.
+    pub point_refs: Vec<ObjRef>,
+    /// Program handles.
+    pub ids: SorProgram,
+}
+
+/// Initial grid value at `(i, j)` — a deterministic pseudo-pattern shared
+/// with the native reference.
+pub fn initial_value(i: u32, j: u32) -> f64 {
+    ((i.wrapping_mul(31).wrapping_add(j.wrapping_mul(17))) % 101) as f64 / 101.0
+}
+
+/// Place the object graph for `params` into `rt` (which must have
+/// `params.procs.len()` nodes).
+pub fn setup(rt: &mut Runtime, ids: &SorProgram, params: SorParams) -> SorInstance {
+    let n = params.n;
+    let bc = BlockCyclic {
+        procs: params.procs,
+        block: params.block,
+    };
+    assert_eq!(rt.n_nodes() as u32, params.procs.len());
+
+    // Points.
+    let mut point_refs = Vec::with_capacity((n * n) as usize);
+    for i in 0..n {
+        for j in 0..n {
+            let owner = bc.owner(i, j);
+            let p = rt.alloc_object_by_name("Point", owner);
+            rt.set_field(p, ids.val, Value::Float(initial_value(i, j)));
+            rt.set_field(p, ids.newval, Value::Float(0.0));
+            point_refs.push(p);
+        }
+    }
+    let at = |i: u32, j: u32| point_refs[(i * n + j) as usize];
+
+    // Neighbour wiring (interior points only get a neighbours array; the
+    // boundary stays constant and only serves `get`).
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            let p = at(i, j);
+            let nbrs = vec![
+                Value::Obj(at(i - 1, j)),
+                Value::Obj(at(i + 1, j)),
+                Value::Obj(at(i, j - 1)),
+                Value::Obj(at(i, j + 1)),
+            ];
+            rt.set_array(p, ids.neighbors, nbrs);
+        }
+    }
+
+    // Per-node workers holding their interior points.
+    let mut per_node: Vec<Vec<Value>> = vec![Vec::new(); rt.n_nodes()];
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            let p = at(i, j);
+            per_node[p.node.idx()].push(Value::Obj(p));
+        }
+    }
+    let mut worker_refs = Vec::new();
+    for (nid, pts) in per_node.into_iter().enumerate() {
+        let w = rt.alloc_object_by_name("Worker", NodeId(nid as u32));
+        rt.set_array(w, ids.points, pts);
+        worker_refs.push(Value::Obj(w));
+    }
+    // Fan-out order: remote workers first, the driver's co-located worker
+    // last — otherwise the hybrid's speculative *local* execution would
+    // run node 0's whole sweep inline before the other nodes are started
+    // (standard SPMD driver discipline: post sends before local work).
+    worker_refs.rotate_left(1);
+    let main = rt.alloc_object_by_name("Main", NodeId(0));
+    rt.set_array(main, ids.workers, worker_refs);
+
+    SorInstance {
+        params,
+        main,
+        point_refs,
+        ids: ids.clone(),
+    }
+}
+
+/// Run `iterations` full iterations (compute + update half-iterations,
+/// separated by global barriers, as in the paper's algorithm).
+pub fn run(rt: &mut Runtime, inst: &SorInstance, iterations: u32) -> Result<(), Trap> {
+    for _ in 0..iterations {
+        rt.call(inst.main, inst.ids.step_compute, &[])?;
+        rt.call(inst.main, inst.ids.step_update, &[])?;
+    }
+    Ok(())
+}
+
+/// Read the current grid values out of the runtime (row-major).
+pub fn grid_values(rt: &Runtime, inst: &SorInstance) -> Vec<f64> {
+    inst.point_refs
+        .iter()
+        .map(|p| match rt.get_field(*p, inst.ids.val) {
+            Value::Float(f) => f,
+            v => panic!("non-float grid value {v:?}"),
+        })
+        .collect()
+}
+
+/// Native reference: identical stencil, identical summation order.
+pub fn native(n: u32, iterations: u32) -> Vec<f64> {
+    let idx = |i: u32, j: u32| (i * n + j) as usize;
+    let mut val: Vec<f64> = (0..n)
+        .flat_map(|i| (0..n).map(move |j| initial_value(i, j)))
+        .collect();
+    let mut newval = vec![0.0; val.len()];
+    for _ in 0..iterations {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                // Same association order as the IR: ((((v+up)+down)+left)+right)*0.2
+                let sum = val[idx(i, j)]
+                    + val[idx(i - 1, j)]
+                    + val[idx(i + 1, j)]
+                    + val[idx(i, j - 1)]
+                    + val[idx(i, j + 1)];
+                newval[idx(i, j)] = sum * 0.2;
+            }
+        }
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                val[idx(i, j)] = newval[idx(i, j)];
+            }
+        }
+    }
+    val
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_analysis::{InterfaceSet, Schema};
+    use hem_core::ExecMode;
+    use hem_machine::cost::CostModel;
+
+    fn run_config(
+        n: u32,
+        block: u32,
+        procs: u32,
+        iters: u32,
+        mode: ExecMode,
+    ) -> (Vec<f64>, Runtime) {
+        let ids = build();
+        let mut rt = crate::make_runtime(
+            ids.program.clone(),
+            procs,
+            CostModel::cm5(),
+            mode,
+            InterfaceSet::Full,
+        );
+        let inst = setup(
+            &mut rt,
+            &ids,
+            SorParams {
+                n,
+                block,
+                procs: ProcGrid::square(procs),
+            },
+        );
+        run(&mut rt, &inst, iters).expect("sor run");
+        let vals = grid_values(&rt, &inst);
+        (vals, rt)
+    }
+
+    #[test]
+    fn schemas_are_as_expected() {
+        let ids = build();
+        let rt = crate::make_runtime(
+            ids.program.clone(),
+            4,
+            CostModel::cm5(),
+            ExecMode::Hybrid,
+            InterfaceSet::Full,
+        );
+        assert_eq!(rt.schemas().of(ids.get), Schema::NonBlocking);
+        assert_eq!(rt.schemas().of(ids.update), Schema::NonBlocking);
+        // compute reads possibly-remote neighbours ⇒ may block.
+        assert_eq!(rt.schemas().of(ids.compute), Schema::MayBlock);
+        assert_eq!(rt.schemas().of(ids.compute_all), Schema::MayBlock);
+    }
+
+    #[test]
+    fn matches_native_reference_exactly() {
+        let (vals, _) = run_config(10, 2, 4, 3, ExecMode::Hybrid);
+        let expect = native(10, 3);
+        assert_eq!(vals.len(), expect.len());
+        for (k, (a, b)) in vals.iter().zip(&expect).enumerate() {
+            assert_eq!(a, b, "grid cell {k}");
+        }
+    }
+
+    #[test]
+    fn hybrid_and_parallel_only_agree() {
+        let (h, _) = run_config(8, 1, 4, 2, ExecMode::Hybrid);
+        let (p, _) = run_config(8, 1, 4, 2, ExecMode::ParallelOnly);
+        assert_eq!(h, p);
+    }
+
+    #[test]
+    fn block_layout_creates_contexts_only_on_perimeter() {
+        // Fig. 9: with a pure block layout, interior points compute on the
+        // stack; only perimeter points (and the workers/driver) fall back.
+        let n = 16u32;
+        let procs = 4u32; // 2x2, block 8 = pure block layout
+        let (_, rt) = run_config(n, 8, procs, 1, ExecMode::Hybrid);
+        let t = rt.stats().totals();
+        let interior = (n - 2) as u64 * (n - 2) as u64;
+        // Perimeter points of each 8x8 block: those with a neighbour on
+        // another node. Contexts ≈ perimeter computes (2 half-iterations
+        // don't matter: update is local) + workers + main fan-outs.
+        assert!(
+            t.ctx_alloc < interior,
+            "contexts {} must be far fewer than interior points {}",
+            t.ctx_alloc,
+            interior
+        );
+        // And locality should be high.
+        assert!(
+            t.local_fraction() > 0.7,
+            "local fraction {}",
+            t.local_fraction()
+        );
+    }
+
+    #[test]
+    fn cyclic_layout_is_mostly_remote() {
+        let (_, rt) = run_config(8, 1, 4, 1, ExecMode::Hybrid);
+        let t = rt.stats().totals();
+        assert!(
+            t.local_fraction() < 0.6,
+            "cyclic layout should be remote-heavy: {}",
+            t.local_fraction()
+        );
+    }
+
+    #[test]
+    fn locality_rises_with_block_size() {
+        let mut prev = -1.0f64;
+        for block in [1u32, 2, 4] {
+            let (_, rt) = run_config(16, block, 16, 1, ExecMode::Hybrid);
+            let f = rt.stats().totals().local_fraction();
+            assert!(f > prev, "block {block}: {f} should exceed {prev}");
+            prev = f;
+        }
+    }
+}

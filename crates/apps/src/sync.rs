@@ -1,0 +1,306 @@
+//! The synchronization and communication structures of Fig. 3.
+//!
+//! The paper's programming model supports RPC-style synchronous calls,
+//! data (object) parallelism, reactive (no-reply) computation, and custom
+//! user-built synchronization structures (its example: continuations
+//! stored in a barrier). This module builds one small program exercising
+//! all four against a shared `Cell` population — used by the
+//! `sync_structures` example and the schema tests: each structure ends up
+//! in a different invocation schema, demonstrating the interface
+//! hierarchy.
+
+use hem_core::{Runtime, Trap};
+use hem_ir::{
+    BinOp, FieldId, LocalityHint, MethodId, ObjRef, Program, ProgramBuilder, UnOp, Value,
+};
+use hem_machine::NodeId;
+
+/// Program + handles for the four structures.
+#[derive(Debug, Clone)]
+pub struct SyncProgram {
+    /// The program.
+    pub program: Program,
+    /// RPC: `Driver.rpc(cell)` → synchronous round trip.
+    pub rpc: MethodId,
+    /// Data-parallel: `Driver.fan()` → join over all cells.
+    pub fan: MethodId,
+    /// Reactive: `Driver.scatter()` → fire-and-forget bumps, no replies.
+    pub scatter: MethodId,
+    /// Custom: `Driver.rendezvous()` → all drivers meet at a barrier.
+    pub rendezvous: MethodId,
+    /// `Cell.read`.
+    pub read: MethodId,
+    /// `Cell.bump`.
+    pub bump: MethodId,
+    /// `Cell.value` field.
+    pub value: FieldId,
+    /// `Driver.cells` array field.
+    pub cells: FieldId,
+    /// `Driver.bar` field.
+    pub bar: FieldId,
+    /// `Barrier.count`.
+    pub bar_count: FieldId,
+    /// `Barrier.waiters`.
+    pub bar_waiters: FieldId,
+    /// `Barrier.arrive`.
+    pub arrive: MethodId,
+}
+
+/// Build the program.
+pub fn build() -> SyncProgram {
+    let mut pb = ProgramBuilder::new();
+
+    let cell = pb.class("Cell", false);
+    let value = pb.field(cell, "value");
+    let read = pb.method(cell, "read", 0, |mb| {
+        mb.inlinable();
+        let v = mb.get_field(value);
+        mb.reply(v);
+    });
+    let bump = pb.method(cell, "bump", 1, |mb| {
+        let v = mb.get_field(value);
+        let nv = mb.binl(BinOp::Add, v, mb.arg(0));
+        mb.set_field(value, nv);
+        mb.reply(nv);
+    });
+
+    let barrier = pb.class("Barrier", true);
+    let bar_count = pb.field(barrier, "count");
+    let bar_waiters = pb.array_field(barrier, "waiters");
+    let arrive = pb.method(barrier, "arrive", 0, |mb| {
+        let c = mb.get_field(bar_count);
+        let c1 = mb.binl(BinOp::Sub, c, 1);
+        mb.set_field(bar_count, c1);
+        let done = mb.binl(BinOp::Eq, c1, 0);
+        mb.if_else(
+            done,
+            |mb| {
+                let n = mb.arr_len(bar_waiters);
+                mb.for_range(0i64, n, |mb, i| {
+                    let w = mb.get_elem(bar_waiters, i);
+                    let nilp = mb.unl(UnOp::IsNil, w);
+                    let present = mb.binl(BinOp::Eq, nilp, false);
+                    mb.if_(present, |mb| {
+                        mb.send_to_cont(w, 1i64);
+                        mb.set_elem(bar_waiters, i, Value::Nil);
+                    });
+                });
+                mb.reply(1i64);
+            },
+            |mb| {
+                mb.store_cont_at(bar_waiters, c1);
+                mb.halt();
+            },
+        );
+    });
+
+    let driver = pb.class("Driver", false);
+    let cells = pb.array_field(driver, "cells");
+    let bar = pb.field(driver, "bar");
+
+    // RPC (synchronous request/response on one remote cell).
+    let rpc = pb.method(driver, "rpc", 1, |mb| {
+        let s = mb.invoke_into(mb.arg(0), read, &[]);
+        let v = mb.touch_get(s);
+        mb.reply(v);
+    });
+
+    // Data-parallel: bump every cell, join all replies at one touch.
+    let fan = pb.method(driver, "fan", 0, |mb| {
+        let n = mb.arr_len(cells);
+        let join = mb.slot();
+        mb.join_init(join, n);
+        mb.for_range(0i64, n, |mb, k| {
+            let c = mb.get_elem(cells, k);
+            mb.invoke(Some(join), c, bump, &[1i64.into()], LocalityHint::Unknown);
+        });
+        mb.touch(&[join]);
+        mb.reply_nil();
+    });
+
+    // Reactive: fire-and-forget — no futures, no replies; effects become
+    // visible at quiescence.
+    let scatter = pb.method(driver, "scatter", 0, |mb| {
+        let n = mb.arr_len(cells);
+        mb.for_range(0i64, n, |mb, k| {
+            let c = mb.get_elem(cells, k);
+            mb.invoke(None, c, bump, &[10i64.into()], LocalityHint::Unknown);
+        });
+        mb.reply_nil();
+    });
+
+    // Custom: rendezvous at the shared barrier.
+    let rendezvous = pb.method(driver, "rendezvous", 0, |mb| {
+        let b = mb.get_field(bar);
+        let s = mb.invoke_into(b, arrive, &[]);
+        let v = mb.touch_get(s);
+        mb.reply(v);
+    });
+
+    SyncProgram {
+        program: pb.finish(),
+        rpc,
+        fan,
+        scatter,
+        rendezvous,
+        read,
+        bump,
+        value,
+        cells,
+        bar,
+        bar_count,
+        bar_waiters,
+        arrive,
+    }
+}
+
+/// A placed demo world: one driver per node, cells scattered round-robin,
+/// one barrier expecting all drivers.
+pub struct SyncInstance {
+    /// Program handles.
+    pub ids: SyncProgram,
+    /// Per-node drivers.
+    pub drivers: Vec<ObjRef>,
+    /// All cells.
+    pub cell_refs: Vec<ObjRef>,
+    /// The shared barrier.
+    pub barrier: ObjRef,
+}
+
+/// Place `n_cells` cells round-robin over all nodes plus one driver per
+/// node and a barrier sized to the driver count.
+pub fn setup(rt: &mut Runtime, ids: &SyncProgram, n_cells: u32) -> SyncInstance {
+    let nodes = rt.n_nodes() as u32;
+    let cell_refs: Vec<ObjRef> = (0..n_cells)
+        .map(|i| {
+            let r = rt.alloc_object_by_name("Cell", NodeId(i % nodes));
+            rt.set_field(r, ids.value, Value::Int(0));
+            r
+        })
+        .collect();
+    let barrier = rt.alloc_object_by_name("Barrier", NodeId(0));
+    rt.set_field(barrier, ids.bar_count, Value::Int(nodes as i64));
+    rt.set_array(barrier, ids.bar_waiters, vec![Value::Nil; nodes as usize]);
+    let drivers: Vec<ObjRef> = (0..nodes)
+        .map(|n| {
+            let d = rt.alloc_object_by_name("Driver", NodeId(n));
+            rt.set_array(
+                d,
+                ids.cells,
+                cell_refs.iter().map(|c| Value::Obj(*c)).collect(),
+            );
+            rt.set_field(d, ids.bar, Value::Obj(barrier));
+            d
+        })
+        .collect();
+    SyncInstance {
+        ids: ids.clone(),
+        drivers,
+        cell_refs,
+        barrier,
+    }
+}
+
+/// Run every driver through the barrier. Early arrivals park (their
+/// `call` returns `None` and leaves a suspended context holding a stored
+/// continuation); the final arrival releases everyone. Returns the last
+/// arrival's reply.
+pub fn run_rendezvous(rt: &mut Runtime, inst: &SyncInstance) -> Result<Option<Value>, Trap> {
+    rt.set_field(
+        inst.barrier,
+        inst.ids.bar_count,
+        Value::Int(inst.drivers.len() as i64),
+    );
+    rt.set_array(
+        inst.barrier,
+        inst.ids.bar_waiters,
+        vec![Value::Nil; inst.drivers.len()],
+    );
+    let mut last = None;
+    for d in &inst.drivers {
+        last = rt.call(*d, inst.ids.rendezvous, &[])?;
+    }
+    Ok(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_analysis::{InterfaceSet, Schema};
+    use hem_core::ExecMode;
+    use hem_machine::cost::CostModel;
+
+    fn world(nodes: u32) -> (Runtime, SyncInstance) {
+        let ids = build();
+        let mut rt = crate::make_runtime(
+            ids.program.clone(),
+            nodes,
+            CostModel::cm5(),
+            ExecMode::Hybrid,
+            InterfaceSet::Full,
+        );
+        let inst = setup(&mut rt, &ids, 8);
+        (rt, inst)
+    }
+
+    #[test]
+    fn structures_get_distinct_schemas() {
+        let (rt, inst) = world(2);
+        let ids = &inst.ids;
+        assert_eq!(rt.schemas().of(ids.read), Schema::NonBlocking);
+        assert_eq!(rt.schemas().of(ids.bump), Schema::NonBlocking);
+        assert_eq!(rt.schemas().of(ids.rpc), Schema::MayBlock);
+        assert_eq!(rt.schemas().of(ids.fan), Schema::MayBlock);
+        assert_eq!(rt.schemas().of(ids.arrive), Schema::ContPassing);
+    }
+
+    #[test]
+    fn rpc_round_trip() {
+        let (mut rt, inst) = world(2);
+        let cell = inst.cell_refs[1]; // on node 1
+        rt.set_field(cell, inst.ids.value, Value::Int(9));
+        let r = rt
+            .call(inst.drivers[0], inst.ids.rpc, &[Value::Obj(cell)])
+            .unwrap();
+        assert_eq!(r, Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn data_parallel_join_bumps_all() {
+        let (mut rt, inst) = world(2);
+        rt.call(inst.drivers[0], inst.ids.fan, &[]).unwrap();
+        for c in &inst.cell_refs {
+            assert_eq!(rt.get_field(*c, inst.ids.value), Value::Int(1));
+        }
+    }
+
+    #[test]
+    fn reactive_scatter_takes_effect_at_quiescence() {
+        let (mut rt, inst) = world(2);
+        rt.call(inst.drivers[0], inst.ids.scatter, &[]).unwrap();
+        for c in &inst.cell_refs {
+            assert_eq!(rt.get_field(*c, inst.ids.value), Value::Int(10));
+        }
+        assert_eq!(
+            rt.stats().totals().replies_sent,
+            0,
+            "reactive: zero replies"
+        );
+    }
+
+    #[test]
+    fn sequential_rendezvous_would_park() {
+        // Driving arrivals one call at a time: the first arrival parks
+        // (stores its continuation) and the call returns None; the final
+        // arrival releases everyone.
+        let (mut rt, inst) = world(3);
+        let r1 = rt.call(inst.drivers[0], inst.ids.rendezvous, &[]).unwrap();
+        assert_eq!(r1, None, "first arrival parks in the barrier");
+        assert!(!rt.stuck_contexts().is_empty());
+        let r2 = rt.call(inst.drivers[1], inst.ids.rendezvous, &[]).unwrap();
+        assert_eq!(r2, None);
+        let r3 = rt.call(inst.drivers[2], inst.ids.rendezvous, &[]).unwrap();
+        assert_eq!(r3, Some(Value::Int(1)), "last arrival opens the barrier");
+        assert!(rt.stuck_contexts().is_empty(), "parked drivers released");
+    }
+}

@@ -1,0 +1,108 @@
+//! Criterion wall-clock benchmarks of the three parallel kernels at demo
+//! scale, hybrid vs parallel-only. Useful for tracking simulator
+//! performance regressions; the paper-shape numbers come from the table
+//! binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hem_analysis::InterfaceSet;
+use hem_apps::{em3d, md, sor};
+use hem_core::ExecMode;
+use hem_machine::cost::CostModel;
+use hem_machine::topology::ProcGrid;
+
+const MODES: [(&str, ExecMode); 2] = [
+    ("hybrid", ExecMode::Hybrid),
+    ("parallel-only", ExecMode::ParallelOnly),
+];
+
+fn bench_sor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sor32x32_16n");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (label, mode) in MODES {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| {
+                let ids = sor::build();
+                let procs = ProcGrid::square(16);
+                let mut rt = hem_apps::make_runtime(
+                    ids.program.clone(),
+                    16,
+                    CostModel::cm5(),
+                    mode,
+                    InterfaceSet::Full,
+                );
+                let inst = sor::setup(
+                    &mut rt,
+                    &ids,
+                    sor::SorParams {
+                        n: 32,
+                        block: 4,
+                        procs,
+                    },
+                );
+                sor::run(&mut rt, &inst, 1).unwrap();
+                rt.makespan()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_em3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("em3d128_deg8_8n");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (label, mode) in MODES {
+        for style in [em3d::Style::Pull, em3d::Style::Push, em3d::Style::Forward] {
+            g.bench_with_input(
+                BenchmarkId::new(label, style),
+                &(mode, style),
+                |b, &(mode, style)| {
+                    b.iter(|| {
+                        let ids = em3d::build(8);
+                        let graph = em3d::generate(128, 8, 8, 0.5, 7);
+                        let mut rt = hem_apps::make_runtime(
+                            ids.program.clone(),
+                            8,
+                            CostModel::cm5(),
+                            mode,
+                            InterfaceSet::Full,
+                        );
+                        let inst = em3d::setup(&mut rt, &ids, &graph);
+                        em3d::run(&mut rt, &inst, style, 1).unwrap();
+                        rt.makespan()
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_md(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md400_8n");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (label, mode) in MODES {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| {
+                let ids = md::build();
+                let sys = md::generate(400, 1.2, 8, md::Layout::Spatial, 11);
+                let mut rt = hem_apps::make_runtime(
+                    ids.program.clone(),
+                    8,
+                    CostModel::cm5(),
+                    mode,
+                    InterfaceSet::Full,
+                );
+                let inst = md::setup(&mut rt, &ids, &sys);
+                md::run_iteration(&mut rt, &inst).unwrap();
+                rt.makespan()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sor, bench_em3d, bench_md);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion wall-clock benchmarks of the runtime itself: how fast does
+//! the simulator execute one fine-grained invocation under each
+//! execution regime? (These measure the *reproduction's* performance;
+//! the paper-relevant numbers are the simulated-cycle tables.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hem_analysis::InterfaceSet;
+use hem_core::{ExecMode, Runtime};
+use hem_ir::Value;
+use hem_machine::cost::CostModel;
+use hem_machine::NodeId;
+
+fn bench_fib(c: &mut Criterion) {
+    let n = 18i64; // 8361 invocations
+    let invocations = 8361u64;
+    let mut g = c.benchmark_group("fib18");
+    g.throughput(Throughput::Elements(invocations));
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (label, mode, ifaces) in [
+        ("hybrid-full", ExecMode::Hybrid, InterfaceSet::Full),
+        ("hybrid-cp-only", ExecMode::Hybrid, InterfaceSet::CpOnly),
+        ("parallel-only", ExecMode::ParallelOnly, InterfaceSet::Full),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, &n| {
+            let suite = hem_apps::callintensive::build();
+            b.iter(|| {
+                let mut rt =
+                    Runtime::new(suite.program.clone(), 1, CostModel::cm5(), mode, ifaces).unwrap();
+                let o = rt.alloc_object_by_name("Math", NodeId(0));
+                rt.call(o, suite.fib, &[Value::Int(n)]).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_c_baseline(c: &mut Criterion) {
+    let mut c = c.benchmark_group("cref");
+    c.sample_size(20);
+    c.bench_function("fib18_c_baseline_eval", |b| {
+        let suite = hem_apps::callintensive::build();
+        let mut rt = Runtime::new(
+            suite.program.clone(),
+            1,
+            CostModel::cm5(),
+            ExecMode::Hybrid,
+            InterfaceSet::Full,
+        )
+        .unwrap();
+        let o = rt.alloc_object_by_name("Math", NodeId(0));
+        b.iter(|| rt.call_c_baseline(o, suite.fib, &[Value::Int(18)]).unwrap());
+    });
+    c.finish();
+}
+
+fn bench_remote_roundtrip(c: &mut Criterion) {
+    let mut c = c.benchmark_group("roundtrip");
+    c.sample_size(20);
+    // One remote invocation + fallback + reply, end to end.
+    let suite = hem_bench::micro::build();
+    let method = suite
+        .loops
+        .iter()
+        .find(|(k, _)| {
+            *k == (
+                hem_bench::micro::CallerKind::Mb,
+                hem_bench::micro::CalleeKind::MbBlock,
+            )
+        })
+        .map(|(_, m)| *m)
+        .unwrap();
+    c.bench_function("remote_roundtrip_with_fallback", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::new(
+                suite.program.clone(),
+                2,
+                CostModel::cm5(),
+                ExecMode::Hybrid,
+                InterfaceSet::Full,
+            )
+            .unwrap();
+            let g = rt.alloc_object_by_name("Gate", NodeId(1));
+            let o = rt.alloc_object_by_name("M", NodeId(0));
+            rt.set_field(o, hem_ir::FieldId(0), Value::Obj(g));
+            rt.call(o, method, &[Value::Int(1)]).unwrap()
+        });
+    });
+    c.finish();
+}
+
+criterion_group!(benches, bench_fib, bench_c_baseline, bench_remote_roundtrip);
+criterion_main!(benches);

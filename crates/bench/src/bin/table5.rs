@@ -1,0 +1,84 @@
+//! Table 5 — MD-Force on 64-node configurations of the CM-5 and T3D cost
+//! models: hybrid vs parallel-only under a low-locality random layout and
+//! a high-locality spatial (orthogonal recursive bisection) layout.
+//!
+//! `cargo run --release -p hem-bench --bin table5 [--full] [--atoms N]`
+
+use hem_analysis::InterfaceSet;
+use hem_apps::md::{self, Layout};
+use hem_bench::report::{secs, speedup, Table};
+use hem_bench::Args;
+use hem_core::ExecMode;
+use hem_machine::cost::CostModel;
+
+fn main() {
+    let args = Args::capture();
+    let full = args.has("--full");
+    // Paper: 10503 atoms, 1 iteration.
+    let n_atoms: u32 = args
+        .get("--atoms")
+        .unwrap_or(if full { 10503 } else { 2000 });
+    let cutoff = 1.1f64;
+    let nodes = 64u32;
+
+    println!(
+        "Table 5: MD-Force kernel ({n_atoms} synthetic clustered atoms,\n\
+         cutoff {cutoff}, 1 iteration) on 64-node machines. The paper's\n\
+         protein input is substituted by Gaussian clusters with the same\n\
+         pair-list locality structure (see DESIGN.md).\n"
+    );
+
+    for cost in [CostModel::cm5(), CostModel::t3d()] {
+        let mut t = Table::new(
+            &format!("MD-Force on {} (64 nodes)", cost.name),
+            &[
+                "layout",
+                "pairs",
+                "local frac",
+                "par-only",
+                "hybrid",
+                "speedup",
+            ],
+        );
+        for layout in [Layout::Random, Layout::Spatial] {
+            let mut times = [0.0f64; 2];
+            let mut frac = 0.0;
+            let mut pairs = 0usize;
+            for (i, mode) in [ExecMode::ParallelOnly, ExecMode::Hybrid]
+                .into_iter()
+                .enumerate()
+            {
+                let ids = md::build();
+                let sys = md::generate(n_atoms, cutoff, nodes, layout, 20260706);
+                pairs = sys.pairs.len();
+                let mut rt = hem_bench::rt(
+                    ids.program.clone(),
+                    nodes,
+                    cost.clone(),
+                    mode,
+                    InterfaceSet::Full,
+                );
+                let inst = md::setup(&mut rt, &ids, &sys);
+                md::run_iteration(&mut rt, &inst).expect("md");
+                times[i] = rt.cost.seconds(rt.makespan());
+                if mode == ExecMode::Hybrid {
+                    frac = rt.stats().totals().local_fraction();
+                }
+            }
+            t.row(vec![
+                layout.to_string(),
+                pairs.to_string(),
+                format!("{frac:.3}"),
+                secs(times[0]),
+                secs(times[1]),
+                speedup(times[0], times[1]),
+            ]);
+        }
+        t.print();
+    }
+
+    println!("expected shape (paper §4.3.2): ~1.0x for the random layout");
+    println!("(communication-bound; invocation mechanisms don't change the");
+    println!("message cost) and ~1.4-1.5x for the spatial layout, where most");
+    println!("pair computations run entirely on the stack.");
+}

@@ -1,0 +1,73 @@
+//! # hem-bench — harnesses regenerating the paper's evaluation
+//!
+//! One binary per table/figure of the SC'95 paper:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — invocation schemas selected per method |
+//! | `table2` | Table 2 — call + fallback overheads per caller×callee schema |
+//! | `table3` | Table 3 — sequential times: hybrid (1/2/3 interfaces), parallel-only, Seq-opt, C |
+//! | `table4` | Table 4 — SOR on 64 nodes, block-size sweep, CM-5 + T3D |
+//! | `table5` | Table 5 — MD-Force, random vs spatial layout, CM-5 + T3D |
+//! | `table6` | Table 6 — EM3D pull/push/forward, low/high locality, CM-5 + T3D |
+//! | `fig9`   | Fig. 9 — SOR heap contexts vs block perimeter |
+//!
+//! All binaries take `--full` to run at paper scale (slow) and print the
+//! scaled defaults otherwise. The `benches/` directory adds criterion
+//! wall-clock benchmarks of the runtime itself and an ablation harness.
+
+#![warn(missing_docs)]
+
+pub mod micro;
+pub mod report;
+
+use hem_analysis::InterfaceSet;
+use hem_core::{ExecMode, Runtime};
+use hem_ir::Program;
+use hem_machine::cost::CostModel;
+
+/// Construct a runtime or abort with the validation errors.
+pub fn rt(
+    program: Program,
+    nodes: u32,
+    cost: CostModel,
+    mode: ExecMode,
+    ifaces: InterfaceSet,
+) -> Runtime {
+    hem_apps::make_runtime(program, nodes, cost, mode, ifaces)
+}
+
+/// Trivial flag scanner for the harness binaries: `has("--full")`,
+/// `get("--n")`.
+pub struct Args {
+    argv: Vec<String>,
+}
+
+impl Args {
+    /// Capture the process arguments.
+    pub fn capture() -> Self {
+        Args {
+            argv: std::env::args().collect(),
+        }
+    }
+
+    /// Is a bare flag present?
+    pub fn has(&self, flag: &str) -> bool {
+        self.argv.iter().any(|a| a == flag)
+    }
+
+    /// Value of `--key <v>`, parsed.
+    pub fn get<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.argv
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.argv.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    }
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self::capture()
+    }
+}

@@ -1,0 +1,416 @@
+//! Table 2 micro-benchmarks: dynamic instruction overhead of every
+//! caller-schema × callee-schema combination, for calls that complete on
+//! the stack and for calls that fall back into the heap.
+//!
+//! Method: for each combination we build a caller that invokes the callee
+//! `k` times in a loop, run it at two different `k`, and take the
+//! caller-node instruction delta per iteration. The same loop evaluated by
+//! the C-baseline evaluator prices what plain C would pay (loop body +
+//! callee body + one `plain_call`); the difference of the two deltas is
+//! the paper's *overhead beyond a basic C function call*. Bodies, loop
+//! control and any dead schema-forcing code cancel exactly because they
+//! appear in both.
+//!
+//! Schema forcing uses dead code, mirroring how a real program's *static*
+//! properties pick the schema regardless of the dynamic path: a dead
+//! `Invoke` with unknown locality makes a method may-block; a dead
+//! `Forward` makes it continuation-passing. A "heap" caller is produced by
+//! a prelude that blocks on a remote gate once, forcing the caller into
+//! its parallel version before the measured loop runs.
+
+use hem_analysis::InterfaceSet;
+use hem_core::{ExecMode, Runtime};
+use hem_ir::{BinOp, LocalityHint, MethodId, Program, ProgramBuilder, Value};
+use hem_machine::cost::CostModel;
+use hem_machine::NodeId;
+
+/// Caller schema variants (rows of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallerKind {
+    /// Caller executing its heap-based parallel version.
+    Heap,
+    /// Non-blocking stack caller.
+    Nb,
+    /// May-block stack caller.
+    Mb,
+    /// Continuation-passing stack caller.
+    Cp,
+}
+
+impl CallerKind {
+    /// All rows.
+    pub const ALL: [CallerKind; 4] = [
+        CallerKind::Heap,
+        CallerKind::Nb,
+        CallerKind::Mb,
+        CallerKind::Cp,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CallerKind::Heap => "heap",
+            CallerKind::Nb => "NB",
+            CallerKind::Mb => "MB",
+            CallerKind::Cp => "CP",
+        }
+    }
+}
+
+/// Callee variants (columns; `*Block` are the fallback table's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalleeKind {
+    /// Non-blocking, completes.
+    Nb,
+    /// May-block schema, dynamically completes.
+    Mb,
+    /// CP schema, dynamically completes (replies).
+    Cp,
+    /// May-block schema, blocks on a remote future every call.
+    MbBlock,
+    /// CP schema, forwards off-node every call.
+    CpBlock,
+}
+
+impl CalleeKind {
+    /// The completed-call columns.
+    pub const DONE: [CalleeKind; 3] = [CalleeKind::Nb, CalleeKind::Mb, CalleeKind::Cp];
+    /// The fallback columns.
+    pub const BLOCK: [CalleeKind; 2] = [CalleeKind::MbBlock, CalleeKind::CpBlock];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CalleeKind::Nb => "NB",
+            CalleeKind::Mb => "MB",
+            CalleeKind::Cp => "CP",
+            CalleeKind::MbBlock => "MB",
+            CalleeKind::CpBlock => "CP",
+        }
+    }
+}
+
+/// The generated micro program: one caller loop per (caller, callee)
+/// combination, all on a `M` object on node 0 with a `Gate` on node 1.
+pub struct MicroSuite {
+    /// The program.
+    pub program: Program,
+    /// Loop methods indexed by (caller, callee).
+    pub loops: Vec<((CallerKind, CalleeKind), MethodId)>,
+}
+
+/// All measured combinations.
+pub fn all_combos() -> Vec<(CallerKind, CalleeKind)> {
+    let mut v = Vec::new();
+    for caller in CallerKind::ALL {
+        for callee in [
+            CalleeKind::Nb,
+            CalleeKind::Mb,
+            CalleeKind::Cp,
+            CalleeKind::MbBlock,
+            CalleeKind::CpBlock,
+        ] {
+            // NB callers may only call NB callees (analysis guarantees a
+            // caller of an MB/CP callee is itself at least MB).
+            if caller == CallerKind::Nb && callee != CalleeKind::Nb {
+                continue;
+            }
+            v.push((caller, callee));
+        }
+    }
+    v
+}
+
+/// Build the suite.
+pub fn build() -> MicroSuite {
+    let mut pb = ProgramBuilder::new();
+    let gate_c = pb.class("Gate", false);
+    let zero = pb.method(gate_c, "zero", 0, |mb| mb.reply(0i64));
+
+    let m = pb.class("M", false);
+    let gate = pb.field(m, "gate");
+
+    // Callees. Each takes one argument and (when completing) replies x+1.
+    let cal_nb = pb.method(m, "cal_nb", 1, |mb| {
+        let r = mb.binl(BinOp::Add, mb.arg(0), 1);
+        mb.reply(r);
+    });
+    let cal_mb = pb.method(m, "cal_mb", 1, |mb| {
+        let x = mb.arg(0);
+        let dead = mb.binl(BinOp::Lt, x, -1_000_000i64);
+        mb.if_(dead, |mb| {
+            // Dead: unknown-locality invoke forces the MB schema.
+            let me = mb.self_ref();
+            let s = mb.invoke_into(me, cal_nb, &[x.into()]);
+            mb.touch(&[s]);
+        });
+        let r = mb.binl(BinOp::Add, x, 1);
+        mb.reply(r);
+    });
+    let cal_cp = pb.method(m, "cal_cp", 1, |mb| {
+        let x = mb.arg(0);
+        let dead = mb.binl(BinOp::Lt, x, -1_000_000i64);
+        mb.if_(dead, |mb| {
+            let me = mb.self_ref();
+            mb.forward(me, cal_nb, &[x.into()], LocalityHint::AlwaysLocal);
+        });
+        let r = mb.binl(BinOp::Add, x, 1);
+        mb.reply(r);
+    });
+    let blk_mb = pb.method(m, "blk_mb", 1, |mb| {
+        let g = mb.get_field(gate);
+        let s = mb.invoke_into(g, zero, &[]);
+        let v = mb.touch_get(s);
+        let r1 = mb.binl(BinOp::Add, mb.arg(0), v);
+        let r = mb.binl(BinOp::Add, r1, 1);
+        mb.reply(r);
+    });
+    let blk_cp = pb.method(m, "blk_cp", 1, |mb| {
+        // Forward off-node: the continuation must be materialized; the
+        // gate replies 0 directly to the caller's future. (The +1 shape
+        // differs from the others; deltas subtract it out.)
+        let g = mb.get_field(gate);
+        mb.forward(g, zero, &[], LocalityHint::Unknown);
+    });
+
+    let callee_of = |k: CalleeKind| match k {
+        CalleeKind::Nb => cal_nb,
+        CalleeKind::Mb => cal_mb,
+        CalleeKind::Cp => cal_cp,
+        CalleeKind::MbBlock => blk_mb,
+        CalleeKind::CpBlock => blk_cp,
+    };
+
+    // Caller loops.
+    let mut loops = Vec::new();
+    for (caller, callee) in all_combos() {
+        let target = callee_of(callee);
+        let name = format!("loop_{}_{}_{:?}", caller.label(), callee.label(), callee);
+        let mid = pb.method(m, &name, 1, |mb| {
+            let k = mb.arg(0);
+            // Schema forcing for the caller.
+            match caller {
+                CallerKind::Nb => {}
+                CallerKind::Mb | CallerKind::Heap => {
+                    let dead = mb.binl(BinOp::Lt, k, -1_000_000i64);
+                    mb.if_(dead, |mb| {
+                        let me = mb.self_ref();
+                        let s = mb.invoke_into(me, cal_nb, &[k.into()]);
+                        mb.touch(&[s]);
+                    });
+                }
+                CallerKind::Cp => {
+                    let dead = mb.binl(BinOp::Lt, k, -1_000_000i64);
+                    mb.if_(dead, |mb| {
+                        let me = mb.self_ref();
+                        mb.forward(me, cal_nb, &[k.into()], LocalityHint::AlwaysLocal);
+                    });
+                }
+            }
+            // Heap callers block once on the remote gate before the loop,
+            // reverting to the parallel version for the measured calls.
+            if caller == CallerKind::Heap {
+                let g = mb.get_field(gate);
+                let s0 = mb.invoke_into(g, zero, &[]);
+                mb.touch(&[s0]);
+            }
+            let me = mb.self_ref();
+            let acc = mb.local();
+            mb.mov(acc, 0i64);
+            let s = mb.slot();
+            mb.for_range(0i64, k, |mb, i| {
+                mb.invoke(Some(s), me, target, &[i.into()], LocalityHint::AlwaysLocal);
+                mb.touch(&[s]);
+                let v = mb.get_slot(s);
+                mb.bin(acc, BinOp::Add, acc, v);
+            });
+            mb.reply(acc);
+        });
+        loops.push(((caller, callee), mid));
+    }
+
+    MicroSuite {
+        program: pb.finish(),
+        loops,
+    }
+}
+
+/// One measured cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Caller-node instructions per call under the hybrid runtime.
+    pub hybrid_per_call: f64,
+    /// Instructions per call the C baseline pays for the same loop.
+    pub c_per_call: f64,
+}
+
+impl Cell {
+    /// Paper-style overhead: instructions beyond the full C execution
+    /// (which already contains one `plain_call` and both bodies).
+    pub fn overhead(&self) -> f64 {
+        self.hybrid_per_call - self.c_per_call
+    }
+}
+
+fn run_counting(
+    suite: &MicroSuite,
+    method: MethodId,
+    k: i64,
+    cost: &CostModel,
+) -> (
+    u64, /* caller-node instructions */
+    i64, /* result */
+) {
+    let mut rt = Runtime::new(
+        suite.program.clone(),
+        2,
+        cost.clone(),
+        ExecMode::Hybrid,
+        InterfaceSet::Full,
+    )
+    .expect("valid micro program");
+    let g = rt.alloc_object_by_name("Gate", NodeId(1));
+    let o = rt.alloc_object_by_name("M", NodeId(0));
+    rt.set_field(o, hem_ir::FieldId(0), Value::Obj(g));
+    let r = rt.call(o, method, &[Value::Int(k)]).expect("no trap");
+    let instr = rt.stats().per_node[0].instructions;
+    let v = match r {
+        Some(Value::Int(i)) => i,
+        other => panic!("unexpected result {other:?}"),
+    };
+    (instr, v)
+}
+
+fn run_cref(suite: &MicroSuite, method: MethodId, k: i64, cost: &CostModel) -> u64 {
+    let mut rt = Runtime::new(
+        suite.program.clone(),
+        2,
+        cost.clone(),
+        ExecMode::Hybrid,
+        InterfaceSet::Full,
+    )
+    .expect("valid micro program");
+    let g = rt.alloc_object_by_name("Gate", NodeId(1));
+    let o = rt.alloc_object_by_name("M", NodeId(0));
+    rt.set_field(o, hem_ir::FieldId(0), Value::Obj(g));
+    let (_, cycles) = rt
+        .call_c_baseline(o, method, &[Value::Int(k)])
+        .expect("cref");
+    cycles
+}
+
+/// Measure one combination. Completed-call combinations use a long-loop
+/// delta (per-iteration asymptote); blocking combinations use a k=1 vs
+/// k=0 delta, because a stack caller reverts to its parallel version
+/// after the first fallback and would otherwise measure the heap row.
+pub fn measure(
+    suite: &MicroSuite,
+    caller: CallerKind,
+    callee: CalleeKind,
+    cost: &CostModel,
+) -> Cell {
+    let method = suite
+        .loops
+        .iter()
+        .find(|(k, _)| *k == (caller, callee))
+        .map(|(_, m)| *m)
+        .expect("combination built");
+    let blocking = matches!(callee, CalleeKind::MbBlock | CalleeKind::CpBlock);
+    let (k_lo, k_hi) = if blocking && caller != CallerKind::Heap {
+        (0i64, 1i64)
+    } else {
+        (16i64, 80i64)
+    };
+    let (i_lo, _) = run_counting(suite, method, k_lo, cost);
+    let (i_hi, _) = run_counting(suite, method, k_hi, cost);
+    let c_lo = run_cref(suite, method, k_lo, cost);
+    let c_hi = run_cref(suite, method, k_hi, cost);
+    let n = (k_hi - k_lo) as f64;
+    Cell {
+        hybrid_per_call: (i_hi - i_lo) as f64 / n,
+        c_per_call: (c_hi - c_lo) as f64 / n,
+    }
+}
+
+/// Dynamic-instruction cost of one heap-based (parallel) invocation,
+/// measured the same way under `ParallelOnly` — the paper's ~130 figure.
+pub fn parallel_invoke_cost(cost: &CostModel) -> f64 {
+    let suite = build();
+    let method = suite
+        .loops
+        .iter()
+        .find(|(k, _)| *k == (CallerKind::Nb, CalleeKind::Nb))
+        .map(|(_, m)| *m)
+        .unwrap();
+    let run = |k: i64| -> u64 {
+        let mut rt = Runtime::new(
+            suite.program.clone(),
+            2,
+            cost.clone(),
+            ExecMode::ParallelOnly,
+            InterfaceSet::Full,
+        )
+        .unwrap();
+        let g = rt.alloc_object_by_name("Gate", NodeId(1));
+        let o = rt.alloc_object_by_name("M", NodeId(0));
+        rt.set_field(o, hem_ir::FieldId(0), Value::Obj(g));
+        rt.call(o, method, &[Value::Int(k)]).unwrap();
+        rt.stats().per_node[0].instructions
+    };
+    let c = |k: i64| run_cref(&suite, method, k, cost);
+    ((run(80) - run(16)) as f64 - (c(80) - c(16)) as f64) / 64.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_builds_and_all_loops_complete() {
+        let suite = build();
+        let cost = CostModel::cm5();
+        for &((caller, callee), m) in &suite.loops {
+            let (_, v) = run_counting(&suite, m, 5, &cost);
+            // Σ (i+1) for i in 0..5 = 15 for completing callees; the
+            // CP-blocking callee replies 0 per call (gate), so Σ = 0.
+            let expect = if callee == CalleeKind::CpBlock { 0 } else { 15 };
+            assert_eq!(v, expect, "{caller:?}/{callee:?}");
+        }
+    }
+
+    #[test]
+    fn nb_overheads_are_single_digit_and_ordered() {
+        let suite = build();
+        let cost = CostModel::cm5();
+        let nb = measure(&suite, CallerKind::Nb, CalleeKind::Nb, &cost).overhead();
+        let mb = measure(&suite, CallerKind::Mb, CalleeKind::Mb, &cost).overhead();
+        let cp = measure(&suite, CallerKind::Cp, CalleeKind::Cp, &cost).overhead();
+        assert!(nb > 0.0 && nb < 25.0, "NB overhead {nb}");
+        assert!(nb <= mb && mb <= cp, "hierarchy ordering: {nb} {mb} {cp}");
+    }
+
+    #[test]
+    fn fallback_costs_exceed_completed_costs() {
+        let suite = build();
+        let cost = CostModel::cm5();
+        let done = measure(&suite, CallerKind::Mb, CalleeKind::Mb, &cost).overhead();
+        let blocked = measure(&suite, CallerKind::Mb, CalleeKind::MbBlock, &cost).overhead();
+        assert!(
+            blocked > done + 20.0,
+            "fallback {blocked} vs completed {done}"
+        );
+    }
+
+    #[test]
+    fn parallel_invoke_is_an_order_of_magnitude_heavier() {
+        let cost = CostModel::cm5();
+        let par = parallel_invoke_cost(&cost);
+        let suite = build();
+        let nb = measure(&suite, CallerKind::Nb, CalleeKind::Nb, &cost).overhead();
+        assert!(par > 90.0, "parallel invoke {par}");
+        assert!(
+            par > 8.0 * nb,
+            "paper: order of magnitude over sequential ({par} vs {nb})"
+        );
+    }
+}

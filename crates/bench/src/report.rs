@@ -1,0 +1,95 @@
+//! Small fixed-width table printer for the harness binaries, so every
+//! table binary emits the same visual shape as the paper's tables.
+
+/// A fixed-width table accumulated row by row and printed to stdout.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            widths: headers.iter().map(|s| s.len()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        for (w, c) in self.widths.iter_mut().zip(&cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let cols: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", cols.join("  "));
+        };
+        line(&self.headers, &self.widths);
+        let total: usize = self.widths.iter().sum::<usize>() + 2 * self.widths.len();
+        println!("  {}", "-".repeat(total));
+        for r in &self.rows {
+            line(r, &self.widths);
+        }
+        println!();
+    }
+}
+
+/// Format seconds adaptively (s / ms / µs).
+pub fn secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Format a speedup.
+pub fn speedup(base: f64, new: f64) -> String {
+    format!("{:.2}x", base / new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_widths_accumulate() {
+        let mut t = Table::new("t", &["a", "bb"]);
+        t.row(vec!["12345".into(), "1".into()]);
+        assert_eq!(t.widths, vec![5, 2]);
+        t.print(); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(secs(2.5), "2.50s");
+        assert_eq!(secs(0.0025), "2.50ms");
+        assert_eq!(secs(0.0000025), "2.5us");
+        assert_eq!(speedup(10.0, 5.0), "2.00x");
+    }
+}

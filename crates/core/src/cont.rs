@@ -1,0 +1,123 @@
+//! Continuations and caller descriptors.
+//!
+//! A *continuation* is the right to determine a future (paper §2). In the
+//! hybrid model continuations are created **lazily**: as long as execution
+//! stays on the stack the continuation is implicit in the stack structure,
+//! and only when a method suspends, forwards off-node, or stores the
+//! continuation into a data structure is a concrete [`Continuation`]
+//! materialized (§3.2.3).
+//!
+//! [`CallerInfo`] is the paper's `caller_info` parameter of the
+//! continuation-passing schema: it describes the caller *well enough to
+//! create its context and continuation later if needed* — whether the
+//! caller's context already exists, its shape if not, where the return
+//! value lives, and whether the continuation was forwarded (proxy case).
+
+use hem_ir::{ContRef, MethodId, ObjRef};
+
+/// A materialized reply capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Continuation {
+    /// Not yet linked. Replying through an unset continuation is a trap;
+    /// fallback linkage (paper Fig. 6) replaces it.
+    Unset,
+    /// Deliver into slot `slot` of a heap context (possibly remote).
+    Into(ContRef),
+    /// Deliver to the runtime's root result cell (the harness's `call`).
+    Root,
+    /// Discard the reply (fire-and-forget invocations).
+    Discard,
+}
+
+impl Continuation {
+    /// Payload words a continuation occupies inside a message.
+    pub fn words(&self) -> u64 {
+        match self {
+            Continuation::Into(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// The paper's `caller_info`: how a continuation-passing callee can obtain
+/// its continuation if it turns out to need it (§3.2.3 lists exactly these
+/// three cases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallerInfo {
+    /// The caller is a stack frame whose context does not exist yet. If
+    /// the callee needs the continuation, it creates a *shell* context for
+    /// the caller (sized from `method`'s declaration) with a fresh future
+    /// at `ret_slot`, and passes the shell back up the unwinding stack for
+    /// the caller to populate ("passing the continuation's future's
+    /// context back to its caller").
+    NotCreated {
+        /// The caller's method (determines the shell's shape).
+        method: MethodId,
+        /// The caller's receiver (the shell lives on its node).
+        obj: ObjRef,
+        /// The slot within the caller awaiting this callee's reply.
+        ret_slot: u16,
+    },
+    /// The caller's context already exists; the continuation, if needed,
+    /// is a future at `ret_slot` of that context.
+    Created {
+        /// The caller's context.
+        node: hem_machine::NodeId,
+        /// Context index on that node.
+        ctx: u32,
+        /// Context generation (stale-continuation guard).
+        gen: u32,
+        /// The awaiting slot.
+        ret_slot: u16,
+    },
+    /// The continuation already exists — the *proxy context* case
+    /// (§3.3): the invocation arrived by message carrying a continuation,
+    /// or user code passed a stored continuation into a CP interface.
+    Proxy {
+        /// The pre-existing continuation.
+        cont: Continuation,
+    },
+}
+
+impl CallerInfo {
+    /// True for the proxy (forwarded-from-elsewhere) case.
+    pub fn is_proxy(&self) -> bool {
+        matches!(self, CallerInfo::Proxy { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_machine::NodeId;
+
+    #[test]
+    fn continuation_message_size() {
+        let c = Continuation::Into(ContRef {
+            node: NodeId(0),
+            ctx: 1,
+            gen: 0,
+            slot: 2,
+        });
+        assert_eq!(c.words(), 2);
+        assert_eq!(Continuation::Discard.words(), 1);
+        assert_eq!(Continuation::Root.words(), 1);
+    }
+
+    #[test]
+    fn proxy_detection() {
+        let p = CallerInfo::Proxy {
+            cont: Continuation::Root,
+        };
+        assert!(p.is_proxy());
+        let n = CallerInfo::NotCreated {
+            method: MethodId(0),
+            obj: ObjRef {
+                node: NodeId(0),
+                index: 0,
+            },
+            ret_slot: 0,
+        };
+        assert!(!n.is_proxy());
+    }
+}

@@ -1,0 +1,84 @@
+//! Runtime traps.
+
+use hem_ir::{MethodId, ValueError};
+
+/// A fatal runtime error. The simulation is deterministic, so a trap is a
+/// program (or harness) bug, never a transient condition; the event loop
+//  aborts on the first trap and `Runtime::call` surfaces it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trap {
+    /// Method executing when the trap fired, if any.
+    pub method: Option<MethodId>,
+    /// Program counter within the method, if any.
+    pub pc: Option<u32>,
+    /// Description.
+    pub what: String,
+}
+
+impl Trap {
+    /// A trap with location context.
+    pub fn at(method: MethodId, pc: u32, what: impl Into<String>) -> Self {
+        Trap {
+            method: Some(method),
+            pc: Some(pc),
+            what: what.into(),
+        }
+    }
+
+    /// A trap without location context.
+    pub fn new(what: impl Into<String>) -> Self {
+        Trap {
+            method: None,
+            pc: None,
+            what: what.into(),
+        }
+    }
+
+    /// Convert a value-semantics error into a trap at a location.
+    pub fn from_value(method: MethodId, pc: u32, e: ValueError) -> Self {
+        let what = match e {
+            ValueError::Type { op, got } => format!("type error in {op}: got {got}"),
+            ValueError::DivByZero => "division by zero".to_string(),
+        };
+        Trap::at(method, pc, what)
+    }
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.method, self.pc) {
+            (Some(m), Some(pc)) => write!(f, "trap at method #{} pc {}: {}", m.0, pc, self.what),
+            _ => write!(f, "trap: {}", self.what),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_location() {
+        let t = Trap::at(MethodId(2), 7, "boom");
+        assert_eq!(t.to_string(), "trap at method #2 pc 7: boom");
+        let t = Trap::new("boom");
+        assert_eq!(t.to_string(), "trap: boom");
+    }
+
+    #[test]
+    fn from_value_error() {
+        let t = Trap::from_value(MethodId(0), 1, ValueError::DivByZero);
+        assert!(t.what.contains("division"));
+        let t = Trap::from_value(
+            MethodId(0),
+            1,
+            ValueError::Type {
+                op: "as_int",
+                got: "nil",
+            },
+        );
+        assert!(t.what.contains("as_int") && t.what.contains("nil"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Instruction semantics shared by the sequential and parallel
+//! interpreters.
+//!
+//! The central correctness property of the hybrid model is that the two
+//! code versions compute the same results; everything except invocation,
+//! synchronization and termination is therefore implemented exactly once
+//! here and called from both interpreters.
+
+use crate::context::{ActFrame, SlotState};
+use crate::error::Trap;
+use crate::object::FieldKind;
+use crate::rt::Runtime;
+use hem_ir::value::{bin_op, un_op};
+use hem_ir::{Instr, ObjRef, Operand, Value};
+
+/// Where control goes after a simple instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Next {
+    /// Fall through to `pc + 1`.
+    Advance,
+    /// Jump to an absolute instruction index.
+    Goto(u32),
+}
+
+/// Read an operand against a frame.
+#[inline]
+pub(crate) fn read(fr: &ActFrame, op: &Operand) -> Value {
+    match op {
+        Operand::L(l) => fr.locals[l.idx()],
+        Operand::K(v) => *v,
+    }
+}
+
+/// Evaluate a list of operands.
+pub(crate) fn read_args(fr: &ActFrame, ops: &[Operand]) -> Vec<Value> {
+    ops.iter().map(|o| read(fr, o)).collect()
+}
+
+/// Execute one of the mode-independent instructions. The caller has
+/// already charged the base `op` cost; this adds any operation-specific
+/// cost (object allocation, join init, continuation sends).
+///
+/// # Panics
+/// On instructions that are mode-specific (`Invoke`, `Touch`, terminators,
+/// `StoreCont`) — the interpreters dispatch those before calling here.
+pub(crate) fn exec_simple(
+    rt: &mut Runtime,
+    node: usize,
+    fr: &mut ActFrame,
+    ins: &Instr,
+) -> Result<Next, Trap> {
+    let pc = fr.pc;
+    let trap_v = |e| Trap::from_value(fr.method, pc, e);
+    match ins {
+        Instr::Mov { dst, src } => {
+            fr.locals[dst.idx()] = read(fr, src);
+        }
+        Instr::Bin { dst, op, a, b } => {
+            let v = bin_op(*op, read(fr, a), read(fr, b)).map_err(trap_v)?;
+            fr.locals[dst.idx()] = v;
+        }
+        Instr::Un { dst, op, a } => {
+            let v = un_op(*op, read(fr, a)).map_err(trap_v)?;
+            fr.locals[dst.idx()] = v;
+        }
+        Instr::SelfRef { dst } => {
+            fr.locals[dst.idx()] = Value::Obj(fr.obj);
+        }
+        Instr::MyNode { dst } => {
+            fr.locals[dst.idx()] = Value::Int(node as i64);
+        }
+        Instr::NodeOf { dst, obj } => {
+            let o = read(fr, obj).as_obj().map_err(trap_v)?;
+            fr.locals[dst.idx()] = Value::Int(o.node.0 as i64);
+        }
+        Instr::NewLocal { dst, class } => {
+            // Local allocation only; remote placement is harness business.
+            rt.charge(node, rt.cost.ctx_alloc);
+            let o = rt.layouts[class.idx()].instantiate(*class);
+            let objs = &mut rt.nodes[node].objects;
+            objs.push(o);
+            fr.locals[dst.idx()] = Value::Obj(ObjRef {
+                node: hem_machine::NodeId(node as u32),
+                index: (objs.len() - 1) as u32,
+            });
+        }
+        Instr::GetField { dst, field } => {
+            let v = match field_kind(rt, fr, *field) {
+                FieldKind::Scalar(i) => obj(rt, fr, node).scalars[i as usize],
+                FieldKind::Array(_) => unreachable!("validated"),
+            };
+            fr.locals[dst.idx()] = v;
+        }
+        Instr::SetField { field, src } => {
+            let v = read(fr, src);
+            match field_kind(rt, fr, *field) {
+                FieldKind::Scalar(i) => obj_mut(rt, fr, node).scalars[i as usize] = v,
+                FieldKind::Array(_) => unreachable!("validated"),
+            }
+        }
+        Instr::GetElem { dst, field, idx } => {
+            let i = read(fr, idx).as_int().map_err(trap_v)?;
+            let v = match field_kind(rt, fr, *field) {
+                FieldKind::Array(a) => {
+                    let arr = &obj(rt, fr, node).arrays[a as usize];
+                    *arr.get(i as usize).ok_or_else(|| {
+                        Trap::at(
+                            fr.method,
+                            pc,
+                            format!("array index {i} out of range ({})", arr.len()),
+                        )
+                    })?
+                }
+                FieldKind::Scalar(_) => unreachable!("validated"),
+            };
+            fr.locals[dst.idx()] = v;
+        }
+        Instr::SetElem { field, idx, src } => {
+            let i = read(fr, idx).as_int().map_err(trap_v)?;
+            let v = read(fr, src);
+            match field_kind(rt, fr, *field) {
+                FieldKind::Array(a) => {
+                    let arr = &mut obj_mut(rt, fr, node).arrays[a as usize];
+                    let len = arr.len();
+                    *arr.get_mut(i as usize).ok_or_else(|| {
+                        Trap::at(
+                            fr.method,
+                            pc,
+                            format!("array index {i} out of range ({len})"),
+                        )
+                    })? = v;
+                }
+                FieldKind::Scalar(_) => unreachable!("validated"),
+            }
+        }
+        Instr::ArrNew { field, len } => {
+            let l = read(fr, len).as_int().map_err(trap_v)?;
+            if l < 0 {
+                return Err(Trap::at(
+                    fr.method,
+                    pc,
+                    format!("negative array length {l}"),
+                ));
+            }
+            rt.charge(node, rt.cost.ctx_alloc);
+            match field_kind(rt, fr, *field) {
+                FieldKind::Array(a) => {
+                    obj_mut(rt, fr, node).arrays[a as usize] = vec![Value::Nil; l as usize];
+                }
+                FieldKind::Scalar(_) => unreachable!("validated"),
+            }
+        }
+        Instr::ArrLen { dst, field } => {
+            let v = match field_kind(rt, fr, *field) {
+                FieldKind::Array(a) => {
+                    Value::Int(obj(rt, fr, node).arrays[a as usize].len() as i64)
+                }
+                FieldKind::Scalar(_) => unreachable!("validated"),
+            };
+            fr.locals[dst.idx()] = v;
+        }
+        Instr::GetSlot { dst, slot } => {
+            let s = &fr.slots[slot.idx()];
+            let v = s.value().ok_or_else(|| {
+                Trap::at(
+                    fr.method,
+                    pc,
+                    format!("get of unresolved slot {} ({s:?})", slot.0),
+                )
+            })?;
+            fr.locals[dst.idx()] = v;
+        }
+        Instr::JoinInit { slot, count } => {
+            let c = read(fr, count).as_int().map_err(trap_v)?;
+            if c < 0 {
+                return Err(Trap::at(fr.method, pc, format!("negative join count {c}")));
+            }
+            rt.charge(node, rt.cost.join_init);
+            fr.slots[slot.idx()] = SlotState::Join(c as u32);
+        }
+        Instr::SendToCont { cont, value } => {
+            let c = read(fr, cont).as_cont().map_err(trap_v)?;
+            let v = read(fr, value);
+            rt.deliver_cont(node, crate::cont::Continuation::Into(c), v)?;
+        }
+        Instr::Jmp { to } => return Ok(Next::Goto(*to)),
+        Instr::Br { cond, t, f } => {
+            let c = read(fr, cond).as_bool().map_err(trap_v)?;
+            return Ok(Next::Goto(if c { *t } else { *f }));
+        }
+        other => unreachable!("exec_simple given mode-specific instruction {other:?}"),
+    }
+    Ok(Next::Advance)
+}
+
+#[inline]
+fn field_kind(rt: &Runtime, fr: &ActFrame, field: hem_ir::FieldId) -> FieldKind {
+    let class = rt.nodes[fr.obj.node.idx()].objects[fr.obj.index as usize].class;
+    rt.layouts[class.idx()].kinds[field.idx()]
+}
+
+#[inline]
+fn obj<'a>(rt: &'a Runtime, fr: &ActFrame, node: usize) -> &'a crate::object::Object {
+    debug_assert_eq!(fr.obj.node.idx(), node, "owner-computes violated");
+    &rt.nodes[node].objects[fr.obj.index as usize]
+}
+
+#[inline]
+fn obj_mut<'a>(rt: &'a mut Runtime, fr: &ActFrame, node: usize) -> &'a mut crate::object::Object {
+    debug_assert_eq!(fr.obj.node.idx(), node, "owner-computes violated");
+    &mut rt.nodes[node].objects[fr.obj.index as usize]
+}

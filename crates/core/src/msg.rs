@@ -1,0 +1,109 @@
+//! Wire messages.
+//!
+//! Two kinds suffice, matching the paper's active-message style: a request
+//! carrying an invocation (with its reply continuation, and a flag saying
+//! whether that continuation was *forwarded* — forwarded requests carry a
+//! full continuation and are therefore longer, the effect the EM3D
+//! `forward` variant trades against reply count), and a reply determining
+//! a future.
+
+use crate::cont::Continuation;
+use hem_ir::{ContRef, MethodId, Value};
+
+/// A message in flight between nodes.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Remote method invocation request.
+    Invoke {
+        /// Target object index on the destination node.
+        obj: u32,
+        /// Method to invoke.
+        method: MethodId,
+        /// Evaluated arguments.
+        args: Vec<Value>,
+        /// Where the reply goes.
+        cont: Continuation,
+        /// True when `cont` was forwarded from an earlier frame (proxy
+        /// context case at the receiver).
+        forwarded: bool,
+    },
+    /// Reply determining a future in a remote context.
+    Reply {
+        /// The continuation being determined.
+        cont: ContRef,
+        /// The value.
+        value: Value,
+    },
+}
+
+impl Msg {
+    /// Payload size in words (header + object + method + args + reply
+    /// capability). Drives the per-word wire cost; the request/reply
+    /// *fixed* costs live in the cost model. Forwarded requests are
+    /// longer: they carry the full materialized continuation plus the
+    /// forwarding metadata (the paper's EM3D discussion turns on
+    /// forward's "longer update messages" vs push's extra replies).
+    pub fn words(&self) -> u64 {
+        match self {
+            Msg::Invoke {
+                args,
+                cont,
+                forwarded,
+                ..
+            } => 3 + args.len() as u64 + cont.words() + if *forwarded { 4 } else { 0 },
+            Msg::Reply { .. } => 3,
+        }
+    }
+
+    /// Is this a reply?
+    pub fn is_reply(&self) -> bool {
+        matches!(self, Msg::Reply { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_machine::NodeId;
+
+    #[test]
+    fn sizes() {
+        let inv = Msg::Invoke {
+            obj: 0,
+            method: MethodId(0),
+            args: vec![Value::Int(1), Value::Int(2)],
+            cont: Continuation::Into(ContRef {
+                node: NodeId(0),
+                ctx: 0,
+                gen: 0,
+                slot: 0,
+            }),
+            forwarded: false,
+        };
+        assert_eq!(inv.words(), 7);
+        assert!(!inv.is_reply());
+        let rep = Msg::Reply {
+            cont: ContRef {
+                node: NodeId(0),
+                ctx: 0,
+                gen: 0,
+                slot: 0,
+            },
+            value: Value::Nil,
+        };
+        assert_eq!(rep.words(), 3);
+        assert!(rep.is_reply());
+    }
+
+    #[test]
+    fn fire_and_forget_is_shorter() {
+        let inv = Msg::Invoke {
+            obj: 0,
+            method: MethodId(0),
+            args: vec![],
+            cont: Continuation::Discard,
+            forwarded: false,
+        };
+        assert_eq!(inv.words(), 4);
+    }
+}

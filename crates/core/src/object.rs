@@ -1,0 +1,237 @@
+//! Objects with implicit per-object locks.
+//!
+//! Locking in the source model is dictated by class definitions: a method
+//! invocation on a locked class holds the object for the method's entire
+//! duration — including across suspensions — and invocations arriving at a
+//! held object are deferred, not refused. The runtime's concurrency check
+//! ("is the target unlocked?") is one of the two parallelization checks
+//! whose cost Table 3's Seq-opt column removes.
+
+use crate::cont::Continuation;
+use hem_ir::{ClassId, MethodId, Value};
+use std::collections::VecDeque;
+
+/// Who holds an object lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockHolder {
+    /// A stack task (one top-level scheduler dispatch). Reentrant within
+    /// the same task, so local synchronous call chains through the same
+    /// object do not self-deadlock.
+    Task(u64),
+    /// A heap context (a method that fell back while holding its lock).
+    Ctx(u32),
+}
+
+/// An invocation deferred on a held lock.
+#[derive(Debug, Clone)]
+pub struct DeferredInvoke {
+    /// Method to run once granted.
+    pub method: MethodId,
+    /// Arguments (already evaluated).
+    pub args: Vec<Value>,
+    /// Reply capability.
+    pub cont: Continuation,
+    /// Whether the continuation was forwarded to this invocation.
+    pub forwarded: bool,
+}
+
+/// Lock state for instances of locked classes.
+#[derive(Debug, Clone, Default)]
+pub struct LockState {
+    /// Current holder, if held.
+    pub holder: Option<LockHolder>,
+    /// Reentrancy depth.
+    pub depth: u32,
+    /// FIFO of deferred invocations.
+    pub waiters: VecDeque<DeferredInvoke>,
+}
+
+impl LockState {
+    /// Try to acquire for `who`. Returns true on success (including
+    /// reentrant re-acquisition by the same holder).
+    pub fn acquire(&mut self, who: LockHolder) -> bool {
+        match self.holder {
+            None => {
+                self.holder = Some(who);
+                self.depth = 1;
+                true
+            }
+            Some(h) if h == who => {
+                self.depth += 1;
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Release one level; returns true when the lock became free.
+    pub fn release(&mut self) -> bool {
+        debug_assert!(self.holder.is_some(), "release of unheld lock");
+        self.depth -= 1;
+        if self.depth == 0 {
+            self.holder = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Transfer ownership (stack task falling back into a heap context).
+    pub fn transfer(&mut self, to: LockHolder) {
+        debug_assert!(self.holder.is_some(), "transfer of unheld lock");
+        self.holder = Some(to);
+    }
+}
+
+/// An object: class tag, scalar fields, array fields, optional lock.
+///
+/// Field storage is split by kind; the per-class
+/// [`ClassLayout`] maps declared field ids to the right vector.
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// The object's class.
+    pub class: ClassId,
+    /// Scalar field values, in class declaration order of scalar fields.
+    pub scalars: Vec<Value>,
+    /// Array field contents, in class declaration order of array fields.
+    pub arrays: Vec<Vec<Value>>,
+    /// Lock (present iff the class is locked).
+    pub lock: Option<LockState>,
+    /// Forwarding address left behind by migration: invocations (and
+    /// harness field access) through a stale reference chase this chain
+    /// during name translation.
+    pub moved_to: Option<hem_ir::ObjRef>,
+}
+
+/// Where a declared field lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// Index into [`Object::scalars`].
+    Scalar(u16),
+    /// Index into [`Object::arrays`].
+    Array(u16),
+}
+
+/// Precomputed per-class field mapping.
+#[derive(Debug, Clone, Default)]
+pub struct ClassLayout {
+    /// Field id → storage location.
+    pub kinds: Vec<FieldKind>,
+    /// Number of scalar fields.
+    pub n_scalars: u16,
+    /// Number of array fields.
+    pub n_arrays: u16,
+    /// Whether instances carry a lock.
+    pub locked: bool,
+}
+
+impl ClassLayout {
+    /// Compute the layout of a class.
+    pub fn of(class: &hem_ir::Class) -> Self {
+        let mut kinds = Vec::with_capacity(class.fields.len());
+        let (mut ns, mut na) = (0u16, 0u16);
+        for f in &class.fields {
+            if f.array {
+                kinds.push(FieldKind::Array(na));
+                na += 1;
+            } else {
+                kinds.push(FieldKind::Scalar(ns));
+                ns += 1;
+            }
+        }
+        ClassLayout {
+            kinds,
+            n_scalars: ns,
+            n_arrays: na,
+            locked: class.locked,
+        }
+    }
+
+    /// Instantiate a nil-initialized object of this class.
+    pub fn instantiate(&self, class: ClassId) -> Object {
+        Object {
+            class,
+            scalars: vec![Value::Nil; self.n_scalars as usize],
+            arrays: vec![Vec::new(); self.n_arrays as usize],
+            lock: if self.locked {
+                Some(LockState::default())
+            } else {
+                None
+            },
+            moved_to: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_ir::{Class, FieldDecl};
+
+    fn layout(locked: bool) -> ClassLayout {
+        ClassLayout::of(&Class {
+            name: "C".into(),
+            fields: vec![
+                FieldDecl {
+                    name: "a".into(),
+                    array: false,
+                },
+                FieldDecl {
+                    name: "xs".into(),
+                    array: true,
+                },
+                FieldDecl {
+                    name: "b".into(),
+                    array: false,
+                },
+            ],
+            locked,
+        })
+    }
+
+    #[test]
+    fn layout_maps_fields() {
+        let l = layout(false);
+        assert_eq!(
+            l.kinds,
+            vec![
+                FieldKind::Scalar(0),
+                FieldKind::Array(0),
+                FieldKind::Scalar(1)
+            ]
+        );
+        assert_eq!(l.n_scalars, 2);
+        assert_eq!(l.n_arrays, 1);
+        let o = l.instantiate(ClassId(0));
+        assert_eq!(o.scalars.len(), 2);
+        assert_eq!(o.arrays.len(), 1);
+        assert!(o.lock.is_none());
+    }
+
+    #[test]
+    fn locked_class_gets_lock() {
+        let o = layout(true).instantiate(ClassId(0));
+        assert!(o.lock.is_some());
+    }
+
+    #[test]
+    fn lock_reentrancy_and_conflict() {
+        let mut l = LockState::default();
+        assert!(l.acquire(LockHolder::Task(1)));
+        assert!(l.acquire(LockHolder::Task(1)), "reentrant");
+        assert!(!l.acquire(LockHolder::Task(2)), "conflict");
+        assert!(!l.acquire(LockHolder::Ctx(0)), "conflict");
+        assert!(!l.release(), "still held (depth)");
+        assert!(l.release(), "now free");
+        assert!(l.acquire(LockHolder::Task(2)));
+    }
+
+    #[test]
+    fn lock_transfer() {
+        let mut l = LockState::default();
+        assert!(l.acquire(LockHolder::Task(1)));
+        l.transfer(LockHolder::Ctx(9));
+        assert!(!l.acquire(LockHolder::Task(1)), "task no longer owns");
+        assert!(l.acquire(LockHolder::Ctx(9)), "context owns reentrantly");
+    }
+}

@@ -1,0 +1,1062 @@
+//! The runtime: simulated machine state, the deterministic event loop, and
+//! the low-level operations (slot filling, continuation delivery, locks,
+//! context fallback) shared by the two interpreters.
+
+use crate::cont::{CallerInfo, Continuation};
+use crate::context::{ActFrame, CtxTable, SlotState, WaitState};
+use crate::error::Trap;
+use crate::msg::Msg;
+use crate::object::{ClassLayout, DeferredInvoke, FieldKind, LockHolder, Object};
+use crate::{ExecMode, InterfaceSet, SchemaMap};
+use hem_analysis::Analysis;
+use hem_ir::{ClassId, ContRef, FieldId, MethodId, ObjRef, Program, ValidationError, Value};
+use hem_machine::cost::CostModel;
+use hem_machine::net::Network;
+use hem_machine::stats::{Counters, MachineStats};
+use hem_machine::{Cycles, NodeId};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::rc::Rc;
+
+/// A message sitting in a node's inbox awaiting its delivery time.
+#[derive(Debug)]
+pub(crate) struct InboxEntry {
+    pub deliver: Cycles,
+    pub seq: u64,
+    pub msg: Msg,
+}
+
+impl PartialEq for InboxEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deliver, self.seq) == (other.deliver, other.seq)
+    }
+}
+impl Eq for InboxEntry {}
+impl PartialOrd for InboxEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InboxEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by (deliver, seq).
+        (other.deliver, other.seq).cmp(&(self.deliver, self.seq))
+    }
+}
+
+/// One simulated processor.
+pub(crate) struct Node {
+    pub id: NodeId,
+    pub time: Cycles,
+    pub objects: Vec<Object>,
+    pub ctxs: CtxTable,
+    pub ready: VecDeque<u32>,
+    /// Lock grants awaiting execution (drained before `ready`).
+    pub granted: VecDeque<(u32, DeferredInvoke)>,
+    pub inbox: BinaryHeap<InboxEntry>,
+    pub counters: Counters,
+}
+
+impl Node {
+    fn new(id: NodeId) -> Self {
+        Node {
+            id,
+            time: 0,
+            objects: Vec::new(),
+            ctxs: CtxTable::default(),
+            ready: VecDeque::new(),
+            granted: VecDeque::new(),
+            inbox: BinaryHeap::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    fn has_local_work(&self) -> bool {
+        !self.granted.is_empty() || !self.ready.is_empty()
+    }
+}
+
+/// Buffered slot fills targeting the context currently being stepped (the
+/// stepper holds its frame out of the table, so fills are applied when the
+/// stepper next drains).
+pub(crate) struct ActiveCtx {
+    pub node: usize,
+    pub id: u32,
+    pub gen: u32,
+    pub fills: Vec<(u16, Value)>,
+}
+
+/// The hybrid-execution-model runtime over a simulated multicomputer.
+///
+/// See the [crate docs](crate) for the model and an example.
+pub struct Runtime {
+    pub(crate) program: Rc<Program>,
+    pub(crate) layouts: Vec<ClassLayout>,
+    pub(crate) schemas: SchemaMap,
+    /// The cost model in force.
+    pub cost: CostModel,
+    /// The execution mode in force.
+    pub mode: ExecMode,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) net: Network<Msg>,
+    pub(crate) next_task: u64,
+    pub(crate) current_task: u64,
+    pub(crate) result: Option<Value>,
+    pub(crate) active: Option<ActiveCtx>,
+    pub(crate) seq_depth: u32,
+    /// Maximum sequential (host-stack) nesting before forcing a fallback
+    /// (the analogue of a stack-overflow check; Olden and Stacklets do
+    /// stack checks, the paper's C implementation relies on large stacks).
+    pub max_seq_depth: u32,
+    /// Speculative inlining of local, unlocked, non-blocking leaf calls
+    /// (§4.2 includes it in all measurements; ablation benches turn it
+    /// off).
+    pub enable_inlining: bool,
+    pub(crate) trace_buf: crate::trace::Trace,
+    pub(crate) trap: Option<Trap>,
+}
+
+impl Runtime {
+    /// Build a runtime: validates the program, runs the schema-selection
+    /// analysis under `interfaces`, and sets up `n_nodes` empty nodes.
+    pub fn new(
+        program: Program,
+        n_nodes: u32,
+        cost: CostModel,
+        mode: ExecMode,
+        interfaces: InterfaceSet,
+    ) -> Result<Runtime, Vec<ValidationError>> {
+        program.validate()?;
+        for (i, m) in program.methods.iter().enumerate() {
+            if m.slots > 64 {
+                return Err(vec![ValidationError {
+                    method: Some(MethodId(i as u32)),
+                    at: None,
+                    what: format!("{} slots exceed the 64-slot touch mask", m.slots),
+                }]);
+            }
+        }
+        let analysis = Analysis::analyze(&program);
+        let schemas = analysis.schemas(interfaces);
+        let layouts = program.classes.iter().map(ClassLayout::of).collect();
+        Ok(Runtime {
+            program: Rc::new(program),
+            layouts,
+            schemas,
+            cost,
+            mode,
+            nodes: (0..n_nodes).map(|i| Node::new(NodeId(i))).collect(),
+            net: Network::new(),
+            next_task: 0,
+            current_task: 0,
+            result: None,
+            active: None,
+            seq_depth: 0,
+            max_seq_depth: 1200,
+            enable_inlining: true,
+            trace_buf: crate::trace::Trace::default(),
+            trap: None,
+        })
+    }
+
+    // ================= setup / inspection API =================
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The selected sequential schemas.
+    pub fn schemas(&self) -> &SchemaMap {
+        &self.schemas
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Look up a method id by class and method name.
+    pub fn find_method(&self, class: &str, name: &str) -> Option<MethodId> {
+        self.program.find_method(class, name)
+    }
+
+    /// Allocate an object of `class` on `node` (harness-side placement —
+    /// data layout is an input to the execution model).
+    pub fn alloc_object(&mut self, class: ClassId, node: NodeId) -> ObjRef {
+        let o = self.layouts[class.idx()].instantiate(class);
+        let objs = &mut self.nodes[node.idx()].objects;
+        objs.push(o);
+        ObjRef {
+            node,
+            index: (objs.len() - 1) as u32,
+        }
+    }
+
+    /// Allocate by class name; panics on unknown class (harness error).
+    pub fn alloc_object_by_name(&mut self, class: &str, node: NodeId) -> ObjRef {
+        let cid = self
+            .program
+            .classes
+            .iter()
+            .position(|c| c.name == class)
+            .unwrap_or_else(|| panic!("unknown class {class}"));
+        self.alloc_object(ClassId(cid as u32), node)
+    }
+
+    /// Follow forwarding addresses to an object's current location
+    /// (harness-side: free, global view).
+    pub fn resolve_ref(&self, mut o: ObjRef) -> ObjRef {
+        let mut hops = 0;
+        while let Some(n) = self.nodes[o.node.idx()].objects[o.index as usize].moved_to {
+            o = n;
+            hops += 1;
+            assert!(hops < 1_000_000, "forwarding cycle");
+        }
+        o
+    }
+
+    /// Runtime-side name translation: chase forwarding addresses while the
+    /// stale location is on the executing node (each hop costs one name
+    /// translation). A hop to a remote old location stops here — the
+    /// message goes there and that node's wrapper continues the chase.
+    pub(crate) fn resolve_local(&mut self, node: usize, mut o: ObjRef) -> ObjRef {
+        while o.node.idx() == node {
+            match self.nodes[node].objects[o.index as usize].moved_to {
+                Some(n) => {
+                    self.charge(node, self.cost.locality_check);
+                    o = n;
+                }
+                None => break,
+            }
+        }
+        o
+    }
+
+    /// Migrate an object to `dest`, leaving a forwarding address behind
+    /// (the paper's future-work direction: data migration under the same
+    /// adaptive execution model). Existing references keep working: an
+    /// invocation through a stale reference is forwarded during name
+    /// translation. Returns the object's new reference.
+    ///
+    /// # Panics
+    /// If the machine is not quiescent, or the object's lock is held
+    /// (migration is a between-phases operation, like placement).
+    pub fn migrate_object(&mut self, obj: ObjRef, dest: NodeId) -> ObjRef {
+        assert!(self.is_quiescent(), "migration requires quiescence");
+        let src = self.resolve_ref(obj);
+        if src.node == dest {
+            return src;
+        }
+        // Most specific guard first: a held lock names the object busy.
+        if let Some(l) = &self.nodes[src.node.idx()].objects[src.index as usize].lock {
+            assert!(l.holder.is_none(), "cannot migrate a locked object");
+            assert!(l.waiters.is_empty(), "cannot migrate with queued invocations");
+        }
+        // A suspended activation's `self` must not move out from under it.
+        for n in &self.nodes {
+            for i in n.ctxs.live_indices() {
+                assert!(
+                    n.ctxs.get(i).frame.obj != src,
+                    "cannot migrate an object with live activations"
+                );
+            }
+        }
+        let (class, scalars, arrays, lock) = {
+            let o = &mut self.nodes[src.node.idx()].objects[src.index as usize];
+            if let Some(l) = &o.lock {
+                assert!(l.holder.is_none(), "cannot migrate a locked object");
+                assert!(l.waiters.is_empty(), "cannot migrate with queued invocations");
+            }
+            (
+                o.class,
+                std::mem::take(&mut o.scalars),
+                std::mem::take(&mut o.arrays),
+                o.lock.clone(),
+            )
+        };
+        let objs = &mut self.nodes[dest.idx()].objects;
+        objs.push(Object {
+            class,
+            scalars,
+            arrays,
+            lock,
+            moved_to: None,
+        });
+        let new_ref = ObjRef {
+            node: dest,
+            index: (objs.len() - 1) as u32,
+        };
+        self.nodes[src.node.idx()].objects[src.index as usize].moved_to = Some(new_ref);
+        new_ref
+    }
+
+    fn field_slot(&self, obj: ObjRef, field: FieldId) -> FieldKind {
+        let obj = self.resolve_ref(obj);
+        let o = &self.nodes[obj.node.idx()].objects[obj.index as usize];
+        self.layouts[o.class.idx()].kinds[field.idx()]
+    }
+
+    /// Harness-side scalar field write (follows forwarding addresses).
+    pub fn set_field(&mut self, obj: ObjRef, field: FieldId, v: Value) {
+        let obj = self.resolve_ref(obj);
+        match self.field_slot(obj, field) {
+            FieldKind::Scalar(i) => {
+                self.nodes[obj.node.idx()].objects[obj.index as usize].scalars[i as usize] = v;
+            }
+            FieldKind::Array(_) => panic!("set_field on array field"),
+        }
+    }
+
+    /// Harness-side scalar field read (follows forwarding addresses).
+    pub fn get_field(&self, obj: ObjRef, field: FieldId) -> Value {
+        let obj = self.resolve_ref(obj);
+        match self.field_slot(obj, field) {
+            FieldKind::Scalar(i) => {
+                self.nodes[obj.node.idx()].objects[obj.index as usize].scalars[i as usize]
+            }
+            FieldKind::Array(_) => panic!("get_field on array field"),
+        }
+    }
+
+    /// Harness-side array field write (follows forwarding addresses).
+    pub fn set_array(&mut self, obj: ObjRef, field: FieldId, vs: Vec<Value>) {
+        let obj = self.resolve_ref(obj);
+        match self.field_slot(obj, field) {
+            FieldKind::Array(i) => {
+                self.nodes[obj.node.idx()].objects[obj.index as usize].arrays[i as usize] = vs;
+            }
+            FieldKind::Scalar(_) => panic!("set_array on scalar field"),
+        }
+    }
+
+    /// Harness-side array field read (follows forwarding addresses).
+    pub fn get_array(&self, obj: ObjRef, field: FieldId) -> &[Value] {
+        let obj = self.resolve_ref(obj);
+        match self.field_slot(obj, field) {
+            FieldKind::Array(i) => {
+                &self.nodes[obj.node.idx()].objects[obj.index as usize].arrays[i as usize]
+            }
+            FieldKind::Scalar(_) => panic!("get_array on scalar field"),
+        }
+    }
+
+    /// Current virtual time of a node.
+    pub fn node_time(&self, node: NodeId) -> Cycles {
+        self.nodes[node.idx()].time
+    }
+
+    /// Makespan: the latest node time.
+    pub fn makespan(&self) -> Cycles {
+        self.nodes.iter().map(|n| n.time).max().unwrap_or(0)
+    }
+
+    /// Snapshot the per-node counters and times.
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            per_node: self.nodes.iter().map(|n| n.counters.clone()).collect(),
+            node_time: self.nodes.iter().map(|n| n.time).collect(),
+        }
+    }
+
+    /// Zero all event counters (virtual clocks keep running). Lets a
+    /// harness measure one phase in isolation (Table 2 deltas).
+    pub fn reset_counters(&mut self) {
+        for n in &mut self.nodes {
+            n.counters = Counters::default();
+        }
+    }
+
+    /// Number of live (allocated) heap contexts across the machine.
+    pub fn live_contexts(&self) -> u64 {
+        self.nodes.iter().map(|n| n.ctxs.live).sum()
+    }
+
+    /// Contexts still alive after quiescence — a non-empty result means the
+    /// program is stuck (deadlock) or intentionally reactive.
+    pub fn stuck_contexts(&self) -> Vec<(NodeId, u32)> {
+        let mut v = Vec::new();
+        for n in &self.nodes {
+            for i in n.ctxs.live_indices() {
+                v.push((n.id, i));
+            }
+        }
+        v
+    }
+
+    /// True when no runnable work, grants, or messages remain anywhere.
+    pub fn is_quiescent(&self) -> bool {
+        self.net.is_empty()
+            && self
+                .nodes
+                .iter()
+                .all(|n| !n.has_local_work() && n.inbox.is_empty())
+    }
+
+    // ================= cost & counter helpers =================
+
+    #[inline]
+    pub(crate) fn charge(&mut self, node: usize, c: Cycles) {
+        let n = &mut self.nodes[node];
+        n.time += c;
+        n.counters.instructions += c;
+    }
+
+    #[inline]
+    pub(crate) fn ctr(&mut self, node: usize) -> &mut Counters {
+        &mut self.nodes[node].counters
+    }
+
+    /// Allocate a fresh task token (lock-holder identity for one top-level
+    /// execution unit).
+    pub(crate) fn new_task(&mut self) -> u64 {
+        self.next_task += 1;
+        self.current_task = self.next_task;
+        self.current_task
+    }
+
+    // ================= messaging =================
+
+    /// Send a request message, charging sender-side costs and wire latency.
+    /// Sending also polls the network (below).
+    pub(crate) fn send_invoke(&mut self, from: usize, dest: NodeId, msg: Msg) {
+        let words = msg.words();
+        let c = self.cost.msg_send + self.cost.msg_word * words;
+        self.charge(from, c);
+        self.ctr(from).msgs_sent += 1;
+        self.emit(
+            from,
+            crate::trace::TraceEvent::MsgSent {
+                from: self.nodes[from].id,
+                to: dest,
+                reply: false,
+            },
+        );
+        let deliver = self.nodes[from].time + self.cost.msg_latency;
+        self.net
+            .send(self.nodes[from].id, dest, deliver, words, msg);
+        if let Err(t) = self.poll_network(from) {
+            self.trap.get_or_insert(t);
+        }
+    }
+
+    /// Send a reply message.
+    pub(crate) fn send_reply(&mut self, from: usize, dest: NodeId, cont: ContRef, value: Value) {
+        let msg = Msg::Reply { cont, value };
+        let words = msg.words();
+        let c = self.cost.reply_send + self.cost.reply_word * words;
+        self.charge(from, c);
+        self.ctr(from).replies_sent += 1;
+        self.emit(
+            from,
+            crate::trace::TraceEvent::MsgSent {
+                from: self.nodes[from].id,
+                to: dest,
+                reply: true,
+            },
+        );
+        let deliver = self.nodes[from].time + self.cost.reply_latency;
+        self.net
+            .send(self.nodes[from].id, dest, deliver, words, msg);
+        if let Err(t) = self.poll_network(from) {
+            self.trap.get_or_insert(t);
+        }
+    }
+
+    /// Poll the network from code running on `node` — the Concert/CM-5
+    /// active-message discipline: every communication operation services
+    /// arrived messages, so a long stack sweep cannot starve incoming
+    /// requests (which would serialize the machine and hide exactly the
+    /// latency-tolerance the hybrid model is supposed to show). Handled
+    /// invocations run as nested tasks; the current task's lock identity
+    /// is restored afterwards.
+    pub(crate) fn poll_network(&mut self, node: usize) -> Result<(), Trap> {
+        while let Some(m) = self.net.pop() {
+            self.nodes[m.dest.idx()].inbox.push(InboxEntry {
+                deliver: m.deliver_at,
+                seq: m.seq,
+                msg: m.msg,
+            });
+        }
+        loop {
+            let due = self.nodes[node]
+                .inbox
+                .peek()
+                .is_some_and(|e| e.deliver <= self.nodes[node].time);
+            if !due {
+                return Ok(());
+            }
+            let e = self.nodes[node].inbox.pop().expect("peeked entry");
+            self.charge(node, self.cost.handler);
+            self.ctr(node).msgs_handled += 1;
+            let saved = self.current_task;
+            let r = self.handle_msg(node, e.msg);
+            self.current_task = saved;
+            r?;
+        }
+    }
+
+    // ================= futures & continuations =================
+
+    /// Apply a fill to a slot array. Returns whether the slot became
+    /// satisfied, or an error message for protocol violations.
+    pub(crate) fn apply_fill(slots: &mut [SlotState], slot: u16, v: Value) -> Result<bool, String> {
+        let s = slots
+            .get_mut(slot as usize)
+            .ok_or_else(|| format!("fill of out-of-range slot {slot}"))?;
+        let was = s.satisfied();
+        match s {
+            SlotState::Join(0) => return Err("reply to completed join".into()),
+            SlotState::Join(k) => *k -= 1,
+            SlotState::Full(_) => return Err("double reply to future".into()),
+            SlotState::Empty | SlotState::Pending => *s = SlotState::Full(v),
+        }
+        Ok(!was && s.satisfied())
+    }
+
+    /// Determine the future at `slot` of context `ctx` on `tnode`,
+    /// waking the context if this resolves its touch.
+    pub(crate) fn fill_slot(
+        &mut self,
+        tnode: usize,
+        ctx: u32,
+        gen: u32,
+        slot: u16,
+        v: Value,
+    ) -> Result<(), Trap> {
+        // Route fills for the context currently being stepped through the
+        // active buffer (its frame is out of the table).
+        if let Some(a) = &mut self.active {
+            if a.node == tnode && a.id == ctx {
+                if a.gen != gen {
+                    return Err(Trap::new("stale continuation (active context)"));
+                }
+                a.fills.push((slot, v));
+                self.charge(tnode, self.cost.future_store);
+                return Ok(());
+            }
+        }
+        let cost_store = self.cost.future_store;
+        let cost_enqueue = self.cost.enqueue;
+        let n = &mut self.nodes[tnode];
+        let c = n.ctxs.get_mut(ctx);
+        if c.gen != gen || c.wait == WaitState::Free {
+            return Err(Trap::new(format!(
+                "stale continuation: ctx {ctx} gen {gen} (now {})",
+                c.gen
+            )));
+        }
+        debug_assert_ne!(c.wait, WaitState::Shell, "fill into unpopulated shell");
+        let became = Self::apply_fill(&mut c.frame.slots, slot, v)
+            .map_err(|e| Trap::at(c.frame.method, c.frame.pc, e))?;
+        let mut wake = false;
+        if became {
+            if let WaitState::Waiting { mask, missing } = c.wait {
+                if mask & (1u64 << slot) != 0 {
+                    let missing = missing - 1;
+                    if missing == 0 {
+                        c.wait = WaitState::Ready;
+                        wake = true;
+                    } else {
+                        c.wait = WaitState::Waiting { mask, missing };
+                    }
+                }
+            }
+        }
+        n.time += cost_store;
+        n.counters.instructions += cost_store;
+        if wake {
+            n.ready.push_back(ctx);
+            n.counters.resumes += 1;
+            n.time += cost_enqueue;
+            n.counters.instructions += cost_enqueue;
+            self.emit(
+                tnode,
+                crate::trace::TraceEvent::Resume {
+                    node: NodeId(tnode as u32),
+                    ctx,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Deliver a value through a continuation, from code running on `node`.
+    pub(crate) fn deliver_cont(
+        &mut self,
+        node: usize,
+        cont: Continuation,
+        v: Value,
+    ) -> Result<(), Trap> {
+        match cont {
+            Continuation::Unset => Err(Trap::new("reply through unset continuation")),
+            Continuation::Discard => Ok(()),
+            Continuation::Root => {
+                self.result = Some(v);
+                Ok(())
+            }
+            Continuation::Into(cr) => {
+                if cr.node.idx() == node {
+                    self.fill_slot(node, cr.ctx, cr.gen, cr.slot, v)
+                } else {
+                    self.send_reply(node, cr.node, cr, v);
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Lazily materialize a continuation from `caller_info` (paper §3.2.3's
+    /// three cases). Returns the continuation and, when the caller's
+    /// context had to be created, the shell context index.
+    pub(crate) fn materialize_cont(
+        &mut self,
+        node: usize,
+        info: CallerInfo,
+    ) -> Result<(Continuation, Option<u32>), Trap> {
+        self.charge(node, self.cost.cont_create);
+        self.ctr(node).conts_created += 1;
+        self.emit(
+            node,
+            crate::trace::TraceEvent::ContMaterialized {
+                node: NodeId(node as u32),
+            },
+        );
+        match info {
+            CallerInfo::Proxy { cont } => Ok((cont, None)),
+            CallerInfo::Created {
+                node: cn,
+                ctx,
+                gen,
+                ret_slot,
+            } => Ok((
+                Continuation::Into(ContRef {
+                    node: cn,
+                    ctx,
+                    gen,
+                    slot: ret_slot,
+                }),
+                None,
+            )),
+            CallerInfo::NotCreated {
+                method,
+                obj,
+                ret_slot,
+            } => {
+                debug_assert_eq!(obj.node.idx(), node, "shell off-node");
+                let m = self.program.method(method);
+                let mut frame = ActFrame::new(method, obj, m.locals, m.slots, &[]);
+                frame.slots[ret_slot as usize] = SlotState::Pending;
+                let id = self.new_ctx(node, frame, Continuation::Unset, WaitState::Shell, true);
+                let gen = self.nodes[node].ctxs.gen(id);
+                Ok((
+                    Continuation::Into(ContRef {
+                        node: NodeId(node as u32),
+                        ctx: id,
+                        gen,
+                        slot: ret_slot,
+                    }),
+                    Some(id),
+                ))
+            }
+        }
+    }
+
+    // ================= contexts =================
+
+    /// Allocate a heap context, charging allocation + state-save costs.
+    /// `fallback` distinguishes lazy (stack-unwinding) creations from
+    /// eager parallel invocations in the counters.
+    pub(crate) fn new_ctx(
+        &mut self,
+        node: usize,
+        frame: ActFrame,
+        cont: Continuation,
+        wait: WaitState,
+        fallback: bool,
+    ) -> u32 {
+        let words = frame.words();
+        let c = self.cost.ctx_alloc + self.cost.ctx_word * words;
+        self.charge(node, c);
+        let method = frame.method;
+        let n = &mut self.nodes[node];
+        n.counters.ctx_alloc += 1;
+        if fallback {
+            n.counters.fallbacks += 1;
+        }
+        let id = n.ctxs.alloc(frame, cont, wait);
+        self.emit(
+            node,
+            if fallback {
+                crate::trace::TraceEvent::Fallback {
+                    node: NodeId(node as u32),
+                    method,
+                    ctx: id,
+                }
+            } else {
+                crate::trace::TraceEvent::ParInvoke {
+                    node: NodeId(node as u32),
+                    method,
+                    ctx: id,
+                }
+            },
+        );
+        id
+    }
+
+    /// Put a context on its node's ready queue.
+    pub(crate) fn enqueue_ready(&mut self, node: usize, ctx: u32) {
+        self.charge(node, self.cost.enqueue);
+        let n = &mut self.nodes[node];
+        debug_assert_eq!(n.ctxs.get(ctx).wait, WaitState::Ready);
+        n.ready.push_back(ctx);
+    }
+
+    /// Finish a context: release its lock if held, free it.
+    pub(crate) fn finish_ctx(&mut self, node: usize, ctx: u32) {
+        let holds = self.nodes[node].ctxs.get(ctx).holds_lock;
+        if holds {
+            let obj = self.nodes[node].ctxs.get(ctx).frame.obj.index;
+            self.lock_release(node, obj);
+        }
+        self.charge(node, self.cost.ctx_free);
+        let n = &mut self.nodes[node];
+        n.counters.ctx_free += 1;
+        n.ctxs.release(ctx);
+    }
+
+    /// Move a stack frame into a lazily allocated heap context: the
+    /// mechanical core of the paper's fallback (Fig. 6). The frame is left
+    /// empty; `next_pc` is where the parallel version resumes.
+    pub(crate) fn fallback_ctx(
+        &mut self,
+        node: usize,
+        fr: &mut ActFrame,
+        next_pc: u32,
+        wait: WaitState,
+    ) -> u32 {
+        let mut frame = std::mem::replace(
+            fr,
+            ActFrame {
+                method: fr.method,
+                obj: fr.obj,
+                pc: 0,
+                locals: Vec::new(),
+                slots: Vec::new(),
+            },
+        );
+        frame.pc = next_pc;
+        let id = self.new_ctx(node, frame, Continuation::Unset, wait, true);
+        if wait == WaitState::Ready {
+            self.enqueue_ready(node, id);
+        } else {
+            self.charge(node, self.cost.suspend);
+            self.ctr(node).suspends += 1;
+        }
+        id
+    }
+
+    /// Populate a shell context created on our behalf by a CP callee
+    /// (paper §3.2.3: "passing the continuation's future's context back to
+    /// its caller") and schedule it.
+    pub(crate) fn adopt_shell(&mut self, node: usize, shell: u32, fr: &mut ActFrame, next_pc: u32) {
+        let words = fr.words();
+        self.charge(node, self.cost.ctx_word * words);
+        self.ctr(node).fallbacks += 1;
+        let n = &mut self.nodes[node];
+        let c = n.ctxs.get_mut(shell);
+        debug_assert_eq!(c.wait, WaitState::Shell);
+        debug_assert_eq!(c.frame.method, fr.method);
+        // Keep the shell's slot states where the callee marked the return
+        // future pending; the stack frame has the same marking plus any
+        // earlier resolved slots, so the stack frame's view wins.
+        c.frame.locals = std::mem::take(&mut fr.locals);
+        let shell_slots = std::mem::replace(&mut c.frame.slots, std::mem::take(&mut fr.slots));
+        debug_assert_eq!(shell_slots.len(), c.frame.slots.len());
+        c.frame.pc = next_pc;
+        let method = c.frame.method;
+        c.wait = WaitState::Ready;
+        drop(shell_slots);
+        self.emit(
+            node,
+            crate::trace::TraceEvent::ShellAdopted {
+                node: NodeId(node as u32),
+                method,
+                ctx: shell,
+            },
+        );
+        self.enqueue_ready(node, shell);
+    }
+
+    // ================= locks =================
+
+    pub(crate) fn obj_locked_class(&self, node: usize, obj: u32) -> bool {
+        self.nodes[node].objects[obj as usize].lock.is_some()
+    }
+
+    /// Try to acquire `obj`'s lock for `who`. Unlocked classes always
+    /// succeed at no cost; the *check* cost is charged at the invoke site.
+    pub(crate) fn lock_try(&mut self, node: usize, obj: u32, who: LockHolder) -> bool {
+        let cost = self.cost.lock_acquire;
+        let n = &mut self.nodes[node];
+        match &mut n.objects[obj as usize].lock {
+            None => true,
+            Some(l) => {
+                if l.acquire(who) {
+                    n.time += cost;
+                    n.counters.instructions += cost;
+                    true
+                } else {
+                    n.counters.lock_conflicts += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Release one level of `obj`'s lock; if it becomes free and waiters
+    /// exist, schedule a grant.
+    pub(crate) fn lock_release(&mut self, node: usize, obj: u32) {
+        let cost = self.cost.lock_release;
+        let n = &mut self.nodes[node];
+        let Some(l) = &mut n.objects[obj as usize].lock else {
+            return;
+        };
+        n.time += cost;
+        n.counters.instructions += cost;
+        if l.release() {
+            if let Some(d) = l.waiters.pop_front() {
+                n.granted.push_back((obj, d));
+            }
+        }
+    }
+
+    /// Defer an invocation on a held lock.
+    pub(crate) fn lock_defer(&mut self, node: usize, obj: u32, d: DeferredInvoke) {
+        self.charge(node, self.cost.lock_enqueue);
+        self.emit(
+            node,
+            crate::trace::TraceEvent::LockDeferred {
+                node: NodeId(node as u32),
+                obj,
+            },
+        );
+        let n = &mut self.nodes[node];
+        let l = n.objects[obj as usize]
+            .lock
+            .as_mut()
+            .expect("defer on unlocked class");
+        l.waiters.push_back(d);
+    }
+
+    /// Transfer a lock held by the current stack task to a fallen-back
+    /// context.
+    pub(crate) fn lock_transfer(&mut self, node: usize, obj: u32, to: LockHolder) {
+        if let Some(l) = &mut self.nodes[node].objects[obj as usize].lock {
+            l.transfer(to);
+        }
+    }
+
+    // ================= event loop =================
+
+    /// Root invocation: run `method` on `obj` with `args` to quiescence and
+    /// return the reply (if the program replied).
+    pub fn call(
+        &mut self,
+        obj: ObjRef,
+        method: MethodId,
+        args: &[Value],
+    ) -> Result<Option<Value>, Trap> {
+        self.result = None;
+        crate::wrapper::run_invocation(
+            self,
+            obj.node.idx(),
+            obj.index,
+            method,
+            args.to_vec(),
+            Continuation::Root,
+            false,
+        )?;
+        self.run_to_quiescence()?;
+        Ok(self.result.take())
+    }
+
+    /// Drive the machine until no work remains anywhere. Deterministic:
+    /// ties in virtual time break by (message-before-compute, node id,
+    /// message sequence number).
+    pub fn run_to_quiescence(&mut self) -> Result<(), Trap> {
+        loop {
+            if let Some(t) = self.trap.take() {
+                return Err(t);
+            }
+            // Drain the wire into per-node inboxes (effective processing
+            // still waits for max(node time, delivery time)).
+            while let Some(m) = self.net.pop() {
+                self.nodes[m.dest.idx()].inbox.push(InboxEntry {
+                    deliver: m.deliver_at,
+                    seq: m.seq,
+                    msg: m.msg,
+                });
+            }
+            // Select the earliest actionable (time, kind, node).
+            let mut best: Option<(Cycles, u8, usize)> = None;
+            for (i, n) in self.nodes.iter().enumerate() {
+                if let Some(e) = n.inbox.peek() {
+                    let cand = (n.time.max(e.deliver), 0u8, i);
+                    if best.is_none_or(|b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+                if n.has_local_work() {
+                    let cand = (n.time, 1u8, i);
+                    if best.is_none_or(|b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            let Some((t, kind, i)) = best else {
+                return Ok(());
+            };
+            if kind == 0 {
+                let e = self.nodes[i].inbox.pop().expect("selected inbox entry");
+                self.nodes[i].time = t;
+                self.charge(i, self.cost.handler);
+                self.ctr(i).msgs_handled += 1;
+                self.handle_msg(i, e.msg)?;
+            } else if let Some((obj, d)) = self.nodes[i].granted.pop_front() {
+                self.run_granted(i, obj, d)?;
+            } else {
+                let c = self.nodes[i].ready.pop_front().expect("selected ready ctx");
+                crate::par::dispatch(self, i, c)?;
+            }
+        }
+    }
+
+    fn handle_msg(&mut self, node: usize, msg: Msg) -> Result<(), Trap> {
+        match msg {
+            Msg::Invoke {
+                obj,
+                method,
+                args,
+                cont,
+                forwarded,
+            } => {
+                self.ctr(node).wrapper_runs += 1;
+                crate::wrapper::run_invocation(self, node, obj, method, args, cont, forwarded)
+            }
+            Msg::Reply { cont, value } => {
+                debug_assert_eq!(cont.node.idx(), node);
+                self.fill_slot(node, cont.ctx, cont.gen, cont.slot, value)
+            }
+        }
+    }
+
+    /// Run a lock grant: the lock was released with this invocation queued.
+    /// The lock may have been re-taken in the meantime (a later stack task
+    /// can sneak in); in that case the invocation goes back on the queue.
+    fn run_granted(&mut self, node: usize, obj: u32, d: DeferredInvoke) -> Result<(), Trap> {
+        let held = self.nodes[node].objects[obj as usize]
+            .lock
+            .as_ref()
+            .is_some_and(|l| l.holder.is_some());
+        if held {
+            self.nodes[node].objects[obj as usize]
+                .lock
+                .as_mut()
+                .expect("granted on unlocked class")
+                .waiters
+                .push_front(d);
+            return Ok(());
+        }
+        crate::wrapper::run_invocation(self, node, obj, d.method, d.args, d.cont, d.forwarded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_runtime(n_nodes: u32) -> Runtime {
+        let mut pb = hem_ir::ProgramBuilder::new();
+        let c = pb.class("C", false);
+        pb.method(c, "id", 1, |mb| mb.reply(mb.arg(0)));
+        Runtime::new(
+            pb.finish(),
+            n_nodes,
+            CostModel::unit(),
+            ExecMode::Hybrid,
+            InterfaceSet::Full,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn setup_and_field_access() {
+        let mut pb = hem_ir::ProgramBuilder::new();
+        let c = pb.class("C", false);
+        let x = pb.field(c, "x");
+        let xs = pb.array_field(c, "xs");
+        pb.method(c, "id", 0, |mb| mb.reply_nil());
+        let mut rt = Runtime::new(
+            pb.finish(),
+            2,
+            CostModel::unit(),
+            ExecMode::Hybrid,
+            InterfaceSet::Full,
+        )
+        .unwrap();
+        let o = rt.alloc_object_by_name("C", NodeId(1));
+        assert_eq!(o.node, NodeId(1));
+        rt.set_field(o, x, Value::Int(9));
+        assert_eq!(rt.get_field(o, x), Value::Int(9));
+        rt.set_array(o, xs, vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(rt.get_array(o, xs).len(), 2);
+    }
+
+    #[test]
+    fn apply_fill_state_machine() {
+        let mut slots = vec![
+            SlotState::Pending,
+            SlotState::Join(2),
+            SlotState::Full(Value::Nil),
+        ];
+        assert_eq!(Runtime::apply_fill(&mut slots, 0, Value::Int(1)), Ok(true));
+        assert_eq!(slots[0], SlotState::Full(Value::Int(1)));
+        assert_eq!(Runtime::apply_fill(&mut slots, 1, Value::Nil), Ok(false));
+        assert_eq!(Runtime::apply_fill(&mut slots, 1, Value::Nil), Ok(true));
+        assert_eq!(slots[1], SlotState::Join(0));
+        assert!(Runtime::apply_fill(&mut slots, 1, Value::Nil).is_err());
+        assert!(Runtime::apply_fill(&mut slots, 2, Value::Nil).is_err());
+        assert!(Runtime::apply_fill(&mut slots, 9, Value::Nil).is_err());
+    }
+
+    #[test]
+    fn quiescent_when_empty() {
+        let rt = tiny_runtime(2);
+        assert!(rt.is_quiescent());
+        assert_eq!(rt.live_contexts(), 0);
+        assert_eq!(rt.makespan(), 0);
+    }
+
+    #[test]
+    fn slot_cap_enforced() {
+        let mut pb = hem_ir::ProgramBuilder::new();
+        let c = pb.class("C", false);
+        pb.method(c, "many", 0, |mb| {
+            for _ in 0..70 {
+                mb.slot();
+            }
+            mb.reply_nil();
+        });
+        let err = Runtime::new(
+            pb.finish(),
+            1,
+            CostModel::unit(),
+            ExecMode::Hybrid,
+            InterfaceSet::Full,
+        )
+        .err()
+        .expect("should reject >64 slots");
+        assert!(err[0].what.contains("64-slot"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Optional execution tracing.
+//!
+//! When enabled, the runtime records one [`TraceEvent`] per interesting
+//! runtime action — stack completions, speculative inlines, fallbacks,
+//! shell adoptions, messages, suspensions — with the virtual time at which
+//! it happened. The trace makes the hybrid model's *adaptation* visible:
+//! you can watch an invocation start on the stack, hit a remote object,
+//! lazily grow a context, and finish in the parallel version.
+//!
+//! Tracing is off by default and costs one branch per event when off.
+
+use hem_analysis::Schema;
+use hem_ir::MethodId;
+use hem_machine::{Cycles, NodeId};
+
+/// One recorded runtime action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A sequential execution completed on the stack.
+    StackComplete {
+        /// Node it ran on.
+        node: NodeId,
+        /// Completed method.
+        method: MethodId,
+        /// Its sequential schema.
+        schema: Schema,
+    },
+    /// A local, non-blocking leaf was speculatively inlined.
+    Inlined {
+        /// Node.
+        node: NodeId,
+        /// Inlined method.
+        method: MethodId,
+    },
+    /// A stack frame lazily became heap context `ctx` (unwinding).
+    Fallback {
+        /// Node.
+        node: NodeId,
+        /// Method that fell back.
+        method: MethodId,
+        /// The created context index.
+        ctx: u32,
+    },
+    /// A heap context was created for an eager parallel invocation.
+    ParInvoke {
+        /// Node.
+        node: NodeId,
+        /// Invoked method.
+        method: MethodId,
+        /// The created context index.
+        ctx: u32,
+    },
+    /// A caller populated a shell context a CP callee created for it.
+    ShellAdopted {
+        /// Node.
+        node: NodeId,
+        /// The shell's method.
+        method: MethodId,
+        /// The shell context index.
+        ctx: u32,
+    },
+    /// A continuation was lazily materialized (§3.2.3).
+    ContMaterialized {
+        /// Node.
+        node: NodeId,
+    },
+    /// A request (`reply = false`) or reply message was sent.
+    MsgSent {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Reply vs request.
+        reply: bool,
+    },
+    /// A context suspended on a touch.
+    Suspend {
+        /// Node.
+        node: NodeId,
+        /// Context.
+        ctx: u32,
+    },
+    /// A waiting context became ready (its touch was satisfied).
+    Resume {
+        /// Node.
+        node: NodeId,
+        /// Context.
+        ctx: u32,
+    },
+    /// An invocation was deferred on a held object lock.
+    LockDeferred {
+        /// Node.
+        node: NodeId,
+        /// Object index.
+        obj: u32,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time on the event's node.
+    pub at: Cycles,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// The trace buffer.
+#[derive(Debug, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Turn recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Is recording on?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record (no-op when disabled).
+    #[inline]
+    pub(crate) fn emit(&mut self, at: Cycles, event: TraceEvent) {
+        if self.enabled {
+            self.records.push(TraceRecord { at, event });
+        }
+    }
+
+    /// Drain the recorded events.
+    pub fn take(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Peek at the recorded events.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+}
+
+impl crate::rt::Runtime {
+    /// Enable execution tracing (see [`TraceEvent`]).
+    pub fn enable_trace(&mut self) {
+        self.trace_buf.enable();
+    }
+
+    /// Drain recorded trace events.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.trace_buf.take()
+    }
+
+    /// Record an event against a node's current virtual time.
+    #[inline]
+    pub(crate) fn emit(&mut self, node: usize, event: TraceEvent) {
+        if self.trace_buf.enabled() {
+            let at = self.nodes[node].time;
+            self.trace_buf.emit(at, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::default();
+        t.emit(1, TraceEvent::ContMaterialized { node: NodeId(0) });
+        assert!(t.records().is_empty());
+        t.enable();
+        t.emit(2, TraceEvent::ContMaterialized { node: NodeId(0) });
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(t.records()[0].at, 2);
+        let drained = t.take();
+        assert_eq!(drained.len(), 1);
+        assert!(t.records().is_empty());
+    }
+}

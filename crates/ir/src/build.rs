@@ -1,0 +1,648 @@
+//! Ergonomic program construction.
+//!
+//! [`ProgramBuilder`] assembles classes and methods; [`MethodBuilder`]
+//! provides structured control flow (`if_else`, `while_`, `for_range`) that
+//! lowers to the flat jump-based body, plus label-resolved raw jumps for
+//! anything irregular. Methods can be *declared* before being *defined*, so
+//! mutually recursive programs (fib, forwarding chains) build naturally.
+
+use crate::instr::{BinOp, Instr, LocalityHint, Operand, UnOp};
+use crate::program::{Class, FieldDecl, Method, Program};
+use crate::{ClassId, FieldId, Local, MethodId, Slot};
+
+/// Builder for a whole [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    classes: Vec<Class>,
+    methods: Vec<Method>,
+    defined: Vec<bool>,
+}
+
+impl ProgramBuilder {
+    /// Start an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a class. `locked` enables the implicit per-object lock.
+    pub fn class(&mut self, name: &str, locked: bool) -> ClassId {
+        self.classes.push(Class {
+            name: name.to_string(),
+            fields: Vec::new(),
+            locked,
+        });
+        ClassId(self.classes.len() as u32 - 1)
+    }
+
+    /// Add a scalar field to `class`.
+    pub fn field(&mut self, class: ClassId, name: &str) -> FieldId {
+        let fields = &mut self.classes[class.idx()].fields;
+        fields.push(FieldDecl {
+            name: name.to_string(),
+            array: false,
+        });
+        FieldId(fields.len() as u16 - 1)
+    }
+
+    /// Add an array field to `class`.
+    pub fn array_field(&mut self, class: ClassId, name: &str) -> FieldId {
+        let fields = &mut self.classes[class.idx()].fields;
+        fields.push(FieldDecl {
+            name: name.to_string(),
+            array: true,
+        });
+        FieldId(fields.len() as u16 - 1)
+    }
+
+    /// Declare a method (so call sites can reference it) without a body yet.
+    pub fn declare(&mut self, class: ClassId, name: &str, params: u16) -> MethodId {
+        self.methods.push(Method {
+            name: name.to_string(),
+            class,
+            params,
+            locals: params,
+            slots: 0,
+            body: Vec::new(),
+            inlinable: false,
+        });
+        self.defined.push(false);
+        MethodId(self.methods.len() as u32 - 1)
+    }
+
+    /// Define a previously declared method.
+    ///
+    /// # Panics
+    /// If the method was already defined.
+    pub fn define<F: FnOnce(&mut MethodBuilder)>(&mut self, id: MethodId, f: F) {
+        assert!(!self.defined[id.idx()], "method #{} defined twice", id.0);
+        let params = self.methods[id.idx()].params;
+        let mut mb = MethodBuilder::new(params);
+        f(&mut mb);
+        let (locals, slots, body, inlinable) = mb.finish();
+        let m = &mut self.methods[id.idx()];
+        m.locals = locals;
+        m.slots = slots;
+        m.body = body;
+        m.inlinable = inlinable;
+        self.defined[id.idx()] = true;
+    }
+
+    /// Declare and define in one step.
+    pub fn method<F: FnOnce(&mut MethodBuilder)>(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        params: u16,
+        f: F,
+    ) -> MethodId {
+        let id = self.declare(class, name, params);
+        self.define(id, f);
+        id
+    }
+
+    /// Finish and validate.
+    ///
+    /// # Panics
+    /// If any declared method is undefined or validation fails — builder
+    /// misuse is a programming error in the harness, not a runtime condition.
+    pub fn finish(self) -> Program {
+        for (i, d) in self.defined.iter().enumerate() {
+            assert!(
+                *d,
+                "method #{} ({}) declared but never defined",
+                i, self.methods[i].name
+            );
+        }
+        let p = Program {
+            classes: self.classes,
+            methods: self.methods,
+        };
+        if let Err(errs) = p.validate() {
+            let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+            panic!("program failed validation:\n{}", msgs.join("\n"));
+        }
+        p
+    }
+}
+
+/// A control-flow label (builder-local).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelId(u32);
+
+/// Builder for one method body. Registers `0..params` are the arguments;
+/// [`MethodBuilder::local`] allocates fresh ones. Jumps emitted through the
+/// builder reference [`LabelId`]s and are resolved to instruction indices
+/// when the method is finished.
+#[derive(Debug)]
+pub struct MethodBuilder {
+    params: u16,
+    nlocals: u16,
+    nslots: u16,
+    body: Vec<Instr>,
+    labels: Vec<Option<u32>>,
+    inlinable: bool,
+}
+
+impl MethodBuilder {
+    fn new(params: u16) -> Self {
+        MethodBuilder {
+            params,
+            nlocals: params,
+            nslots: 0,
+            body: Vec::new(),
+            labels: Vec::new(),
+            inlinable: false,
+        }
+    }
+
+    /// Register holding argument `i`.
+    pub fn arg(&self, i: u16) -> Local {
+        assert!(i < self.params, "argument {i} out of range");
+        Local(i)
+    }
+
+    /// Allocate a fresh register.
+    pub fn local(&mut self) -> Local {
+        let l = Local(self.nlocals);
+        self.nlocals += 1;
+        l
+    }
+
+    /// Allocate a fresh future slot.
+    pub fn slot(&mut self) -> Slot {
+        let s = Slot(self.nslots);
+        self.nslots += 1;
+        s
+    }
+
+    /// Mark the method as a speculative-inlining candidate (tiny leaf).
+    pub fn inlinable(&mut self) {
+        self.inlinable = true;
+    }
+
+    // ---- data movement & arithmetic ----
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: Local, src: impl Into<Operand>) {
+        self.body.push(Instr::Mov {
+            dst,
+            src: src.into(),
+        });
+    }
+
+    /// `dst = a op b`.
+    pub fn bin(&mut self, dst: Local, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.body.push(Instr::Bin {
+            dst,
+            op,
+            a: a.into(),
+            b: b.into(),
+        });
+    }
+
+    /// `fresh = a op b`, returning the fresh register.
+    pub fn binl(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Local {
+        let dst = self.local();
+        self.bin(dst, op, a, b);
+        dst
+    }
+
+    /// `dst = op a`.
+    pub fn un(&mut self, dst: Local, op: UnOp, a: impl Into<Operand>) {
+        self.body.push(Instr::Un {
+            dst,
+            op,
+            a: a.into(),
+        });
+    }
+
+    /// `fresh = op a`, returning the fresh register.
+    pub fn unl(&mut self, op: UnOp, a: impl Into<Operand>) -> Local {
+        let dst = self.local();
+        self.un(dst, op, a);
+        dst
+    }
+
+    /// `fresh = self`.
+    pub fn self_ref(&mut self) -> Local {
+        let dst = self.local();
+        self.body.push(Instr::SelfRef { dst });
+        dst
+    }
+
+    /// `fresh = executing node index`.
+    pub fn my_node(&mut self) -> Local {
+        let dst = self.local();
+        self.body.push(Instr::MyNode { dst });
+        dst
+    }
+
+    /// `fresh = node index of obj`.
+    pub fn node_of(&mut self, obj: impl Into<Operand>) -> Local {
+        let dst = self.local();
+        self.body.push(Instr::NodeOf {
+            dst,
+            obj: obj.into(),
+        });
+        dst
+    }
+
+    /// `fresh = new local object of class`.
+    pub fn new_local_obj(&mut self, class: ClassId) -> Local {
+        let dst = self.local();
+        self.body.push(Instr::NewLocal { dst, class });
+        dst
+    }
+
+    // ---- fields ----
+
+    /// `fresh = self.field`.
+    pub fn get_field(&mut self, field: FieldId) -> Local {
+        let dst = self.local();
+        self.body.push(Instr::GetField { dst, field });
+        dst
+    }
+
+    /// `self.field = src`.
+    pub fn set_field(&mut self, field: FieldId, src: impl Into<Operand>) {
+        self.body.push(Instr::SetField {
+            field,
+            src: src.into(),
+        });
+    }
+
+    /// `fresh = self.field[idx]`.
+    pub fn get_elem(&mut self, field: FieldId, idx: impl Into<Operand>) -> Local {
+        let dst = self.local();
+        self.body.push(Instr::GetElem {
+            dst,
+            field,
+            idx: idx.into(),
+        });
+        dst
+    }
+
+    /// `self.field[idx] = src`.
+    pub fn set_elem(&mut self, field: FieldId, idx: impl Into<Operand>, src: impl Into<Operand>) {
+        self.body.push(Instr::SetElem {
+            field,
+            idx: idx.into(),
+            src: src.into(),
+        });
+    }
+
+    /// Allocate `self.field` as a nil-filled array of length `len`.
+    pub fn arr_new(&mut self, field: FieldId, len: impl Into<Operand>) {
+        self.body.push(Instr::ArrNew {
+            field,
+            len: len.into(),
+        });
+    }
+
+    /// `fresh = self.field.len()`.
+    pub fn arr_len(&mut self, field: FieldId) -> Local {
+        let dst = self.local();
+        self.body.push(Instr::ArrLen { dst, field });
+        dst
+    }
+
+    // ---- invocation & synchronization ----
+
+    /// Raw invoke.
+    pub fn invoke(
+        &mut self,
+        slot: Option<Slot>,
+        target: impl Into<Operand>,
+        method: MethodId,
+        args: &[Operand],
+        hint: LocalityHint,
+    ) {
+        self.body.push(Instr::Invoke {
+            slot,
+            target: target.into(),
+            method,
+            args: args.to_vec(),
+            hint,
+        });
+    }
+
+    /// Invoke into a fresh slot (unknown locality); returns the slot.
+    pub fn invoke_into(
+        &mut self,
+        target: impl Into<Operand>,
+        method: MethodId,
+        args: &[Operand],
+    ) -> Slot {
+        let s = self.slot();
+        self.invoke(Some(s), target, method, args, LocalityHint::Unknown);
+        s
+    }
+
+    /// Invoke into a fresh slot with the `AlwaysLocal` hint.
+    pub fn invoke_local(
+        &mut self,
+        target: impl Into<Operand>,
+        method: MethodId,
+        args: &[Operand],
+    ) -> Slot {
+        let s = self.slot();
+        self.invoke(Some(s), target, method, args, LocalityHint::AlwaysLocal);
+        s
+    }
+
+    /// Touch a set of slots.
+    pub fn touch(&mut self, slots: &[Slot]) {
+        self.body.push(Instr::Touch {
+            slots: slots.to_vec(),
+        });
+    }
+
+    /// `fresh = slot value` (slot must be resolved).
+    pub fn get_slot(&mut self, slot: Slot) -> Local {
+        let dst = self.local();
+        self.body.push(Instr::GetSlot { dst, slot });
+        dst
+    }
+
+    /// Touch one slot and read it.
+    pub fn touch_get(&mut self, slot: Slot) -> Local {
+        self.touch(&[slot]);
+        self.get_slot(slot)
+    }
+
+    /// Initialize a join counter slot.
+    pub fn join_init(&mut self, slot: Slot, count: impl Into<Operand>) {
+        self.body.push(Instr::JoinInit {
+            slot,
+            count: count.into(),
+        });
+    }
+
+    // ---- terminators & continuations ----
+
+    /// Reply with a value (terminator).
+    pub fn reply(&mut self, src: impl Into<Operand>) {
+        self.body.push(Instr::Reply { src: src.into() });
+    }
+
+    /// Reply with nil (terminator).
+    pub fn reply_nil(&mut self) {
+        self.reply(crate::Value::Nil);
+    }
+
+    /// Forward our continuation (terminator).
+    pub fn forward(
+        &mut self,
+        target: impl Into<Operand>,
+        method: MethodId,
+        args: &[Operand],
+        hint: LocalityHint,
+    ) {
+        self.body.push(Instr::Forward {
+            target: target.into(),
+            method,
+            args: args.to_vec(),
+            hint,
+        });
+    }
+
+    /// Finish without replying (terminator).
+    pub fn halt(&mut self) {
+        self.body.push(Instr::Halt);
+    }
+
+    /// Store our continuation into `self.field` (scalar).
+    pub fn store_cont(&mut self, field: FieldId) {
+        self.body.push(Instr::StoreCont { field, idx: None });
+    }
+
+    /// Store our continuation into `self.field[idx]`.
+    pub fn store_cont_at(&mut self, field: FieldId, idx: impl Into<Operand>) {
+        self.body.push(Instr::StoreCont {
+            field,
+            idx: Some(idx.into()),
+        });
+    }
+
+    /// Determine a stored continuation with a value.
+    pub fn send_to_cont(&mut self, cont: impl Into<Operand>, value: impl Into<Operand>) {
+        self.body.push(Instr::SendToCont {
+            cont: cont.into(),
+            value: value.into(),
+        });
+    }
+
+    // ---- control flow ----
+
+    /// Allocate a label.
+    pub fn new_label(&mut self) -> LabelId {
+        self.labels.push(None);
+        LabelId(self.labels.len() as u32 - 1)
+    }
+
+    /// Place a label at the current position.
+    pub fn place(&mut self, l: LabelId) {
+        assert!(self.labels[l.0 as usize].is_none(), "label placed twice");
+        self.labels[l.0 as usize] = Some(self.body.len() as u32);
+    }
+
+    /// Jump to a label.
+    pub fn jmp(&mut self, l: LabelId) {
+        self.body.push(Instr::Jmp { to: l.0 });
+    }
+
+    /// Branch on a condition to one of two labels.
+    pub fn br(&mut self, cond: impl Into<Operand>, t: LabelId, f: LabelId) {
+        self.body.push(Instr::Br {
+            cond: cond.into(),
+            t: t.0,
+            f: f.0,
+        });
+    }
+
+    /// Structured two-armed conditional.
+    pub fn if_else(
+        &mut self,
+        cond: impl Into<Operand>,
+        then_: impl FnOnce(&mut Self),
+        else_: impl FnOnce(&mut Self),
+    ) {
+        let lt = self.new_label();
+        let lf = self.new_label();
+        let lend = self.new_label();
+        self.br(cond, lt, lf);
+        self.place(lt);
+        then_(self);
+        self.jmp(lend);
+        self.place(lf);
+        else_(self);
+        self.jmp(lend);
+        self.place(lend);
+    }
+
+    /// Structured one-armed conditional.
+    pub fn if_(&mut self, cond: impl Into<Operand>, then_: impl FnOnce(&mut Self)) {
+        self.if_else(cond, then_, |_| {});
+    }
+
+    /// Structured while loop: `cond` re-evaluates each iteration.
+    pub fn while_(&mut self, cond: impl Fn(&mut Self) -> Operand, body: impl FnOnce(&mut Self)) {
+        let lhead = self.new_label();
+        let lbody = self.new_label();
+        let lend = self.new_label();
+        self.place(lhead);
+        let c = cond(self);
+        self.br(c, lbody, lend);
+        self.place(lbody);
+        body(self);
+        self.jmp(lhead);
+        self.place(lend);
+    }
+
+    /// Counted loop: `for i in from..to { body(i) }` over a fresh register.
+    pub fn for_range(
+        &mut self,
+        from: impl Into<Operand>,
+        to: impl Into<Operand>,
+        body: impl FnOnce(&mut Self, Local),
+    ) {
+        let i = self.local();
+        let to_l = self.local();
+        self.mov(i, from);
+        let to_op = to.into();
+        self.mov(to_l, to_op);
+        self.while_(
+            |mb| Operand::L(mb.binl(BinOp::Lt, i, to_l)),
+            |mb| {
+                body(mb, i);
+                mb.bin(i, BinOp::Add, i, 1);
+            },
+        );
+    }
+
+    fn finish(mut self) -> (u16, u16, Vec<Instr>, bool) {
+        // Resolve labels and guarantee a terminator exists. A label placed
+        // after the final instruction (e.g. the join of a trailing if/else
+        // whose arms both reply) needs a landing pad.
+        let past_end = self.labels.contains(&Some(self.body.len() as u32));
+        if past_end || self.body.last().is_none_or(|i| !i.no_fallthrough()) {
+            self.body.push(Instr::Halt);
+        }
+        let labels = &self.labels;
+        let resolve = |l: u32| -> u32 {
+            labels[l as usize].unwrap_or_else(|| panic!("label {l} never placed"))
+        };
+        for ins in &mut self.body {
+            match ins {
+                Instr::Jmp { to } => *to = resolve(*to),
+                Instr::Br { t, f, .. } => {
+                    *t = resolve(*t);
+                    *f = resolve(*f);
+                }
+                _ => {}
+            }
+        }
+        (self.nlocals, self.nslots, self.body, self.inlinable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn builds_and_validates_fib_shape() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("Math", false);
+        let fib = pb.declare(c, "fib", 1);
+        pb.define(fib, |mb| {
+            let n = mb.arg(0);
+            let small = mb.binl(BinOp::Lt, n, 2);
+            mb.if_else(
+                small,
+                |mb| mb.reply(n),
+                |mb| {
+                    let me = mb.self_ref();
+                    let n1 = mb.binl(BinOp::Sub, n, 1);
+                    let n2 = mb.binl(BinOp::Sub, n, 2);
+                    let s1 = mb.invoke_local(me, fib, &[n1.into()]);
+                    let s2 = mb.invoke_local(me, fib, &[n2.into()]);
+                    mb.touch(&[s1, s2]);
+                    let a = mb.get_slot(s1);
+                    let b = mb.get_slot(s2);
+                    let r = mb.binl(BinOp::Add, a, b);
+                    mb.reply(r);
+                },
+            );
+        });
+        let p = pb.finish();
+        assert_eq!(p.methods.len(), 1);
+        assert!(p.method(fib).slots >= 2);
+        // The implicit trailing Halt guards the structured if/else joins.
+        assert!(p.method(fib).body.last().unwrap().no_fallthrough());
+    }
+
+    #[test]
+    fn while_loop_lowering_runs_bounds() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C", false);
+        pb.method(c, "count", 1, |mb| {
+            let acc = mb.local();
+            mb.mov(acc, 0i64);
+            mb.for_range(0i64, mb.arg(0), |mb, _i| {
+                mb.bin(acc, BinOp::Add, acc, 1);
+            });
+            mb.reply(acc);
+        });
+        let p = pb.finish();
+        // All jump targets resolved within bounds (validate() checked).
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn double_define_panics() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C", false);
+        let m = pb.declare(c, "m", 0);
+        pb.define(m, |mb| mb.reply_nil());
+        pb.define(m, |mb| mb.reply_nil());
+    }
+
+    #[test]
+    #[should_panic(expected = "never defined")]
+    fn undefined_method_panics_on_finish() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C", false);
+        pb.declare(c, "m", 0);
+        pb.finish();
+    }
+
+    #[test]
+    fn fields_and_arrays() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C", true);
+        let x = pb.field(c, "x");
+        let arr = pb.array_field(c, "arr");
+        pb.method(c, "init", 0, |mb| {
+            mb.set_field(x, 41i64);
+            mb.arr_new(arr, 4i64);
+            mb.set_elem(arr, 0i64, Value::Bool(true));
+            let l = mb.arr_len(arr);
+            mb.reply(l);
+        });
+        let p = pb.finish();
+        assert!(p.classes[0].locked);
+        assert_eq!(p.classes[0].fields.len(), 2);
+    }
+
+    #[test]
+    fn implicit_halt_added() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C", false);
+        let m = pb.method(c, "noop", 0, |_mb| {});
+        let p = pb.finish();
+        assert_eq!(p.method(m).body, vec![Instr::Halt]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Human-readable program listings.
+//!
+//! `Program::disassemble` renders a whole program (classes, fields,
+//! methods, numbered instructions) in a stable textual form — the
+//! debugging view for generated kernels, used by the examples and handy
+//! in test failure output.
+
+use crate::instr::{Instr, LocalityHint, Operand};
+use crate::program::{Method, Program};
+use crate::value::Value;
+use std::fmt::Write;
+
+impl Program {
+    /// Render the whole program.
+    pub fn disassemble(&self) -> String {
+        let mut s = String::new();
+        for (ci, c) in self.classes.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "class #{ci} {}{} {{",
+                c.name,
+                if c.locked { " (locked)" } else { "" }
+            );
+            for (fi, f) in c.fields.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "  field #{fi} {}{}",
+                    f.name,
+                    if f.array { "[]" } else { "" }
+                );
+            }
+            for (mi, m) in self.methods.iter().enumerate() {
+                if m.class.idx() == ci {
+                    let _ = write!(s, "{}", self.disassemble_method(crate::MethodId(mi as u32)));
+                }
+            }
+            let _ = writeln!(s, "}}");
+        }
+        s
+    }
+
+    /// Render one method.
+    pub fn disassemble_method(&self, id: crate::MethodId) -> String {
+        let m = self.method(id);
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "  method #{} {}({} args, {} locals, {} slots){}",
+            id.0,
+            m.name,
+            m.params,
+            m.locals,
+            m.slots,
+            if m.inlinable { " inline" } else { "" }
+        );
+        for (pc, ins) in m.body.iter().enumerate() {
+            let _ = writeln!(s, "    {pc:>4}: {}", render_instr(self, m, ins));
+        }
+        s
+    }
+}
+
+fn op(o: &Operand) -> String {
+    match o {
+        Operand::L(l) => format!("r{}", l.0),
+        Operand::K(Value::Int(i)) => format!("{i}"),
+        Operand::K(Value::Float(f)) => format!("{f:?}"),
+        Operand::K(Value::Bool(b)) => format!("{b}"),
+        Operand::K(Value::Nil) => "nil".to_string(),
+        Operand::K(v) => format!("{v:?}"),
+    }
+}
+
+fn ops(os: &[Operand]) -> String {
+    os.iter().map(op).collect::<Vec<_>>().join(", ")
+}
+
+fn hint(h: LocalityHint) -> &'static str {
+    match h {
+        LocalityHint::Unknown => "",
+        LocalityHint::AlwaysLocal => " !local",
+    }
+}
+
+fn fname(p: &Program, m: &Method, f: crate::FieldId) -> String {
+    p.classes[m.class.idx()]
+        .fields
+        .get(f.idx())
+        .map(|d| d.name.clone())
+        .unwrap_or_else(|| format!("#{}", f.0))
+}
+
+fn mname(p: &Program, id: crate::MethodId) -> String {
+    p.methods
+        .get(id.idx())
+        .map(|m| m.name.clone())
+        .unwrap_or_else(|| format!("#{}", id.0))
+}
+
+fn render_instr(p: &Program, m: &Method, ins: &Instr) -> String {
+    match ins {
+        Instr::Mov { dst, src } => format!("r{} = {}", dst.0, op(src)),
+        Instr::Bin { dst, op: o, a, b } => format!("r{} = {} {o:?} {}", dst.0, op(a), op(b)),
+        Instr::Un { dst, op: o, a } => format!("r{} = {o:?} {}", dst.0, op(a)),
+        Instr::SelfRef { dst } => format!("r{} = self", dst.0),
+        Instr::MyNode { dst } => format!("r{} = mynode", dst.0),
+        Instr::NodeOf { dst, obj } => format!("r{} = nodeof {}", dst.0, op(obj)),
+        Instr::NewLocal { dst, class } => {
+            format!("r{} = new {}", dst.0, p.classes[class.idx()].name)
+        }
+        Instr::GetField { dst, field } => format!("r{} = self.{}", dst.0, fname(p, m, *field)),
+        Instr::SetField { field, src } => format!("self.{} = {}", fname(p, m, *field), op(src)),
+        Instr::GetElem { dst, field, idx } => {
+            format!("r{} = self.{}[{}]", dst.0, fname(p, m, *field), op(idx))
+        }
+        Instr::SetElem { field, idx, src } => {
+            format!("self.{}[{}] = {}", fname(p, m, *field), op(idx), op(src))
+        }
+        Instr::ArrNew { field, len } => {
+            format!("self.{} = array[{}]", fname(p, m, *field), op(len))
+        }
+        Instr::ArrLen { dst, field } => format!("r{} = len self.{}", dst.0, fname(p, m, *field)),
+        Instr::Invoke {
+            slot,
+            target,
+            method,
+            args,
+            hint: h,
+        } => {
+            let dst = match slot {
+                Some(s) => format!("f{} <- ", s.0),
+                None => String::new(),
+            };
+            format!(
+                "{dst}invoke {}.{}({}){}",
+                op(target),
+                mname(p, *method),
+                ops(args),
+                hint(*h)
+            )
+        }
+        Instr::Touch { slots } => format!(
+            "touch [{}]",
+            slots
+                .iter()
+                .map(|s| format!("f{}", s.0))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Instr::GetSlot { dst, slot } => format!("r{} = f{}", dst.0, slot.0),
+        Instr::JoinInit { slot, count } => format!("f{} = join({})", slot.0, op(count)),
+        Instr::Reply { src } => format!("reply {}", op(src)),
+        Instr::Forward {
+            target,
+            method,
+            args,
+            hint: h,
+        } => {
+            format!(
+                "forward {}.{}({}){}",
+                op(target),
+                mname(p, *method),
+                ops(args),
+                hint(*h)
+            )
+        }
+        Instr::Halt => "halt".to_string(),
+        Instr::StoreCont { field, idx } => match idx {
+            None => format!("self.{} = cont", fname(p, m, *field)),
+            Some(i) => format!("self.{}[{}] = cont", fname(p, m, *field), op(i)),
+        },
+        Instr::SendToCont { cont, value } => format!("send {} -> {}", op(value), op(cont)),
+        Instr::Jmp { to } => format!("jmp {to}"),
+        Instr::Br { cond, t, f } => format!("br {} ? {t} : {f}", op(cond)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BinOp, ProgramBuilder};
+
+    #[test]
+    fn listing_contains_expected_shapes() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("Math", false);
+        let x = pb.field(c, "x");
+        let fib = pb.declare(c, "fib", 1);
+        pb.define(fib, |mb| {
+            let n = mb.arg(0);
+            let small = mb.binl(BinOp::Lt, n, 2);
+            mb.if_else(
+                small,
+                |mb| mb.reply(n),
+                |mb| {
+                    let me = mb.self_ref();
+                    mb.set_field(x, 1i64);
+                    let s = mb.invoke_local(me, fib, &[n.into()]);
+                    let v = mb.touch_get(s);
+                    mb.reply(v);
+                },
+            );
+        });
+        let p = pb.finish();
+        let d = p.disassemble();
+        assert!(d.contains("class #0 Math"), "{d}");
+        assert!(d.contains("field #0 x"), "{d}");
+        assert!(d.contains("method #0 fib(1 args"), "{d}");
+        assert!(d.contains("invoke r"), "{d}");
+        assert!(d.contains(".fib(r0) !local"), "{d}");
+        assert!(d.contains("touch [f0]"), "{d}");
+        assert!(d.contains("self.x = 1"), "{d}");
+        assert!(d.contains("reply r0"), "{d}");
+        assert!(d.contains("br r"), "{d}");
+    }
+
+    #[test]
+    fn every_instruction_kind_renders() {
+        // Smoke-render the full kernel programs (covers the whole ISA).
+        {
+            let p = crate::Program::default();
+            let _ = p.disassemble();
+        }
+    }
+}

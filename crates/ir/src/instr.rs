@@ -1,0 +1,351 @@
+//! The instruction set.
+//!
+//! A method body is a flat `Vec<Instr>` executed by a register machine over
+//! the method's [`Local`] registers and its future
+//! [`Slot`]s. Control flow is by instruction index
+//! (the builder resolves structured `if`/`while` into jumps).
+
+use crate::value::Value;
+use crate::{ClassId, FieldId, Local, MethodId, Slot};
+
+/// An instruction operand: a register or an immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// Read a local register.
+    L(Local),
+    /// An immediate value.
+    K(Value),
+}
+
+impl From<Local> for Operand {
+    fn from(l: Local) -> Self {
+        Operand::L(l)
+    }
+}
+impl From<i64> for Operand {
+    fn from(i: i64) -> Self {
+        Operand::K(Value::Int(i))
+    }
+}
+impl From<f64> for Operand {
+    fn from(f: f64) -> Self {
+        Operand::K(Value::Float(f))
+    }
+}
+impl From<bool> for Operand {
+    fn from(b: bool) -> Self {
+        Operand::K(Value::Bool(b))
+    }
+}
+impl From<Value> for Operand {
+    fn from(v: Value) -> Self {
+        Operand::K(v)
+    }
+}
+
+/// Binary operations (numeric coercion semantics in [`crate::value::bin_op`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Min,
+    Max,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+    IsNil,
+    ToFloat,
+    ToInt,
+    Sqrt,
+}
+
+/// Compiler-provided locality knowledge for a call site.
+///
+/// Concert's global flow analysis could sometimes prove that a callee object
+/// is co-located with the caller (e.g. accessors on sub-objects). The
+/// schema-selection analysis uses this: an `AlwaysLocal` invocation of a
+/// non-blocking method on an unlocked class cannot block, whereas an
+/// `Unknown` one may be remote and therefore may suspend the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LocalityHint {
+    /// Target location unknown until run time (the common case).
+    #[default]
+    Unknown,
+    /// Proven co-located with the caller.
+    AlwaysLocal,
+}
+
+/// One IR instruction. See the module docs of [`crate`] for the model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: Local,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = a op b`.
+    Bin {
+        /// Destination register.
+        dst: Local,
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = op a`.
+    Un {
+        /// Destination register.
+        dst: Local,
+        /// Operation.
+        op: UnOp,
+        /// Operand.
+        a: Operand,
+    },
+    /// `dst = self` (the receiver object reference).
+    SelfRef {
+        /// Destination register.
+        dst: Local,
+    },
+    /// `dst = index of the executing node` (as an Int).
+    MyNode {
+        /// Destination register.
+        dst: Local,
+    },
+    /// `dst = node index of the object in `obj`` (as an Int). Name
+    /// translation is explicit here; real programs use it for layout-aware
+    /// decisions (the paper's applications know their data layout).
+    NodeOf {
+        /// Destination register.
+        dst: Local,
+        /// Object operand.
+        obj: Operand,
+    },
+    /// Allocate a fresh object of `class` on the *executing* node, fields
+    /// nil. Remote allocation is intentionally not expressible: data layout
+    /// is an input to the execution model (paper §1 footnote), so the
+    /// harness pre-places the object graph.
+    NewLocal {
+        /// Destination register for the new reference.
+        dst: Local,
+        /// Class of the new object.
+        class: ClassId,
+    },
+
+    // ---- self field access (owner computes) ----
+    /// `dst = self.field` (scalar field).
+    GetField {
+        /// Destination register.
+        dst: Local,
+        /// Scalar field.
+        field: FieldId,
+    },
+    /// `self.field = src` (scalar field).
+    SetField {
+        /// Scalar field.
+        field: FieldId,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = self.field[idx]` (array field).
+    GetElem {
+        /// Destination register.
+        dst: Local,
+        /// Array field.
+        field: FieldId,
+        /// Element index (Int).
+        idx: Operand,
+    },
+    /// `self.field[idx] = src` (array field).
+    SetElem {
+        /// Array field.
+        field: FieldId,
+        /// Element index (Int).
+        idx: Operand,
+        /// Source operand.
+        src: Operand,
+    },
+    /// (Re)allocate `self.field` as a nil-filled array of length `len`.
+    ArrNew {
+        /// Array field.
+        field: FieldId,
+        /// Length (Int).
+        len: Operand,
+    },
+    /// `dst = length of self.field`.
+    ArrLen {
+        /// Destination register.
+        dst: Local,
+        /// Array field.
+        field: FieldId,
+    },
+
+    // ---- invocation & synchronization ----
+    /// Asynchronously invoke `method` on the object in `target`; the result
+    /// future is `slot` (or discarded when `None`). This is the fine-grained
+    /// thread creation the whole paper is about.
+    Invoke {
+        /// Future slot receiving the reply (`None` = fire-and-forget).
+        slot: Option<Slot>,
+        /// Receiver object.
+        target: Operand,
+        /// Method to run.
+        method: MethodId,
+        /// Arguments.
+        args: Vec<Operand>,
+        /// Compiler locality knowledge.
+        hint: LocalityHint,
+    },
+    /// Block until every listed future slot is resolved (a single
+    /// multi-slot touch, paper Fig. 4).
+    Touch {
+        /// Slots that must all be full before execution continues.
+        slots: Vec<Slot>,
+    },
+    /// `dst = value of a resolved slot` (must have been touched).
+    GetSlot {
+        /// Destination register.
+        dst: Local,
+        /// Resolved slot.
+        slot: Slot,
+    },
+    /// Turn `slot` into a join counter expecting `count` completions
+    /// (data-parallel loops: N invocations, one touch).
+    JoinInit {
+        /// Slot to initialize.
+        slot: Slot,
+        /// Number of completions to await (Int).
+        count: Operand,
+    },
+
+    // ---- terminators ----
+    /// Determine the caller's future with `src` and finish.
+    Reply {
+        /// The reply value.
+        src: Operand,
+    },
+    /// Pass our continuation to `method` on `target` and finish: the callee
+    /// (or whoever it forwards to) replies directly to our caller. This is
+    /// the paper's forwarding (like `call/cc` responsibility passing) and
+    /// the reason the continuation-passing schema exists.
+    Forward {
+        /// Receiver object.
+        target: Operand,
+        /// Method to run.
+        method: MethodId,
+        /// Arguments.
+        args: Vec<Operand>,
+        /// Compiler locality knowledge.
+        hint: LocalityHint,
+    },
+    /// Finish without determining the future (reactive methods; the
+    /// continuation must have been stored or the invocation fire-and-forget).
+    Halt,
+
+    // ---- first-class continuations ----
+    /// Materialize our own continuation and store it into `self.field`
+    /// (scalar) or `self.field[idx]` (array). Used for custom
+    /// synchronization structures (barriers etc., paper Fig. 3). The method
+    /// must subsequently `Halt`, not `Reply`.
+    StoreCont {
+        /// Field to store into.
+        field: FieldId,
+        /// Element index for array fields.
+        idx: Option<Operand>,
+    },
+    /// Determine a stored continuation with `value`.
+    SendToCont {
+        /// Continuation operand (a `Value::Cont`).
+        cont: Operand,
+        /// Reply value.
+        value: Operand,
+    },
+
+    // ---- control flow ----
+    /// Unconditional jump to instruction index `to`.
+    Jmp {
+        /// Target instruction index (or label id pre-resolution).
+        to: u32,
+    },
+    /// Conditional branch on a Bool operand.
+    Br {
+        /// Condition (Bool).
+        cond: Operand,
+        /// Target when true.
+        t: u32,
+        /// Target when false.
+        f: u32,
+    },
+}
+
+impl Instr {
+    /// True for instructions that end the method.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Instr::Reply { .. } | Instr::Forward { .. } | Instr::Halt
+        )
+    }
+
+    /// True when no execution can fall through to the next instruction.
+    pub fn no_fallthrough(&self) -> bool {
+        self.is_terminator() || matches!(self, Instr::Jmp { .. } | Instr::Br { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminators() {
+        assert!(Instr::Halt.is_terminator());
+        assert!(Instr::Reply { src: 0.into() }.is_terminator());
+        assert!(!Instr::Jmp { to: 0 }.is_terminator());
+        assert!(Instr::Jmp { to: 0 }.no_fallthrough());
+        assert!(Instr::Br {
+            cond: true.into(),
+            t: 0,
+            f: 1
+        }
+        .no_fallthrough());
+        assert!(!Instr::Mov {
+            dst: Local(0),
+            src: 1.into()
+        }
+        .no_fallthrough());
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Local(3)), Operand::L(Local(3)));
+        assert_eq!(Operand::from(5i64), Operand::K(Value::Int(5)));
+        assert_eq!(Operand::from(2.5f64), Operand::K(Value::Float(2.5)));
+        assert_eq!(Operand::from(true), Operand::K(Value::Bool(true)));
+    }
+}

@@ -1,0 +1,753 @@
+//! Canonical textual form of a program: a printer and a parser that
+//! round-trip exactly (`parse(print(p)) == p`).
+//!
+//! The format is line-oriented and designed for golden files and
+//! hand-written kernels:
+//!
+//! ```text
+//! class Math {
+//!   field x
+//!   array data
+//! }
+//! inline method Math::get(0) locals=1 slots=0 {
+//!   getf r0 x
+//!   reply r0
+//! }
+//! ```
+//!
+//! Methods appear at top level, in program order (method ids are
+//! positional, so grouping them under classes would renumber call sites).
+//!
+//! One instruction per line; jump targets are absolute instruction
+//! indices; callees are referenced as `Class::method`; fields by name
+//! within the enclosing class. Operands: `rN` (register), integers,
+//! floats (must contain `.` or `e`), `true`/`false`, `nil`. A trailing
+//! `!local` marks the compiler's `AlwaysLocal` hint; `_` in an invoke's
+//! slot position marks fire-and-forget.
+
+use crate::instr::{BinOp, Instr, LocalityHint, Operand, UnOp};
+use crate::program::{Class, FieldDecl, Method, Program};
+use crate::value::Value;
+use crate::{ClassId, FieldId, Local, MethodId, Slot};
+use std::fmt::Write as _;
+
+/// A parse error with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub what: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ================= printer =================
+
+fn bin_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+        BinOp::Eq => "eq",
+        BinOp::Ne => "ne",
+        BinOp::Lt => "lt",
+        BinOp::Le => "le",
+        BinOp::Gt => "gt",
+        BinOp::Ge => "ge",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::BitAnd => "band",
+        BinOp::BitOr => "bor",
+        BinOp::BitXor => "bxor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+    }
+}
+
+fn un_name(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "neg",
+        UnOp::Not => "not",
+        UnOp::IsNil => "isnil",
+        UnOp::ToFloat => "tofloat",
+        UnOp::ToInt => "toint",
+        UnOp::Sqrt => "sqrt",
+    }
+}
+
+fn print_operand(o: &Operand) -> String {
+    match o {
+        Operand::L(l) => format!("r{}", l.0),
+        Operand::K(Value::Int(i)) => format!("{i}"),
+        Operand::K(Value::Float(f)) => {
+            let s = format!("{f}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Operand::K(Value::Bool(b)) => format!("{b}"),
+        Operand::K(Value::Nil) => "nil".to_string(),
+        Operand::K(v) => panic!("unprintable constant {v:?} (refs are runtime-only)"),
+    }
+}
+
+fn print_hint(h: LocalityHint) -> &'static str {
+    match h {
+        LocalityHint::Unknown => "",
+        LocalityHint::AlwaysLocal => " !local",
+    }
+}
+
+/// Render a program in the canonical text format.
+pub fn print_program(p: &Program) -> String {
+    let mut s = String::new();
+    let callee = |m: MethodId| {
+        let me = &p.methods[m.idx()];
+        format!("{}::{}", p.classes[me.class.idx()].name, me.name)
+    };
+    for c in p.classes.iter() {
+        let _ = writeln!(
+            s,
+            "class {}{} {{",
+            c.name,
+            if c.locked { " locked" } else { "" }
+        );
+        for f in &c.fields {
+            let _ = writeln!(
+                s,
+                "  {} {}",
+                if f.array { "array" } else { "field" },
+                f.name
+            );
+        }
+        let _ = writeln!(s, "}}");
+    }
+    {
+        for m in p.methods.iter() {
+            let c = &p.classes[m.class.idx()];
+            let _ = writeln!(
+                s,
+                "{}method {}::{}({}) locals={} slots={} {{",
+                if m.inlinable { "inline " } else { "" },
+                c.name,
+                m.name,
+                m.params,
+                m.locals,
+                m.slots
+            );
+            let fname = |f: FieldId| c.fields[f.idx()].name.clone();
+            for ins in &m.body {
+                let line = match ins {
+                    Instr::Mov { dst, src } => format!("mov r{} {}", dst.0, print_operand(src)),
+                    Instr::Bin { dst, op, a, b } => format!(
+                        "bin r{} {} {} {}",
+                        dst.0,
+                        bin_name(*op),
+                        print_operand(a),
+                        print_operand(b)
+                    ),
+                    Instr::Un { dst, op, a } => {
+                        format!("un r{} {} {}", dst.0, un_name(*op), print_operand(a))
+                    }
+                    Instr::SelfRef { dst } => format!("self r{}", dst.0),
+                    Instr::MyNode { dst } => format!("mynode r{}", dst.0),
+                    Instr::NodeOf { dst, obj } => {
+                        format!("nodeof r{} {}", dst.0, print_operand(obj))
+                    }
+                    Instr::NewLocal { dst, class } => {
+                        format!("new r{} {}", dst.0, p.classes[class.idx()].name)
+                    }
+                    Instr::GetField { dst, field } => format!("getf r{} {}", dst.0, fname(*field)),
+                    Instr::SetField { field, src } => {
+                        format!("setf {} {}", fname(*field), print_operand(src))
+                    }
+                    Instr::GetElem { dst, field, idx } => {
+                        format!("gete r{} {} {}", dst.0, fname(*field), print_operand(idx))
+                    }
+                    Instr::SetElem { field, idx, src } => format!(
+                        "sete {} {} {}",
+                        fname(*field),
+                        print_operand(idx),
+                        print_operand(src)
+                    ),
+                    Instr::ArrNew { field, len } => {
+                        format!("arrnew {} {}", fname(*field), print_operand(len))
+                    }
+                    Instr::ArrLen { dst, field } => format!("arrlen r{} {}", dst.0, fname(*field)),
+                    Instr::Invoke {
+                        slot,
+                        target,
+                        method,
+                        args,
+                        hint,
+                    } => {
+                        let sl = match slot {
+                            Some(s) => format!("f{}", s.0),
+                            None => "_".to_string(),
+                        };
+                        let mut line = format!(
+                            "invoke {} {} {}",
+                            sl,
+                            print_operand(target),
+                            callee(*method)
+                        );
+                        for a in args {
+                            let _ = write!(line, " {}", print_operand(a));
+                        }
+                        line.push_str(print_hint(*hint));
+                        line
+                    }
+                    Instr::Touch { slots } => {
+                        let mut line = "touch".to_string();
+                        for sl in slots {
+                            let _ = write!(line, " f{}", sl.0);
+                        }
+                        line
+                    }
+                    Instr::GetSlot { dst, slot } => format!("gets r{} f{}", dst.0, slot.0),
+                    Instr::JoinInit { slot, count } => {
+                        format!("join f{} {}", slot.0, print_operand(count))
+                    }
+                    Instr::Reply { src } => format!("reply {}", print_operand(src)),
+                    Instr::Forward {
+                        target,
+                        method,
+                        args,
+                        hint,
+                    } => {
+                        let mut line =
+                            format!("forward {} {}", print_operand(target), callee(*method));
+                        for a in args {
+                            let _ = write!(line, " {}", print_operand(a));
+                        }
+                        line.push_str(print_hint(*hint));
+                        line
+                    }
+                    Instr::Halt => "halt".to_string(),
+                    Instr::StoreCont { field, idx } => match idx {
+                        None => format!("storec {}", fname(*field)),
+                        Some(i) => format!("storec {} @ {}", fname(*field), print_operand(i)),
+                    },
+                    Instr::SendToCont { cont, value } => {
+                        format!("sendc {} {}", print_operand(cont), print_operand(value))
+                    }
+                    Instr::Jmp { to } => format!("jmp {to}"),
+                    Instr::Br { cond, t, f } => {
+                        format!("br {} {} {}", print_operand(cond), t, f)
+                    }
+                };
+                let _ = writeln!(s, "  {line}");
+            }
+            let _ = writeln!(s, "}}");
+        }
+    }
+    s
+}
+
+// ================= parser =================
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>, // (1-based line no, trimmed content)
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        let lines = src
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#') && !l.starts_with("//"))
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let l = self.peek();
+        if l.is_some() {
+            self.pos += 1;
+        }
+        l
+    }
+
+    fn err(line: usize, what: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            what: what.into(),
+        }
+    }
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
+    if let Some(r) = tok.strip_prefix('r') {
+        if let Ok(n) = r.parse::<u16>() {
+            return Ok(Operand::L(Local(n)));
+        }
+    }
+    match tok {
+        "nil" => return Ok(Operand::K(Value::Nil)),
+        "true" => return Ok(Operand::K(Value::Bool(true))),
+        "false" => return Ok(Operand::K(Value::Bool(false))),
+        _ => {}
+    }
+    if tok.contains('.') || tok.contains('e') || tok.contains("inf") || tok == "NaN" {
+        if let Ok(f) = tok.parse::<f64>() {
+            return Ok(Operand::K(Value::Float(f)));
+        }
+    }
+    if let Ok(i) = tok.parse::<i64>() {
+        return Ok(Operand::K(Value::Int(i)));
+    }
+    Err(Parser::err(line, format!("bad operand `{tok}`")))
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Local, ParseError> {
+    match parse_operand(tok, line)? {
+        Operand::L(l) => Ok(l),
+        _ => Err(Parser::err(line, format!("expected register, got `{tok}`"))),
+    }
+}
+
+fn parse_slot(tok: &str, line: usize) -> Result<Slot, ParseError> {
+    tok.strip_prefix('f')
+        .and_then(|s| s.parse::<u16>().ok())
+        .map(Slot)
+        .ok_or_else(|| Parser::err(line, format!("expected slot (fN), got `{tok}`")))
+}
+
+fn bin_of(name: &str) -> Option<BinOp> {
+    Some(match name {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "min" => BinOp::Min,
+        "max" => BinOp::Max,
+        "eq" => BinOp::Eq,
+        "ne" => BinOp::Ne,
+        "lt" => BinOp::Lt,
+        "le" => BinOp::Le,
+        "gt" => BinOp::Gt,
+        "ge" => BinOp::Ge,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "band" => BinOp::BitAnd,
+        "bor" => BinOp::BitOr,
+        "bxor" => BinOp::BitXor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        _ => return None,
+    })
+}
+
+fn un_of(name: &str) -> Option<UnOp> {
+    Some(match name {
+        "neg" => UnOp::Neg,
+        "not" => UnOp::Not,
+        "isnil" => UnOp::IsNil,
+        "tofloat" => UnOp::ToFloat,
+        "toint" => UnOp::ToInt,
+        "sqrt" => UnOp::Sqrt,
+        _ => return None,
+    })
+}
+
+/// Parse the canonical text format back into a validated [`Program`].
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    // Pass 1: collect class names, fields, and method signatures so that
+    // forward references (`Class::method`, field names) resolve.
+    struct PendingMethod {
+        class: usize,
+        name: String,
+        params: u16,
+        locals: u16,
+        slots: u16,
+        inlinable: bool,
+        body_lines: Vec<(usize, String)>,
+    }
+    let mut classes: Vec<Class> = Vec::new();
+    let mut methods: Vec<PendingMethod> = Vec::new();
+
+    let mut p = Parser::new(src);
+    while let Some((ln, line)) = p.next() {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks.as_slice() {
+            ["class", name, rest @ ..] => {
+                let locked = rest.first() == Some(&"locked");
+                let open_ok = rest.last() == Some(&"{") && rest.len() <= 2;
+                if !open_ok {
+                    return Err(Parser::err(ln, "expected `class Name [locked] {`"));
+                }
+                let ci = classes.len();
+                classes.push(Class {
+                    name: name.to_string(),
+                    fields: Vec::new(),
+                    locked,
+                });
+                loop {
+                    let Some((ln2, l2)) = p.next() else {
+                        return Err(Parser::err(ln, "unterminated class"));
+                    };
+                    let t2: Vec<&str> = l2.split_whitespace().collect();
+                    match t2.as_slice() {
+                        ["}"] => break,
+                        ["field", f] => classes[ci].fields.push(FieldDecl {
+                            name: f.to_string(),
+                            array: false,
+                        }),
+                        ["array", f] => classes[ci].fields.push(FieldDecl {
+                            name: f.to_string(),
+                            array: true,
+                        }),
+                        _ => return Err(Parser::err(ln2, format!("bad class item `{l2}`"))),
+                    }
+                }
+            }
+            toks2 => {
+                // method header: [inline] method Class::name(params) locals=N slots=K {
+                let (inlinable, rest2) = if toks2.first() == Some(&"inline") {
+                    (true, &toks2[1..])
+                } else {
+                    (false, toks2)
+                };
+                let ["method", sig, lts, sts, "{"] = rest2 else {
+                    return Err(Parser::err(
+                        ln,
+                        format!("expected class or method, got `{line}`"),
+                    ));
+                };
+                let (qname, params) = sig
+                    .strip_suffix(')')
+                    .and_then(|s| s.split_once('('))
+                    .and_then(|(n, ps)| ps.parse::<u16>().ok().map(|v| (n, v)))
+                    .ok_or_else(|| Parser::err(ln, "expected `Class::name(params)`"))?;
+                let (cname, name2) = qname
+                    .split_once("::")
+                    .ok_or_else(|| Parser::err(ln, "expected `Class::name`"))?;
+                let ci = classes
+                    .iter()
+                    .position(|c| c.name == cname)
+                    .ok_or_else(|| Parser::err(ln, format!("unknown class `{cname}`")))?;
+                let locals = lts
+                    .strip_prefix("locals=")
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| Parser::err(ln, "expected locals=N"))?;
+                let slots = sts
+                    .strip_prefix("slots=")
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| Parser::err(ln, "expected slots=N"))?;
+                let mut body_lines = Vec::new();
+                loop {
+                    let Some((ln3, l3)) = p.next() else {
+                        return Err(Parser::err(ln, "unterminated method"));
+                    };
+                    if l3 == "}" {
+                        break;
+                    }
+                    body_lines.push((ln3, l3.to_string()));
+                }
+                methods.push(PendingMethod {
+                    class: ci,
+                    name: name2.to_string(),
+                    params,
+                    locals,
+                    slots,
+                    inlinable,
+                    body_lines,
+                });
+            }
+        }
+    }
+
+    // Symbol tables.
+    let method_id = |cls: &str, m: &str| -> Option<MethodId> {
+        methods
+            .iter()
+            .position(|pm| pm.name == m && classes[pm.class].name == cls)
+            .map(|i| MethodId(i as u32))
+    };
+    let class_id = |c: &str| -> Option<ClassId> {
+        classes
+            .iter()
+            .position(|cl| cl.name == c)
+            .map(|i| ClassId(i as u32))
+    };
+
+    // Pass 2: bodies.
+    let mut out_methods = Vec::with_capacity(methods.len());
+    for pm in &methods {
+        let cls = &classes[pm.class];
+        let field_id = |f: &str, ln: usize| -> Result<FieldId, ParseError> {
+            cls.fields
+                .iter()
+                .position(|d| d.name == f)
+                .map(|i| FieldId(i as u16))
+                .ok_or_else(|| Parser::err(ln, format!("unknown field `{f}` in {}", cls.name)))
+        };
+        let callee = |tok: &str, ln: usize| -> Result<MethodId, ParseError> {
+            let (c, m) = tok
+                .split_once("::")
+                .ok_or_else(|| Parser::err(ln, format!("expected Class::method, got `{tok}`")))?;
+            method_id(c, m).ok_or_else(|| Parser::err(ln, format!("unknown method `{tok}`")))
+        };
+        let mut body = Vec::with_capacity(pm.body_lines.len());
+        for (ln, line) in &pm.body_lines {
+            let ln = *ln;
+            let mut toks: Vec<&str> = line.split_whitespace().collect();
+            let hint = if toks.last() == Some(&"!local") {
+                toks.pop();
+                LocalityHint::AlwaysLocal
+            } else {
+                LocalityHint::Unknown
+            };
+            let ins = match toks.as_slice() {
+                ["mov", d, s] => Instr::Mov {
+                    dst: parse_reg(d, ln)?,
+                    src: parse_operand(s, ln)?,
+                },
+                ["bin", d, o, a, b] => Instr::Bin {
+                    dst: parse_reg(d, ln)?,
+                    op: bin_of(o).ok_or_else(|| Parser::err(ln, format!("bad binop `{o}`")))?,
+                    a: parse_operand(a, ln)?,
+                    b: parse_operand(b, ln)?,
+                },
+                ["un", d, o, a] => Instr::Un {
+                    dst: parse_reg(d, ln)?,
+                    op: un_of(o).ok_or_else(|| Parser::err(ln, format!("bad unop `{o}`")))?,
+                    a: parse_operand(a, ln)?,
+                },
+                ["self", d] => Instr::SelfRef {
+                    dst: parse_reg(d, ln)?,
+                },
+                ["mynode", d] => Instr::MyNode {
+                    dst: parse_reg(d, ln)?,
+                },
+                ["nodeof", d, o] => Instr::NodeOf {
+                    dst: parse_reg(d, ln)?,
+                    obj: parse_operand(o, ln)?,
+                },
+                ["new", d, c] => Instr::NewLocal {
+                    dst: parse_reg(d, ln)?,
+                    class: class_id(c)
+                        .ok_or_else(|| Parser::err(ln, format!("unknown class `{c}`")))?,
+                },
+                ["getf", d, f] => Instr::GetField {
+                    dst: parse_reg(d, ln)?,
+                    field: field_id(f, ln)?,
+                },
+                ["setf", f, s] => Instr::SetField {
+                    field: field_id(f, ln)?,
+                    src: parse_operand(s, ln)?,
+                },
+                ["gete", d, f, i] => Instr::GetElem {
+                    dst: parse_reg(d, ln)?,
+                    field: field_id(f, ln)?,
+                    idx: parse_operand(i, ln)?,
+                },
+                ["sete", f, i, s] => Instr::SetElem {
+                    field: field_id(f, ln)?,
+                    idx: parse_operand(i, ln)?,
+                    src: parse_operand(s, ln)?,
+                },
+                ["arrnew", f, l] => Instr::ArrNew {
+                    field: field_id(f, ln)?,
+                    len: parse_operand(l, ln)?,
+                },
+                ["arrlen", d, f] => Instr::ArrLen {
+                    dst: parse_reg(d, ln)?,
+                    field: field_id(f, ln)?,
+                },
+                ["invoke", sl, t, m, args @ ..] => Instr::Invoke {
+                    slot: if *sl == "_" {
+                        None
+                    } else {
+                        Some(parse_slot(sl, ln)?)
+                    },
+                    target: parse_operand(t, ln)?,
+                    method: callee(m, ln)?,
+                    args: args
+                        .iter()
+                        .map(|a| parse_operand(a, ln))
+                        .collect::<Result<_, _>>()?,
+                    hint,
+                },
+                ["touch", slots @ ..] => Instr::Touch {
+                    slots: slots
+                        .iter()
+                        .map(|s| parse_slot(s, ln))
+                        .collect::<Result<_, _>>()?,
+                },
+                ["gets", d, s] => Instr::GetSlot {
+                    dst: parse_reg(d, ln)?,
+                    slot: parse_slot(s, ln)?,
+                },
+                ["join", s, c] => Instr::JoinInit {
+                    slot: parse_slot(s, ln)?,
+                    count: parse_operand(c, ln)?,
+                },
+                ["reply", s] => Instr::Reply {
+                    src: parse_operand(s, ln)?,
+                },
+                ["forward", t, m, args @ ..] => Instr::Forward {
+                    target: parse_operand(t, ln)?,
+                    method: callee(m, ln)?,
+                    args: args
+                        .iter()
+                        .map(|a| parse_operand(a, ln))
+                        .collect::<Result<_, _>>()?,
+                    hint,
+                },
+                ["halt"] => Instr::Halt,
+                ["storec", f] => Instr::StoreCont {
+                    field: field_id(f, ln)?,
+                    idx: None,
+                },
+                ["storec", f, "@", i] => Instr::StoreCont {
+                    field: field_id(f, ln)?,
+                    idx: Some(parse_operand(i, ln)?),
+                },
+                ["sendc", c, v] => Instr::SendToCont {
+                    cont: parse_operand(c, ln)?,
+                    value: parse_operand(v, ln)?,
+                },
+                ["jmp", t] => Instr::Jmp {
+                    to: t.parse().map_err(|_| Parser::err(ln, "bad jump target"))?,
+                },
+                ["br", c, t, f] => Instr::Br {
+                    cond: parse_operand(c, ln)?,
+                    t: t.parse()
+                        .map_err(|_| Parser::err(ln, "bad branch target"))?,
+                    f: f.parse()
+                        .map_err(|_| Parser::err(ln, "bad branch target"))?,
+                },
+                _ => return Err(Parser::err(ln, format!("bad instruction `{line}`"))),
+            };
+            body.push(ins);
+        }
+        out_methods.push(Method {
+            name: pm.name.clone(),
+            class: ClassId(pm.class as u32),
+            params: pm.params,
+            locals: pm.locals,
+            slots: pm.slots,
+            body,
+            inlinable: pm.inlinable,
+        });
+    }
+
+    let program = Program {
+        classes,
+        methods: out_methods,
+    };
+    if let Err(errs) = program.validate() {
+        return Err(ParseError {
+            line: 0,
+            what: format!(
+                "parsed program failed validation: {}",
+                errs.iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ),
+        });
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    fn roundtrip(p: &Program) {
+        let text = print_program(p);
+        let back = parse_program(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert_eq!(&back, p, "round-trip mismatch\n---\n{text}");
+    }
+
+    #[test]
+    fn roundtrips_a_handwritten_program() {
+        let src = "\
+class Math {
+  field x
+  array data
+}
+inline method Math::get(0) locals=1 slots=0 {
+  getf r0 x
+  reply r0
+}
+method Math::go(1) locals=4 slots=2 {
+  self r1
+  invoke f0 r1 Math::get !local
+  touch f0
+  gets r2 f0
+  bin r3 add r2 r0
+  reply r3
+}
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.classes.len(), 1);
+        assert_eq!(p.methods.len(), 2);
+        assert!(p.methods[0].inlinable);
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = "class C {\n}\nmethod C::m(0) locals=1 slots=0 {\n  frobnicate r0\n}\n";
+        let e = parse_program(src).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.what.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let src = "class C {\n}\nmethod C::m(0) locals=1 slots=0 {\n  getf r0 nope\n}\n";
+        assert!(parse_program(src)
+            .unwrap_err()
+            .what
+            .contains("unknown field"));
+        let src = "class C {\n}\nmethod C::m(0) locals=1 slots=1 {\n  self r0\n  invoke f0 r0 C::nope\n  halt\n}\n";
+        assert!(parse_program(src)
+            .unwrap_err()
+            .what
+            .contains("unknown method"));
+    }
+
+    #[test]
+    fn float_constants_roundtrip() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C", false);
+        pb.method(c, "m", 0, |mb| {
+            let a = mb.binl(crate::BinOp::Mul, 2.5f64, 4.0f64);
+            let b = mb.binl(crate::BinOp::Add, a, 1e-3f64);
+            mb.reply(b);
+        });
+        roundtrip(&pb.finish());
+    }
+
+    #[test]
+    fn validation_failures_surface() {
+        let src = "class C {\n}\nmethod C::m(0) locals=1 slots=0 {\n  jmp 99\n}\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.what.contains("validation"), "{e}");
+    }
+}

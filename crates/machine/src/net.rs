@@ -1,0 +1,187 @@
+//! Deterministic interconnect: in-flight messages ordered by delivery time.
+//!
+//! The network is generic over the payload type `M` (the runtime defines its
+//! own message enum). Delivery order is a total order on
+//! `(deliver_at, dest, sequence)`, so two runs of the same experiment
+//! deliver messages identically — the foundation for reproducible results
+//! and the hybrid ≡ parallel-only property tests.
+
+use crate::{Cycles, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A message in flight, carrying its destination and delivery time.
+#[derive(Debug, Clone)]
+pub struct InFlight<M> {
+    /// Virtual time at which the message reaches `dest`'s network interface.
+    pub deliver_at: Cycles,
+    /// Destination node.
+    pub dest: NodeId,
+    /// Source node (for accounting and debugging).
+    pub src: NodeId,
+    /// Monotone sequence number assigned at send time (tie-breaker).
+    pub seq: u64,
+    /// Payload.
+    pub msg: M,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the *earliest*.
+impl<M> PartialEq for InFlight<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<M> Eq for InFlight<M> {}
+impl<M> PartialOrd for InFlight<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for InFlight<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: smallest key = greatest heap element.
+        other.key().cmp(&self.key())
+    }
+}
+
+impl<M> InFlight<M> {
+    #[inline]
+    fn key(&self) -> (Cycles, u32, u64) {
+        (self.deliver_at, self.dest.0, self.seq)
+    }
+}
+
+/// The interconnect: a priority queue of in-flight messages.
+///
+/// The network does not charge instruction costs itself — the sender charges
+/// `msg_send + words·msg_word` on its own clock and passes the resulting
+/// injection time here; the wire latency is added by the caller too. This
+/// keeps all pricing decisions in one place (the runtime) and the network
+/// purely mechanical.
+#[derive(Debug)]
+pub struct Network<M> {
+    heap: BinaryHeap<InFlight<M>>,
+    next_seq: u64,
+    /// Total messages ever sent (for stats cross-checks).
+    pub sent: u64,
+    /// Total messages ever delivered.
+    pub delivered: u64,
+    /// Total payload words ever sent.
+    pub words: u64,
+}
+
+impl<M> Default for Network<M> {
+    fn default() -> Self {
+        Network {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            sent: 0,
+            delivered: 0,
+            words: 0,
+        }
+    }
+}
+
+impl<M> Network<M> {
+    /// Create an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inject a message. `deliver_at` must already include wire latency.
+    /// Returns the sequence number assigned to the message.
+    pub fn send(
+        &mut self,
+        src: NodeId,
+        dest: NodeId,
+        deliver_at: Cycles,
+        words: u64,
+        msg: M,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.sent += 1;
+        self.words += words;
+        self.heap.push(InFlight {
+            deliver_at,
+            dest,
+            src,
+            seq,
+            msg,
+        });
+        seq
+    }
+
+    /// Time and destination of the earliest undelivered message, if any.
+    pub fn peek(&self) -> Option<(Cycles, NodeId)> {
+        self.heap.peek().map(|m| (m.deliver_at, m.dest))
+    }
+
+    /// Remove and return the earliest undelivered message.
+    pub fn pop(&mut self) -> Option<InFlight<M>> {
+        let m = self.heap.pop();
+        if m.is_some() {
+            self.delivered += 1;
+        }
+        m
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no messages are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut net: Network<&'static str> = Network::new();
+        net.send(NodeId(0), NodeId(1), 50, 1, "b");
+        net.send(NodeId(0), NodeId(2), 10, 1, "a");
+        net.send(NodeId(0), NodeId(1), 50, 1, "c"); // same time as b, later seq
+        assert_eq!(net.in_flight(), 3);
+        assert_eq!(net.pop().unwrap().msg, "a");
+        assert_eq!(net.pop().unwrap().msg, "b");
+        assert_eq!(net.pop().unwrap().msg, "c");
+        assert!(net.pop().is_none());
+        assert_eq!(net.sent, 3);
+        assert_eq!(net.delivered, 3);
+    }
+
+    #[test]
+    fn ties_break_by_destination_then_seq() {
+        let mut net: Network<u32> = Network::new();
+        net.send(NodeId(0), NodeId(5), 7, 0, 1);
+        net.send(NodeId(0), NodeId(2), 7, 0, 2);
+        // Same deliver_at: lower destination id first.
+        assert_eq!(net.pop().unwrap().msg, 2);
+        assert_eq!(net.pop().unwrap().msg, 1);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut net: Network<u8> = Network::new();
+        net.send(NodeId(3), NodeId(4), 99, 2, 42);
+        assert_eq!(net.peek(), Some((99, NodeId(4))));
+        let m = net.pop().unwrap();
+        assert_eq!(m.src, NodeId(3));
+        assert_eq!(m.deliver_at, 99);
+        assert!(net.is_empty());
+    }
+
+    #[test]
+    fn words_are_accumulated() {
+        let mut net: Network<u8> = Network::new();
+        net.send(NodeId(0), NodeId(1), 1, 3, 0);
+        net.send(NodeId(0), NodeId(1), 2, 4, 0);
+        assert_eq!(net.words, 7);
+    }
+}

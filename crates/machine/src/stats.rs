@@ -1,0 +1,207 @@
+//! Instrumentation counters.
+//!
+//! Every table and figure in the paper's evaluation is derived from these:
+//! Table 2 from instruction deltas, Table 4–6 from per-mode cycle totals and
+//! local/remote invocation ratios, Figure 9 from `ctx_alloc` counts.
+
+use crate::Cycles;
+
+/// Per-node event counters. All counts are cumulative over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Instructions (cost units) executed on this node.
+    pub instructions: Cycles,
+    /// Invocations that ran to completion on the stack, by schema.
+    pub stack_nb: u64,
+    /// May-block schema stack completions.
+    pub stack_mb: u64,
+    /// Continuation-passing schema stack completions.
+    pub stack_cp: u64,
+    /// Invocations speculatively inlined (local, unlocked, non-blocking).
+    pub inlined: u64,
+    /// Heap-based (parallel-version) invocations started.
+    pub par_invokes: u64,
+    /// Heap contexts allocated (Fig. 9 counts these).
+    pub ctx_alloc: u64,
+    /// Heap contexts freed.
+    pub ctx_free: u64,
+    /// Stack→heap fallbacks (lazy context creations caused by unwinding).
+    pub fallbacks: u64,
+    /// Context suspensions (touch misses, lock waits).
+    pub suspends: u64,
+    /// Context resumptions.
+    pub resumes: u64,
+    /// Request messages sent from this node.
+    pub msgs_sent: u64,
+    /// Reply messages sent from this node.
+    pub replies_sent: u64,
+    /// Messages handled on this node.
+    pub msgs_handled: u64,
+    /// Invocations whose target was local at the time of the check.
+    pub local_invokes: u64,
+    /// Invocations whose target was remote at the time of the check.
+    pub remote_invokes: u64,
+    /// Touch operations executed.
+    pub touches: u64,
+    /// Touches that found at least one unresolved future.
+    pub touch_misses: u64,
+    /// Lock acquisitions that found the lock held.
+    pub lock_conflicts: u64,
+    /// Continuations materialized lazily (CP schema, §3.2.3).
+    pub conts_created: u64,
+    /// Forwarded invocations executed entirely on the stack.
+    pub stack_forwards: u64,
+    /// Invocations executed directly from a message handler (wrappers).
+    pub wrapper_runs: u64,
+    /// Proxy continuations synthesized for handler-side CP execution.
+    pub proxy_conts: u64,
+}
+
+impl Counters {
+    /// Add another counter set into this one (for machine-wide totals).
+    pub fn merge(&mut self, other: &Counters) {
+        self.instructions += other.instructions;
+        self.stack_nb += other.stack_nb;
+        self.stack_mb += other.stack_mb;
+        self.stack_cp += other.stack_cp;
+        self.inlined += other.inlined;
+        self.par_invokes += other.par_invokes;
+        self.ctx_alloc += other.ctx_alloc;
+        self.ctx_free += other.ctx_free;
+        self.fallbacks += other.fallbacks;
+        self.suspends += other.suspends;
+        self.resumes += other.resumes;
+        self.msgs_sent += other.msgs_sent;
+        self.replies_sent += other.replies_sent;
+        self.msgs_handled += other.msgs_handled;
+        self.local_invokes += other.local_invokes;
+        self.remote_invokes += other.remote_invokes;
+        self.touches += other.touches;
+        self.touch_misses += other.touch_misses;
+        self.lock_conflicts += other.lock_conflicts;
+        self.conts_created += other.conts_created;
+        self.stack_forwards += other.stack_forwards;
+        self.wrapper_runs += other.wrapper_runs;
+        self.proxy_conts += other.proxy_conts;
+    }
+
+    /// Total method invocations observed (stack completions + heap starts +
+    /// speculative inlines).
+    pub fn total_invokes(&self) -> u64 {
+        self.stack_nb + self.stack_mb + self.stack_cp + self.inlined + self.par_invokes
+    }
+
+    /// Ratio of local to remote invocations, the paper's data-locality
+    /// metric (Tables 4 and 6). Returns `f64::INFINITY` when no remote
+    /// invocations occurred.
+    pub fn local_remote_ratio(&self) -> f64 {
+        if self.remote_invokes == 0 {
+            f64::INFINITY
+        } else {
+            self.local_invokes as f64 / self.remote_invokes as f64
+        }
+    }
+
+    /// Fraction of invocations that were local: `local / (local + remote)`.
+    pub fn local_fraction(&self) -> f64 {
+        let total = self.local_invokes + self.remote_invokes;
+        if total == 0 {
+            1.0
+        } else {
+            self.local_invokes as f64 / total as f64
+        }
+    }
+}
+
+/// Machine-wide view of a finished (or in-progress) run.
+#[derive(Debug, Clone, Default)]
+pub struct MachineStats {
+    /// One counter set per node.
+    pub per_node: Vec<Counters>,
+    /// Per-node finishing times (cycles).
+    pub node_time: Vec<Cycles>,
+}
+
+impl MachineStats {
+    /// Create stats for an `n`-node machine.
+    pub fn new(n: usize) -> Self {
+        MachineStats {
+            per_node: vec![Counters::default(); n],
+            node_time: vec![0; n],
+        }
+    }
+
+    /// Aggregate counters over all nodes.
+    pub fn totals(&self) -> Counters {
+        let mut t = Counters::default();
+        for c in &self.per_node {
+            t.merge(c);
+        }
+        t
+    }
+
+    /// Makespan: the time at which the last node finished.
+    pub fn makespan(&self) -> Cycles {
+        self.node_time.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = Counters {
+            instructions: 10,
+            ctx_alloc: 2,
+            ..Default::default()
+        };
+        let b = Counters {
+            instructions: 5,
+            ctx_alloc: 1,
+            fallbacks: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.ctx_alloc, 3);
+        assert_eq!(a.fallbacks, 7);
+    }
+
+    #[test]
+    fn ratios() {
+        let c = Counters {
+            local_invokes: 90,
+            remote_invokes: 10,
+            ..Default::default()
+        };
+        assert!((c.local_remote_ratio() - 9.0).abs() < 1e-12);
+        assert!((c.local_fraction() - 0.9).abs() < 1e-12);
+
+        let none = Counters::default();
+        assert!(none.local_remote_ratio().is_infinite());
+        assert_eq!(none.local_fraction(), 1.0);
+    }
+
+    #[test]
+    fn makespan_is_max() {
+        let mut s = MachineStats::new(3);
+        s.node_time = vec![5, 42, 7];
+        assert_eq!(s.makespan(), 42);
+        assert_eq!(s.totals(), Counters::default());
+    }
+
+    #[test]
+    fn total_invokes_counts_all_paths() {
+        let c = Counters {
+            stack_nb: 1,
+            stack_mb: 2,
+            stack_cp: 3,
+            inlined: 4,
+            par_invokes: 5,
+            ..Default::default()
+        };
+        assert_eq!(c.total_invokes(), 15);
+    }
+}

@@ -1,0 +1,215 @@
+//! Processor topologies and data-layout helpers.
+//!
+//! The paper's evaluation varies *data layout* while holding the machine
+//! fixed: SOR uses block-cyclic distributions of a 2-D grid over an 8×8
+//! processor grid (Table 4), MD-Force compares a random layout against
+//! orthogonal recursive bisection (Table 5), and EM3D places graph nodes
+//! with a tunable locality probability (Table 6). This module provides
+//! those owner maps.
+
+use crate::NodeId;
+
+/// A rectangular grid of processors, `px × py` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcGrid {
+    /// Processors along x.
+    pub px: u32,
+    /// Processors along y.
+    pub py: u32,
+}
+
+impl ProcGrid {
+    /// A square grid holding exactly `n` processors; panics if `n` is not a
+    /// perfect square (the paper uses 8×8 = 64).
+    pub fn square(n: u32) -> Self {
+        let side = (n as f64).sqrt().round() as u32;
+        assert_eq!(side * side, n, "square grid requires a perfect square");
+        ProcGrid { px: side, py: side }
+    }
+
+    /// Total processor count.
+    pub fn len(&self) -> u32 {
+        self.px * self.py
+    }
+
+    /// True when the grid is empty (zero processors along either axis).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Node id of grid position `(x, y)` (row-major).
+    pub fn node(&self, x: u32, y: u32) -> NodeId {
+        debug_assert!(x < self.px && y < self.py);
+        NodeId(y * self.px + x)
+    }
+}
+
+/// Block-cyclic owner map for a 2-D data grid.
+///
+/// The data grid is tiled into `block × block` blocks; block `(bx, by)` goes
+/// to processor `(bx mod px, by mod py)`. `block = 1` is a fully cyclic
+/// layout (worst locality); `block = data_side / px` is a pure block layout
+/// (best locality). These are exactly Table 4's five layouts.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockCyclic {
+    /// Processor grid.
+    pub procs: ProcGrid,
+    /// Block edge length (data elements).
+    pub block: u32,
+}
+
+impl BlockCyclic {
+    /// Owner of data element `(i, j)` (row = i, column = j).
+    pub fn owner(&self, i: u32, j: u32) -> NodeId {
+        let bx = (j / self.block) % self.procs.px;
+        let by = (i / self.block) % self.procs.py;
+        self.procs.node(bx, by)
+    }
+}
+
+/// Orthogonal recursive bisection over 3-D points.
+///
+/// Splits the point set along the widest axis at the median, recursively,
+/// until every partition maps to one node. Used by MD-Force's "spatial"
+/// layout (Table 5): spatially proximate atoms land on the same node, so
+/// most cutoff pairs become node-local.
+///
+/// Returns one `NodeId` per input point. `n_nodes` must be a power of two.
+pub fn orb_partition(points: &[[f64; 3]], n_nodes: u32) -> Vec<NodeId> {
+    assert!(
+        n_nodes.is_power_of_two(),
+        "ORB requires a power-of-two node count"
+    );
+    let mut owner = vec![NodeId(0); points.len()];
+    let mut idx: Vec<u32> = (0..points.len() as u32).collect();
+    orb_rec(points, &mut idx, 0, n_nodes, &mut owner);
+    owner
+}
+
+fn orb_rec(points: &[[f64; 3]], idx: &mut [u32], base: u32, n: u32, owner: &mut [NodeId]) {
+    if n == 1 {
+        for &i in idx.iter() {
+            owner[i as usize] = NodeId(base);
+        }
+        return;
+    }
+    // Pick the widest axis.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for &i in idx.iter() {
+        let p = points[i as usize];
+        for a in 0..3 {
+            lo[a] = lo[a].min(p[a]);
+            hi[a] = hi[a].max(p[a]);
+        }
+    }
+    let axis = (0..3)
+        .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap())
+        .unwrap();
+    // Median split (stable, deterministic: ties broken by point index).
+    idx.sort_by(|&a, &b| {
+        points[a as usize][axis]
+            .partial_cmp(&points[b as usize][axis])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mid = idx.len() / 2;
+    let (left, right) = idx.split_at_mut(mid);
+    orb_rec(points, left, base, n / 2, owner);
+    orb_rec(points, right, base + n / 2, n / 2, owner);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_grid() {
+        let g = ProcGrid::square(64);
+        assert_eq!(g.px, 8);
+        assert_eq!(g.py, 8);
+        assert_eq!(g.len(), 64);
+        assert_eq!(g.node(0, 0), NodeId(0));
+        assert_eq!(g.node(7, 7), NodeId(63));
+        assert_eq!(g.node(3, 2), NodeId(19));
+    }
+
+    #[test]
+    #[should_panic]
+    fn square_grid_rejects_non_square() {
+        ProcGrid::square(60);
+    }
+
+    #[test]
+    fn cyclic_layout_spreads_neighbours() {
+        // block=1 on a 2x2 grid: horizontal neighbours always differ.
+        let bc = BlockCyclic {
+            procs: ProcGrid::square(4),
+            block: 1,
+        };
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                assert_ne!(bc.owner(i, j), bc.owner(i, j + 1));
+                assert_ne!(bc.owner(i, j), bc.owner(i + 1, j));
+            }
+        }
+    }
+
+    #[test]
+    fn block_layout_keeps_interior_local() {
+        // 16x16 data over 2x2 procs, block=8: pure block layout.
+        let bc = BlockCyclic {
+            procs: ProcGrid { px: 2, py: 2 },
+            block: 8,
+        };
+        // Interior of first block all on node 0.
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(bc.owner(i, j), NodeId(0));
+            }
+        }
+        assert_eq!(bc.owner(0, 8), NodeId(1));
+        assert_eq!(bc.owner(8, 0), NodeId(2));
+        assert_eq!(bc.owner(8, 8), NodeId(3));
+    }
+
+    #[test]
+    fn orb_balances_and_localizes() {
+        // A 4-cluster point set on 4 nodes: each cluster one node.
+        let mut pts = Vec::new();
+        for c in 0..4 {
+            let cx = (c % 2) as f64 * 100.0;
+            let cy = (c / 2) as f64 * 100.0;
+            for k in 0..25 {
+                pts.push([cx + (k % 5) as f64, cy + (k / 5) as f64, 0.0]);
+            }
+        }
+        let owner = orb_partition(&pts, 4);
+        // Balanced: 25 points per node.
+        let mut counts = [0u32; 4];
+        for o in &owner {
+            counts[o.idx()] += 1;
+        }
+        assert_eq!(counts, [25, 25, 25, 25]);
+        // Localized: all points of one cluster share an owner.
+        for c in 0..4 {
+            let first = owner[c * 25];
+            for k in 0..25 {
+                assert_eq!(owner[c * 25 + k], first, "cluster {c} split");
+            }
+        }
+    }
+
+    #[test]
+    fn orb_deterministic_under_ties() {
+        let pts = vec![[1.0, 0.0, 0.0]; 16];
+        let a = orb_partition(&pts, 4);
+        let b = orb_partition(&pts, 4);
+        assert_eq!(a, b);
+        let mut counts = [0u32; 4];
+        for o in &a {
+            counts[o.idx()] += 1;
+        }
+        assert_eq!(counts, [4, 4, 4, 4]);
+    }
+}

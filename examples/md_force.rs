@@ -1,0 +1,66 @@
+//! MD-Force: the nonbonded force kernel under a random vs. a spatial
+//! (orthogonal recursive bisection) atom layout — the paper's Table 5 in
+//! miniature, including the remote-coordinate cache and force combining.
+//!
+//! Run with: `cargo run --release --example md_force`
+
+use hem::apps::md::{self, Layout};
+use hem::{CostModel, ExecMode, InterfaceSet};
+
+fn main() {
+    let n_atoms = 800u32;
+    let cutoff = 1.1f64;
+    let nodes = 16u32;
+
+    println!("== MD-Force, {n_atoms} clustered atoms, cutoff {cutoff}, {nodes} nodes (CM-5) ==\n");
+    println!(
+        "{:>8} {:>10} {:>12} {:>14} {:>14} {:>9}",
+        "layout", "pairs", "local frac", "par-only (ms)", "hybrid (ms)", "speedup"
+    );
+
+    for layout in [Layout::Random, Layout::Spatial] {
+        let mut times = Vec::new();
+        let mut frac = 0.0;
+        let mut npairs = 0;
+        for mode in [ExecMode::ParallelOnly, ExecMode::Hybrid] {
+            let ids = md::build();
+            let sys = md::generate(n_atoms, cutoff, nodes, layout, 97);
+            npairs = sys.pairs.len();
+            let mut rt = hem::apps::make_runtime(
+                ids.program.clone(),
+                nodes,
+                CostModel::cm5(),
+                mode,
+                InterfaceSet::Full,
+            );
+            let inst = md::setup(&mut rt, &ids, &sys);
+            md::run_iteration(&mut rt, &inst).expect("md");
+            times.push(rt.cost.seconds(rt.makespan()) * 1e3);
+            if mode == ExecMode::Hybrid {
+                frac = rt.stats().totals().local_fraction();
+                // Sanity: forces must match the plain-Rust reference.
+                let f = md::forces(&rt, &inst);
+                let nf = md::native_forces(&sys);
+                for (a, b) in f.iter().zip(&nf) {
+                    for c in 0..3 {
+                        assert!((a[c] - b[c]).abs() / a[c].abs().max(1.0) < 1e-9);
+                    }
+                }
+            }
+        }
+        println!(
+            "{:>8} {:>10} {:>12.3} {:>14.2} {:>14.2} {:>8.2}x",
+            layout.to_string(),
+            npairs,
+            frac,
+            times[0],
+            times[1],
+            times[0] / times[1]
+        );
+    }
+    println!(
+        "\nThe spatial layout turns most cutoff pairs node-local: their whole\n\
+         force computation (accessor reads + force writes) runs on the stack,\n\
+         while the random layout stays communication-bound (Table 5)."
+    );
+}

@@ -1,0 +1,213 @@
+//! Cross-crate integration: every evaluation kernel, small scale, checked
+//! against its native reference under both execution modes, plus global
+//! conservation invariants (contexts, messages) after quiescence.
+
+use hem::analysis::InterfaceSet;
+use hem::apps::{callintensive, em3d, md, sor, sync};
+use hem::core::{ExecMode, Runtime};
+use hem::machine::cost::CostModel;
+use hem::machine::topology::ProcGrid;
+use hem::{NodeId, Value};
+
+fn assert_conserved(rt: &Runtime, what: &str) {
+    let t = rt.stats().totals();
+    assert_eq!(rt.live_contexts(), 0, "{what}: leaked contexts");
+    assert_eq!(t.ctx_alloc, t.ctx_free, "{what}: context conservation");
+    assert_eq!(
+        t.msgs_sent + t.replies_sent,
+        t.msgs_handled,
+        "{what}: message conservation"
+    );
+    assert!(rt.is_quiescent(), "{what}: machine not quiescent");
+}
+
+#[test]
+fn call_suite_on_both_machines() {
+    let suite = callintensive::build();
+    for cost in [CostModel::cm5(), CostModel::t3d()] {
+        for mode in [ExecMode::Hybrid, ExecMode::ParallelOnly] {
+            let mut rt = Runtime::new(
+                suite.program.clone(),
+                1,
+                cost.clone(),
+                mode,
+                InterfaceSet::Full,
+            )
+            .unwrap();
+            let o = rt.alloc_object_by_name("Math", NodeId(0));
+            let r = rt.call(o, suite.fib, &[Value::Int(16)]).unwrap();
+            assert_eq!(r, Some(Value::Int(callintensive::fib_native(16) as i64)));
+            let r = rt.call(o, suite.nqueens, &[Value::Int(6)]).unwrap();
+            assert_eq!(r, Some(Value::Int(callintensive::nqueens_native(6) as i64)));
+            assert_conserved(&rt, &format!("calls/{}/{}", cost.name, mode));
+        }
+    }
+}
+
+#[test]
+fn sor_full_pipeline() {
+    for mode in [ExecMode::Hybrid, ExecMode::ParallelOnly] {
+        let ids = sor::build();
+        let procs = ProcGrid::square(16);
+        let mut rt = Runtime::new(
+            ids.program.clone(),
+            16,
+            CostModel::cm5(),
+            mode,
+            InterfaceSet::Full,
+        )
+        .unwrap();
+        let inst = sor::setup(
+            &mut rt,
+            &ids,
+            sor::SorParams {
+                n: 20,
+                block: 2,
+                procs,
+            },
+        );
+        sor::run(&mut rt, &inst, 2).unwrap();
+        let vals = sor::grid_values(&rt, &inst);
+        let native = sor::native(20, 2);
+        assert_eq!(vals, native, "{mode}: SOR grid must match bit-exactly");
+        assert_conserved(&rt, &format!("sor/{mode}"));
+    }
+}
+
+#[test]
+fn em3d_three_styles_both_modes() {
+    let ids = em3d::build(4);
+    let g = em3d::generate(32, 4, 8, 0.4, 3);
+    let (en, hn) = em3d::native(&g, 2);
+    for style in [em3d::Style::Pull, em3d::Style::Push, em3d::Style::Forward] {
+        for mode in [ExecMode::Hybrid, ExecMode::ParallelOnly] {
+            let mut rt = Runtime::new(
+                ids.program.clone(),
+                8,
+                CostModel::t3d(),
+                mode,
+                InterfaceSet::Full,
+            )
+            .unwrap();
+            let inst = em3d::setup(&mut rt, &ids, &g);
+            em3d::run(&mut rt, &inst, style, 2).unwrap();
+            let (e, h) = em3d::values(&rt, &inst);
+            for (a, b) in e.iter().zip(&en).chain(h.iter().zip(&hn)) {
+                assert!((a - b).abs() < 1e-9, "{style}/{mode}: {a} vs {b}");
+            }
+            assert_conserved(&rt, &format!("em3d/{style}/{mode}"));
+        }
+    }
+}
+
+#[test]
+fn md_force_full_pipeline() {
+    let ids = md::build();
+    let sys = md::generate(150, 1.2, 4, md::Layout::Spatial, 5);
+    let native = md::native_forces(&sys);
+    for mode in [ExecMode::Hybrid, ExecMode::ParallelOnly] {
+        let mut rt = Runtime::new(
+            ids.program.clone(),
+            4,
+            CostModel::cm5(),
+            mode,
+            InterfaceSet::Full,
+        )
+        .unwrap();
+        let inst = md::setup(&mut rt, &ids, &sys);
+        md::run_iteration(&mut rt, &inst).unwrap();
+        let f = md::forces(&rt, &inst);
+        for (a, b) in f.iter().zip(&native) {
+            for c in 0..3 {
+                assert!((a[c] - b[c]).abs() / a[c].abs().max(1.0) < 1e-9, "{mode}");
+            }
+        }
+        assert_conserved(&rt, &format!("md/{mode}"));
+    }
+}
+
+#[test]
+fn sync_structures_end_to_end() {
+    let ids = sync::build();
+    let mut rt = Runtime::new(
+        ids.program.clone(),
+        3,
+        CostModel::cm5(),
+        ExecMode::Hybrid,
+        InterfaceSet::Full,
+    )
+    .unwrap();
+    let inst = sync::setup(&mut rt, &ids, 6);
+    // data-parallel + reactive + rendezvous in sequence.
+    rt.call(inst.drivers[0], ids.fan, &[]).unwrap();
+    rt.call(inst.drivers[1], ids.scatter, &[]).unwrap();
+    for c in &inst.cell_refs {
+        assert_eq!(rt.get_field(*c, ids.value), Value::Int(11));
+    }
+    let last = sync::run_rendezvous(&mut rt, &inst).unwrap();
+    assert_eq!(last, Some(Value::Int(1)));
+    assert_conserved(&rt, "sync");
+}
+
+#[test]
+fn multi_phase_runs_share_state() {
+    // Repeated `call`s accumulate virtual time and reuse the object graph.
+    let suite = callintensive::build();
+    let mut rt = Runtime::new(
+        suite.program.clone(),
+        1,
+        CostModel::cm5(),
+        ExecMode::Hybrid,
+        InterfaceSet::Full,
+    )
+    .unwrap();
+    let o = rt.alloc_object_by_name("Math", NodeId(0));
+    let t0 = rt.makespan();
+    rt.call(o, suite.fib, &[Value::Int(10)]).unwrap();
+    let t1 = rt.makespan();
+    rt.call(o, suite.fib, &[Value::Int(10)]).unwrap();
+    let t2 = rt.makespan();
+    assert!(t1 > t0 && t2 > t1);
+    assert_eq!(t2 - t1, t1 - t0, "identical phases cost identical cycles");
+}
+
+#[test]
+fn interface_hierarchy_monotone_on_kernels() {
+    // More interfaces never hurt, across a parallel workload.
+    let mut times = Vec::new();
+    for ifaces in [InterfaceSet::Full, InterfaceSet::MbCp, InterfaceSet::CpOnly] {
+        let ids = sor::build();
+        let procs = ProcGrid::square(16);
+        let mut rt = Runtime::new(
+            ids.program.clone(),
+            16,
+            CostModel::cm5(),
+            ExecMode::Hybrid,
+            ifaces,
+        )
+        .unwrap();
+        let inst = sor::setup(
+            &mut rt,
+            &ids,
+            sor::SorParams {
+                n: 24,
+                block: 3,
+                procs,
+            },
+        );
+        sor::run(&mut rt, &inst, 1).unwrap();
+        times.push(rt.makespan());
+    }
+    assert!(
+        times[0] <= times[1],
+        "Full {} vs MbCp {}",
+        times[0],
+        times[1]
+    );
+    assert!(
+        times[1] <= times[2],
+        "MbCp {} vs CpOnly {}",
+        times[1],
+        times[2]
+    );
+}

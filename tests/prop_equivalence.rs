@@ -1,0 +1,203 @@
+//! Property-based tests: for *randomly generated* fine-grained concurrent
+//! programs, the hybrid execution model, the parallel-only baseline, every
+//! interface restriction, and the C-baseline evaluator must all compute
+//! the same answer — and runs must be bit-deterministic.
+//!
+//! The generator produces acyclic call structures (method `i` only calls
+//! methods with larger indices, so every program terminates) mixing:
+//! local and remote invocations, multi-future touches, and continuation
+//! forwarding — i.e. all three sequential schemas arise naturally.
+
+use hem::analysis::InterfaceSet;
+use hem::core::{ExecMode, Runtime};
+use hem::ir::{BinOp, LocalityHint, MethodId, Program, ProgramBuilder, Value};
+use hem::machine::cost::CostModel;
+use hem::machine::stats::Counters;
+use hem::NodeId;
+use proptest::prelude::*;
+
+/// One call site in a generated method.
+#[derive(Debug, Clone)]
+struct CallDesc {
+    /// Callee selector (mapped to a strictly larger method index).
+    hop: u8,
+    /// Invoke the peer object (possibly remote) instead of self.
+    remote: bool,
+}
+
+/// One generated method.
+#[derive(Debug, Clone)]
+struct MethodDesc {
+    /// Number of arithmetic scrambles.
+    ops: u8,
+    /// Call sites.
+    calls: Vec<CallDesc>,
+    /// Tail-forward instead of replying (needs a successor method).
+    forward: bool,
+}
+
+fn method_desc() -> impl Strategy<Value = MethodDesc> {
+    (
+        1u8..4,
+        proptest::collection::vec((0u8..4, any::<bool>()), 0..3),
+        any::<bool>(),
+    )
+        .prop_map(|(ops, calls, forward)| MethodDesc {
+            ops,
+            calls: calls
+                .into_iter()
+                .map(|(hop, remote)| CallDesc { hop, remote })
+                .collect(),
+            forward,
+        })
+}
+
+/// Build a terminating program from descriptors. Method `i` calls only
+/// methods `> i`; the last method is a pure leaf.
+fn build_program(descs: &[MethodDesc]) -> (Program, MethodId) {
+    let k = descs.len();
+    let mut pb = ProgramBuilder::new();
+    let cls = pb.class("Gen", false);
+    let peer = pb.field(cls, "peer");
+    let ids: Vec<MethodId> = (0..k + 1)
+        .map(|i| pb.declare(cls, &format!("m{i}"), 1))
+        .collect();
+
+    // Leaf.
+    pb.define(ids[k], |mb| {
+        let r = mb.binl(BinOp::Add, mb.arg(0), 1);
+        mb.reply(r);
+    });
+
+    for (i, d) in descs.iter().enumerate() {
+        let callee_of = |hop: u8| ids[(i + 1 + (hop as usize % (k - i))).min(k)];
+        pb.define(ids[i], |mb| {
+            let acc = mb.local();
+            mb.mov(acc, mb.arg(0));
+            for _ in 0..d.ops {
+                let t = mb.binl(BinOp::Mul, acc, 3);
+                mb.bin(acc, BinOp::Add, t, 7);
+                // Keep numbers bounded so wrapping never differs by path.
+                let m = mb.binl(BinOp::Rem, acc, 1_000_003);
+                mb.mov(acc, m);
+            }
+            let me = mb.self_ref();
+            let pv = mb.get_field(peer);
+            let mut slots = Vec::new();
+            for (ci, c) in d.calls.iter().enumerate() {
+                let callee = callee_of(c.hop.wrapping_add(ci as u8));
+                let arg = mb.binl(BinOp::Add, acc, ci as i64);
+                let s = if c.remote {
+                    mb.invoke_into(pv, callee, &[arg.into()])
+                } else {
+                    mb.invoke_local(me, callee, &[arg.into()])
+                };
+                slots.push(s);
+            }
+            mb.touch(&slots);
+            for s in slots {
+                let v = mb.get_slot(s);
+                mb.bin(acc, BinOp::Add, acc, v);
+            }
+            if d.forward {
+                let callee = callee_of(0);
+                mb.forward(pv, callee, &[acc.into()], LocalityHint::Unknown);
+            } else {
+                mb.reply(acc);
+            }
+        });
+    }
+    (pb.finish(), ids[0])
+}
+
+/// Ring world: one object per node, peers pointing around the ring.
+fn run(
+    program: &Program,
+    root: MethodId,
+    nodes: u32,
+    mode: ExecMode,
+    ifaces: InterfaceSet,
+    arg: i64,
+) -> (Option<Value>, u64, Counters) {
+    let mut rt = Runtime::new(program.clone(), nodes, CostModel::cm5(), mode, ifaces)
+        .expect("generated program validates");
+    let objs: Vec<_> = (0..nodes)
+        .map(|n| rt.alloc_object_by_name("Gen", NodeId(n)))
+        .collect();
+    let peer = hem::ir::FieldId(0);
+    for (i, o) in objs.iter().enumerate() {
+        rt.set_field(*o, peer, Value::Obj(objs[(i + 1) % objs.len()]));
+    }
+    let r = rt
+        .call(objs[0], root, &[Value::Int(arg)])
+        .expect("no traps");
+    assert_eq!(rt.live_contexts(), 0, "context leak under {mode}");
+    (r, rt.makespan(), rt.stats().totals())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_execution_regimes_agree(
+        descs in proptest::collection::vec(method_desc(), 1..6),
+        nodes in 1u32..4,
+        arg in 0i64..1000,
+    ) {
+        let (program, root) = build_program(&descs);
+
+        // Oracle: the C-baseline evaluator.
+        let mut rt = Runtime::new(
+            program.clone(), nodes, CostModel::cm5(),
+            ExecMode::Hybrid, InterfaceSet::Full,
+        ).unwrap();
+        let objs: Vec<_> = (0..nodes)
+            .map(|n| rt.alloc_object_by_name("Gen", NodeId(n)))
+            .collect();
+        let peer = hem::ir::FieldId(0);
+        for (i, o) in objs.iter().enumerate() {
+            rt.set_field(*o, peer, Value::Obj(objs[(i + 1) % objs.len()]));
+        }
+        let (c_val, _) = rt.call_c_baseline(objs[0], root, &[Value::Int(arg)]).unwrap();
+
+        for (mode, ifaces) in [
+            (ExecMode::Hybrid, InterfaceSet::Full),
+            (ExecMode::Hybrid, InterfaceSet::MbCp),
+            (ExecMode::Hybrid, InterfaceSet::CpOnly),
+            (ExecMode::ParallelOnly, InterfaceSet::Full),
+        ] {
+            let (v, _, t) = run(&program, root, nodes, mode, ifaces, arg);
+            prop_assert_eq!(v, c_val, "{} {:?} disagrees with C oracle", mode, ifaces);
+            prop_assert_eq!(t.ctx_alloc, t.ctx_free, "context conservation");
+            prop_assert_eq!(t.msgs_sent + t.replies_sent, t.msgs_handled,
+                "message conservation");
+        }
+    }
+
+    #[test]
+    fn runs_are_bit_deterministic(
+        descs in proptest::collection::vec(method_desc(), 1..5),
+        nodes in 1u32..4,
+    ) {
+        let (program, root) = build_program(&descs);
+        let a = run(&program, root, nodes, ExecMode::Hybrid, InterfaceSet::Full, 5);
+        let b = run(&program, root, nodes, ExecMode::Hybrid, InterfaceSet::Full, 5);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1, "identical makespans");
+        prop_assert_eq!(a.2, b.2, "identical counters");
+    }
+
+    #[test]
+    fn single_node_hybrid_stays_on_stack(
+        descs in proptest::collection::vec(method_desc(), 1..5),
+        arg in 0i64..100,
+    ) {
+        // On one node every "remote" target is actually local; programs
+        // without forwarding gone wrong must finish without any messages.
+        let (program, root) = build_program(&descs);
+        let (v, _, t) = run(&program, root, 1, ExecMode::Hybrid, InterfaceSet::Full, arg);
+        prop_assert!(v.is_some());
+        prop_assert_eq!(t.msgs_sent, 0);
+        prop_assert_eq!(t.remote_invokes, 0);
+    }
+}
