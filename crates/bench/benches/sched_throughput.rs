@@ -1,0 +1,93 @@
+//! Scheduler throughput: events dispatched per second of host time, event
+//! index vs linear scan, as the machine grows.
+//!
+//! The dispatch loop selects the next actionable `(time, kind, node)`
+//! event; the linear scan pays O(P) per event where the event index pays
+//! O(log P). Both run the same kernels bit-identically (the determinism
+//! tests prove it), so the throughput ratio isolates pure scheduler
+//! overhead. Expect parity at P = 1 and a widening gap from P = 64 up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hem_analysis::InterfaceSet;
+use hem_apps::{em3d, sor};
+use hem_core::{ExecMode, Runtime, SchedImpl};
+use hem_machine::cost::CostModel;
+use hem_machine::topology::ProcGrid;
+
+const PROCS: [u32; 4] = [1, 16, 64, 256];
+const SCHEDS: [(&str, SchedImpl); 2] = [
+    ("event-index", SchedImpl::EventIndex),
+    ("linear-scan", SchedImpl::LinearScan),
+];
+
+/// One SOR run (64x64 grid, 4x4 blocks = 256 block objects) on `p` nodes.
+fn run_sor(p: u32, sched: SchedImpl) -> Runtime {
+    let ids = sor::build();
+    let mut rt = hem_apps::make_runtime(
+        ids.program.clone(),
+        p,
+        CostModel::cm5(),
+        ExecMode::Hybrid,
+        InterfaceSet::Full,
+    );
+    rt.sched_impl = sched;
+    let inst = sor::setup(
+        &mut rt,
+        &ids,
+        sor::SorParams {
+            n: 64,
+            block: 4,
+            procs: ProcGrid::square(p),
+        },
+    );
+    sor::run(&mut rt, &inst, 1).unwrap();
+    rt
+}
+
+/// One EM3D run (graph scaled with the machine: 4 nodes' worth of E/H
+/// objects per processor) on `p` nodes.
+fn run_em3d(p: u32, sched: SchedImpl) -> Runtime {
+    let ids = em3d::build(4);
+    let graph = em3d::generate(4 * p, 4, p, 0.5, 7);
+    let mut rt = hem_apps::make_runtime(
+        ids.program.clone(),
+        p,
+        CostModel::cm5(),
+        ExecMode::Hybrid,
+        InterfaceSet::Full,
+    );
+    rt.sched_impl = sched;
+    let inst = em3d::setup(&mut rt, &ids, &graph);
+    em3d::run(&mut rt, &inst, em3d::Style::Pull, 1).unwrap();
+    rt
+}
+
+fn bench_kernel(c: &mut Criterion, name: &str, run: fn(u32, SchedImpl) -> Runtime) {
+    let mut g = c.benchmark_group(format!("sched_throughput/{name}"));
+    g.sample_size(10);
+    for p in PROCS {
+        for (label, sched) in SCHEDS {
+            // The event count is a property of the (deterministic) run, not
+            // of the scheduler implementation; report events/sec.
+            let events = run(p, sched).stats().sched.events_dispatched;
+            g.throughput(Throughput::Elements(events));
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("P{p}")),
+                &(p, sched),
+                |b, &(p, sched)| b.iter(|| run(p, sched).makespan()),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_sor_sched(c: &mut Criterion) {
+    bench_kernel(c, "sor64", run_sor);
+}
+
+fn bench_em3d_sched(c: &mut Criterion) {
+    bench_kernel(c, "em3d_4xP", run_em3d);
+}
+
+criterion_group!(sched, bench_sor_sched, bench_em3d_sched);
+criterion_main!(sched);

@@ -263,7 +263,7 @@ fn par_invoke(
                 cont,
                 forwarded: false,
             },
-        );
+        )?;
         return Ok(());
     }
 
@@ -393,7 +393,7 @@ fn par_forward(
                 cont: my_cont,
                 forwarded: true,
             },
-        );
+        )?;
         return Ok(());
     }
 

@@ -12,7 +12,7 @@ use hem_analysis::Analysis;
 use hem_ir::{ClassId, ContRef, FieldId, MethodId, ObjRef, Program, ValidationError, Value};
 use hem_machine::cost::CostModel;
 use hem_machine::net::Network;
-use hem_machine::stats::{Counters, MachineStats};
+use hem_machine::stats::{Counters, MachineStats, SchedStats};
 use hem_machine::{Cycles, NodeId};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -44,6 +44,57 @@ impl Ord for InboxEntry {
     }
 }
 
+/// Which dispatch-loop implementation `run_to_quiescence` uses.
+///
+/// Both are bit-identical in observable behavior (selection order, costs,
+/// counters, traces); the event index is O(log P) per event where the scan
+/// is O(P). The linear scan is kept as the executable specification — the
+/// determinism tests diff full traces across the two, and the
+/// `sched_throughput` bench measures the gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedImpl {
+    /// Global `BinaryHeap` of `(time, kind, node)` candidates with lazy
+    /// invalidation (the default).
+    #[default]
+    EventIndex,
+    /// Reference implementation: re-scan every node per dispatched event.
+    LinearScan,
+}
+
+/// A candidate next-event in the global event index: node `node` believes
+/// it can act at `time` (`kind` 0 = handle a message, 1 = run local work).
+///
+/// Entries are *lower bounds*: a node's clock only advances after an entry
+/// is pushed, so a popped entry is re-validated against the node's current
+/// state and re-keyed (or dropped) when stale — the same generation-style
+/// lazy-invalidation discipline `ContRef` uses for continuations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SchedEntry {
+    pub time: Cycles,
+    pub kind: u8,
+    pub node: u32,
+}
+
+impl SchedEntry {
+    #[inline]
+    fn key(&self) -> (Cycles, u8, u32) {
+        (self.time, self.kind, self.node)
+    }
+}
+
+impl PartialOrd for SchedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SchedEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: the earliest (time, message-before-compute, node id)
+        // candidate is the greatest heap element.
+        other.key().cmp(&self.key())
+    }
+}
+
 /// One simulated processor.
 pub(crate) struct Node {
     pub id: NodeId,
@@ -55,6 +106,10 @@ pub(crate) struct Node {
     pub granted: VecDeque<(u32, DeferredInvoke)>,
     pub inbox: BinaryHeap<InboxEntry>,
     pub counters: Counters,
+    /// Smallest `(time, kind)` key this node currently has in the event
+    /// index, if any — pushes that would not improve it are suppressed, so
+    /// a node keeps O(1) live entries however long its queues get.
+    pub sched_noted: Option<(Cycles, u8)>,
 }
 
 impl Node {
@@ -68,6 +123,7 @@ impl Node {
             granted: VecDeque::new(),
             inbox: BinaryHeap::new(),
             counters: Counters::default(),
+            sched_noted: None,
         }
     }
 
@@ -112,8 +168,14 @@ pub struct Runtime {
     /// (§4.2 includes it in all measurements; ablation benches turn it
     /// off).
     pub enable_inlining: bool,
+    /// Dispatch-loop implementation. Set before the first `call` and do not
+    /// switch mid-run: the event index is only maintained while selected.
+    pub sched_impl: SchedImpl,
+    /// Global event index (see [`SchedEntry`]); maintained only under
+    /// [`SchedImpl::EventIndex`].
+    pub(crate) sched: BinaryHeap<SchedEntry>,
+    pub(crate) sched_stats: SchedStats,
     pub(crate) trace_buf: crate::trace::Trace,
-    pub(crate) trap: Option<Trap>,
 }
 
 impl Runtime {
@@ -154,8 +216,10 @@ impl Runtime {
             seq_depth: 0,
             max_seq_depth: 1200,
             enable_inlining: true,
+            sched_impl: SchedImpl::default(),
+            sched: BinaryHeap::new(),
+            sched_stats: SchedStats::default(),
             trace_buf: crate::trace::Trace::default(),
-            trap: None,
         })
     }
 
@@ -248,10 +312,14 @@ impl Runtime {
         if src.node == dest {
             return src;
         }
-        // Most specific guard first: a held lock names the object busy.
+        // Most specific guard first: queued invocations name the waiters
+        // that would be stranded, a held lock names the object busy.
         if let Some(l) = &self.nodes[src.node.idx()].objects[src.index as usize].lock {
+            assert!(
+                l.waiters.is_empty(),
+                "cannot migrate with queued invocations"
+            );
             assert!(l.holder.is_none(), "cannot migrate a locked object");
-            assert!(l.waiters.is_empty(), "cannot migrate with queued invocations");
         }
         // A suspended activation's `self` must not move out from under it.
         for n in &self.nodes {
@@ -264,10 +332,6 @@ impl Runtime {
         }
         let (class, scalars, arrays, lock) = {
             let o = &mut self.nodes[src.node.idx()].objects[src.index as usize];
-            if let Some(l) = &o.lock {
-                assert!(l.holder.is_none(), "cannot migrate a locked object");
-                assert!(l.waiters.is_empty(), "cannot migrate with queued invocations");
-            }
             (
                 o.class,
                 std::mem::take(&mut o.scalars),
@@ -356,6 +420,7 @@ impl Runtime {
         MachineStats {
             per_node: self.nodes.iter().map(|n| n.counters.clone()).collect(),
             node_time: self.nodes.iter().map(|n| n.time).collect(),
+            sched: self.sched_stats.clone(),
         }
     }
 
@@ -417,9 +482,66 @@ impl Runtime {
 
     // ================= messaging =================
 
+    /// Push a candidate onto the event index (no-op under the linear scan).
+    /// Suppressed when the node already has an entry at or below this key:
+    /// that entry is a sufficient lower bound, and validation on pop
+    /// recomputes the true candidate anyway.
+    #[inline]
+    pub(crate) fn sched_note(&mut self, time: Cycles, kind: u8, node: usize) {
+        if self.sched_impl != SchedImpl::EventIndex {
+            return;
+        }
+        if self.nodes[node]
+            .sched_noted
+            .is_some_and(|k| k <= (time, kind))
+        {
+            return;
+        }
+        self.nodes[node].sched_noted = Some((time, kind));
+        self.sched.push(SchedEntry {
+            time,
+            kind,
+            node: node as u32,
+        });
+        self.sched_stats.heap_pushes += 1;
+        let depth = self.sched.len() as u64;
+        if depth > self.sched_stats.max_heap_depth {
+            self.sched_stats.max_heap_depth = depth;
+        }
+    }
+
+    /// Note that `node` gained runnable local work (ready context or lock
+    /// grant) at its current virtual time.
+    #[inline]
+    pub(crate) fn sched_note_local(&mut self, node: usize) {
+        self.sched_note(self.nodes[node].time, 1, node);
+    }
+
+    /// Inject a message into the interconnect and drain it straight into
+    /// the destination inbox. The wire is drained once per injection — the
+    /// `Network` heap assigns the global sequence number and keeps traffic
+    /// stats, but messages never sit in it across scheduler iterations, so
+    /// the dispatch loop does not need to re-drain it per event.
+    fn inject(&mut self, from: usize, dest: NodeId, deliver: Cycles, words: u64, msg: Msg) {
+        self.net
+            .send(self.nodes[from].id, dest, deliver, words, msg);
+        while let Some(m) = self.net.pop() {
+            let d = m.dest.idx();
+            self.nodes[d].inbox.push(InboxEntry {
+                deliver: m.deliver_at,
+                seq: m.seq,
+                msg: m.msg,
+            });
+            let at = self.nodes[d].time.max(m.deliver_at);
+            self.sched_note(at, 0, d);
+        }
+    }
+
     /// Send a request message, charging sender-side costs and wire latency.
-    /// Sending also polls the network (below).
-    pub(crate) fn send_invoke(&mut self, from: usize, dest: NodeId, msg: Msg) {
+    /// Sending also polls the network (below); a trap raised by a handler
+    /// that runs during that poll propagates promptly to the sender's
+    /// execution rather than being parked for the next scheduler iteration.
+    pub(crate) fn send_invoke(&mut self, from: usize, dest: NodeId, msg: Msg) -> Result<(), Trap> {
         let words = msg.words();
         let c = self.cost.msg_send + self.cost.msg_word * words;
         self.charge(from, c);
@@ -433,15 +555,18 @@ impl Runtime {
             },
         );
         let deliver = self.nodes[from].time + self.cost.msg_latency;
-        self.net
-            .send(self.nodes[from].id, dest, deliver, words, msg);
-        if let Err(t) = self.poll_network(from) {
-            self.trap.get_or_insert(t);
-        }
+        self.inject(from, dest, deliver, words, msg);
+        self.poll_network(from)
     }
 
-    /// Send a reply message.
-    pub(crate) fn send_reply(&mut self, from: usize, dest: NodeId, cont: ContRef, value: Value) {
+    /// Send a reply message. Trap propagation as for [`Self::send_invoke`].
+    pub(crate) fn send_reply(
+        &mut self,
+        from: usize,
+        dest: NodeId,
+        cont: ContRef,
+        value: Value,
+    ) -> Result<(), Trap> {
         let msg = Msg::Reply { cont, value };
         let words = msg.words();
         let c = self.cost.reply_send + self.cost.reply_word * words;
@@ -456,11 +581,8 @@ impl Runtime {
             },
         );
         let deliver = self.nodes[from].time + self.cost.reply_latency;
-        self.net
-            .send(self.nodes[from].id, dest, deliver, words, msg);
-        if let Err(t) = self.poll_network(from) {
-            self.trap.get_or_insert(t);
-        }
+        self.inject(from, dest, deliver, words, msg);
+        self.poll_network(from)
     }
 
     /// Poll the network from code running on `node` — the Concert/CM-5
@@ -469,15 +591,10 @@ impl Runtime {
     /// requests (which would serialize the machine and hide exactly the
     /// latency-tolerance the hybrid model is supposed to show). Handled
     /// invocations run as nested tasks; the current task's lock identity
-    /// is restored afterwards.
+    /// is restored afterwards. (Arrived messages already sit in per-node
+    /// inboxes — injection drains the wire — so only this node's due
+    /// entries are examined.)
     pub(crate) fn poll_network(&mut self, node: usize) -> Result<(), Trap> {
-        while let Some(m) = self.net.pop() {
-            self.nodes[m.dest.idx()].inbox.push(InboxEntry {
-                deliver: m.deliver_at,
-                seq: m.seq,
-                msg: m.msg,
-            });
-        }
         loop {
             let due = self.nodes[node]
                 .inbox
@@ -570,6 +687,7 @@ impl Runtime {
             n.counters.resumes += 1;
             n.time += cost_enqueue;
             n.counters.instructions += cost_enqueue;
+            self.sched_note_local(tnode);
             self.emit(
                 tnode,
                 crate::trace::TraceEvent::Resume {
@@ -599,8 +717,7 @@ impl Runtime {
                 if cr.node.idx() == node {
                     self.fill_slot(node, cr.ctx, cr.gen, cr.slot, v)
                 } else {
-                    self.send_reply(node, cr.node, cr, v);
-                    Ok(())
+                    self.send_reply(node, cr.node, cr, v)
                 }
             }
         }
@@ -710,6 +827,7 @@ impl Runtime {
         let n = &mut self.nodes[node];
         debug_assert_eq!(n.ctxs.get(ctx).wait, WaitState::Ready);
         n.ready.push_back(ctx);
+        self.sched_note_local(node);
     }
 
     /// Finish a context: release its lock if held, free it.
@@ -824,10 +942,15 @@ impl Runtime {
         };
         n.time += cost;
         n.counters.instructions += cost;
+        let mut granted = false;
         if l.release() {
             if let Some(d) = l.waiters.pop_front() {
                 n.granted.push_back((obj, d));
+                granted = true;
             }
+        }
+        if granted {
+            self.sched_note_local(node);
         }
     }
 
@@ -882,33 +1005,108 @@ impl Runtime {
     }
 
     /// Drive the machine until no work remains anywhere. Deterministic:
-    /// ties in virtual time break by (message-before-compute, node id,
-    /// message sequence number).
+    /// the next event is always the minimum `(virtual time,
+    /// message-before-compute, node id)` candidate, with message order
+    /// within a node fixed by `(delivery time, sequence number)` — the
+    /// tie-break is a specification both implementations satisfy
+    /// bit-identically (see [`SchedImpl`]).
     pub fn run_to_quiescence(&mut self) -> Result<(), Trap> {
+        match self.sched_impl {
+            SchedImpl::EventIndex => self.run_event_index(),
+            SchedImpl::LinearScan => self.run_linear_scan(),
+        }
+    }
+
+    /// A node's current best candidate, under the same selection rule the
+    /// linear scan applies: an inbox head is actionable at
+    /// `max(node time, delivery time)` (kind 0); any ready context or lock
+    /// grant at the node's current time (kind 1).
+    #[inline]
+    fn node_candidate(&self, i: usize) -> Option<(Cycles, u8)> {
+        let n = &self.nodes[i];
+        let mut best: Option<(Cycles, u8)> = None;
+        if let Some(e) = n.inbox.peek() {
+            best = Some((n.time.max(e.deliver), 0u8));
+        }
+        if n.has_local_work() {
+            let cand = (n.time, 1u8);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
+        best
+    }
+
+    /// Dispatch the selected event on node `i`. `t` is the (validated)
+    /// candidate time; `kind` 0 handles the inbox head, 1 runs a grant or
+    /// ready context.
+    fn dispatch_event(&mut self, t: Cycles, kind: u8, i: usize) -> Result<(), Trap> {
+        self.sched_stats.events_dispatched += 1;
+        if kind == 0 {
+            let e = self.nodes[i].inbox.pop().expect("selected inbox entry");
+            self.nodes[i].time = t;
+            self.charge(i, self.cost.handler);
+            self.ctr(i).msgs_handled += 1;
+            self.handle_msg(i, e.msg)
+        } else if let Some((obj, d)) = self.nodes[i].granted.pop_front() {
+            self.run_granted(i, obj, d)
+        } else {
+            let c = self.nodes[i].ready.pop_front().expect("selected ready ctx");
+            crate::par::dispatch(self, i, c)
+        }
+    }
+
+    /// O(log P)-per-event dispatch: pop the minimum candidate from the
+    /// event index, re-validate it against the node's live state (lazy
+    /// invalidation), execute it, and re-arm the node's next candidate.
+    ///
+    /// Every heap entry is a lower bound on its node's true candidate key
+    /// (clocks only advance), and every inbox/ready/granted insertion notes
+    /// a candidate — so whenever a node is actionable the heap holds an
+    /// entry at or below its true key, and the first entry that validates
+    /// exactly equal to its node's recomputed candidate is the global
+    /// minimum: the same event the linear scan selects.
+    fn run_event_index(&mut self) -> Result<(), Trap> {
+        while let Some(e) = self.sched.pop() {
+            let i = e.node as usize;
+            // A node's entries pop in key order, so the first pop carries
+            // the tracked minimum; consuming it clears the suppression
+            // marker (an equal-key duplicate left behind is harmless).
+            if self.nodes[i].sched_noted == Some((e.time, e.kind)) {
+                self.nodes[i].sched_noted = None;
+            }
+            let Some((t, kind)) = self.node_candidate(i) else {
+                // Dangling entry: the work it announced was consumed by an
+                // earlier event (e.g. a send-time poll).
+                self.sched_stats.stale_pops += 1;
+                continue;
+            };
+            if (t, kind) != (e.time, e.kind) {
+                // Stale lower bound: re-key with the node's live candidate.
+                self.sched_stats.stale_pops += 1;
+                self.sched_note(t, kind, i);
+                continue;
+            }
+            self.dispatch_event(t, kind, i)?;
+            if let Some((t, kind)) = self.node_candidate(i) {
+                self.sched_note(t, kind, i);
+            }
+        }
+        debug_assert!(
+            (0..self.nodes.len()).all(|i| self.node_candidate(i).is_none()),
+            "event index drained while work remains"
+        );
+        Ok(())
+    }
+
+    /// Reference dispatch: re-scan every node per event, O(P) per event.
+    fn run_linear_scan(&mut self) -> Result<(), Trap> {
         loop {
-            if let Some(t) = self.trap.take() {
-                return Err(t);
-            }
-            // Drain the wire into per-node inboxes (effective processing
-            // still waits for max(node time, delivery time)).
-            while let Some(m) = self.net.pop() {
-                self.nodes[m.dest.idx()].inbox.push(InboxEntry {
-                    deliver: m.deliver_at,
-                    seq: m.seq,
-                    msg: m.msg,
-                });
-            }
             // Select the earliest actionable (time, kind, node).
             let mut best: Option<(Cycles, u8, usize)> = None;
-            for (i, n) in self.nodes.iter().enumerate() {
-                if let Some(e) = n.inbox.peek() {
-                    let cand = (n.time.max(e.deliver), 0u8, i);
-                    if best.is_none_or(|b| cand < b) {
-                        best = Some(cand);
-                    }
-                }
-                if n.has_local_work() {
-                    let cand = (n.time, 1u8, i);
+            for i in 0..self.nodes.len() {
+                if let Some((t, kind)) = self.node_candidate(i) {
+                    let cand = (t, kind, i);
                     if best.is_none_or(|b| cand < b) {
                         best = Some(cand);
                     }
@@ -917,18 +1115,7 @@ impl Runtime {
             let Some((t, kind, i)) = best else {
                 return Ok(());
             };
-            if kind == 0 {
-                let e = self.nodes[i].inbox.pop().expect("selected inbox entry");
-                self.nodes[i].time = t;
-                self.charge(i, self.cost.handler);
-                self.ctr(i).msgs_handled += 1;
-                self.handle_msg(i, e.msg)?;
-            } else if let Some((obj, d)) = self.nodes[i].granted.pop_front() {
-                self.run_granted(i, obj, d)?;
-            } else {
-                let c = self.nodes[i].ready.pop_front().expect("selected ready ctx");
-                crate::par::dispatch(self, i, c)?;
-            }
+            self.dispatch_event(t, kind, i)?;
         }
     }
 

@@ -350,7 +350,7 @@ fn seq_invoke(
                         cont: Continuation::Discard,
                         forwarded: false,
                     },
-                );
+                )?;
                 Ok(None)
             }
             Some(s) => {
@@ -375,7 +375,7 @@ fn seq_invoke(
                         cont,
                         forwarded: false,
                     },
-                );
+                )?;
                 Ok(Some(out))
             }
         };
@@ -526,7 +526,7 @@ fn seq_forward(
                 cont,
                 forwarded: true,
             },
-        );
+        )?;
         return Ok(SeqOutcome::Consumed { shell });
     }
 

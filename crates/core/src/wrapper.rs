@@ -63,7 +63,7 @@ pub(crate) fn run_invocation(
                 cont,
                 forwarded,
             },
-        );
+        )?;
         return Ok(());
     }
     let obj = target.index;

@@ -27,13 +27,7 @@ fn program() -> (Program, MethodId, MethodId, FieldId, FieldId) {
         let last = mb.local();
         mb.mov(last, 0i64);
         mb.for_range(0i64, mb.arg(0), |mb, _| {
-            mb.invoke(
-                Some(s),
-                p,
-                bump,
-                &[],
-                hem_ir::LocalityHint::Unknown,
-            );
+            mb.invoke(Some(s), p, bump, &[], hem_ir::LocalityHint::Unknown);
             mb.touch(&[s]);
             let v = mb.get_slot(s);
             mb.mov(last, v);
@@ -43,10 +37,17 @@ fn program() -> (Program, MethodId, MethodId, FieldId, FieldId) {
     (pb.finish(), bump, poke, n, peer)
 }
 
-fn world() -> (Runtime, hem_ir::ObjRef, hem_ir::ObjRef, MethodId, FieldId, FieldId) {
+fn world() -> (
+    Runtime,
+    hem_ir::ObjRef,
+    hem_ir::ObjRef,
+    MethodId,
+    FieldId,
+    FieldId,
+) {
     let (p, _bump, poke, n, peer) = program();
-    let mut rt = Runtime::new(p, 2, CostModel::cm5(), ExecMode::Hybrid, InterfaceSet::Full)
-        .expect("valid");
+    let mut rt =
+        Runtime::new(p, 2, CostModel::cm5(), ExecMode::Hybrid, InterfaceSet::Full).expect("valid");
     let driver = rt.alloc_object_by_name("C", NodeId(0));
     let cell = rt.alloc_object_by_name("C", NodeId(1));
     rt.set_field(cell, n, Value::Int(0));
@@ -144,7 +145,11 @@ fn remote_message_to_old_home_is_forwarded() {
     let t = rt.stats().totals();
     // The invoke through the stale ref travels: node0 -> node1 (old home)
     // -> node0 (new home), then executes locally.
-    assert!(t.msgs_sent >= 1, "at least the forwarded hop: {}", t.msgs_sent);
+    assert!(
+        t.msgs_sent >= 1,
+        "at least the forwarded hop: {}",
+        t.msgs_sent
+    );
     assert_eq!(rt.live_contexts(), 0);
 }
 
@@ -174,6 +179,40 @@ fn migration_refuses_held_locks() {
     let r = rt.call(c, stuck, &[]).unwrap();
     assert_eq!(r, None, "parked forever");
     assert!(!rt.stuck_contexts().is_empty());
+    let _ = rt.migrate_object(c, NodeId(1));
+}
+
+#[test]
+#[should_panic(expected = "cannot migrate with queued invocations")]
+fn migration_refuses_queued_lock_waiters() {
+    // First invocation holds the cell's lock and parks forever; a second
+    // invocation arrives while the lock is held and is queued on it. The
+    // machine is quiescent (the waiter is parked on the lock, not on a run
+    // queue), but moving the object would strand the queued invocation —
+    // the guard diagnoses the waiters, not just the held lock.
+    let mut pb = ProgramBuilder::new();
+    let quiet = pb.class("Quiet", false);
+    let silent = pb.method(quiet, "silent", 0, |mb| mb.halt());
+    let cell = pb.class("Cell", true);
+    let peer = pb.field(cell, "peer");
+    let stuck = pb.method(cell, "stuck", 0, |mb| {
+        let p = mb.get_field(peer);
+        let s = mb.invoke_into(p, silent, &[]);
+        let v = mb.touch_get(s);
+        mb.reply(v);
+    });
+    let p = pb.finish();
+    let mut rt =
+        Runtime::new(p, 2, CostModel::cm5(), ExecMode::Hybrid, InterfaceSet::Full).unwrap();
+    let q = rt.alloc_object_by_name("Quiet", NodeId(1));
+    let c = rt.alloc_object_by_name("Cell", NodeId(0));
+    rt.set_field(c, peer, Value::Obj(q));
+    let r = rt.call(c, stuck, &[]).unwrap();
+    assert_eq!(r, None, "holder parked forever");
+    // Second independent task: finds the lock held, defers on it.
+    let r = rt.call(c, stuck, &[]).unwrap();
+    assert_eq!(r, None, "second invocation queued behind the lock");
+    assert!(rt.is_quiescent());
     let _ = rt.migrate_object(c, NodeId(1));
 }
 

@@ -1,0 +1,118 @@
+//! Prompt trap propagation from send-time polls.
+//!
+//! Sending a message polls the sender's inbox (the active-message
+//! discipline), and a handler that runs during that poll can trap. The
+//! trap must abort the sender's execution at the send — it must not be
+//! parked for the scheduler to notice later while the sender's method
+//! keeps executing past the failed operation.
+
+use hem_analysis::InterfaceSet;
+use hem_core::{ExecMode, Runtime};
+use hem_ir::{BinOp, LocalityHint, ProgramBuilder, Value};
+use hem_machine::cost::CostModel;
+use hem_machine::NodeId;
+
+/// Node 0's driver sends to node 1, suspends, resumes, computes locally,
+/// then sends again. Meanwhile a forwarded invocation of a trapping method
+/// (array index out of range) arrives in node 0's inbox; the second send's
+/// poll handles it. The trap must surface from that send: the driver's
+/// `marker` write after the send must never execute.
+#[test]
+fn trap_in_send_poll_aborts_sender_promptly() {
+    let mut pb = ProgramBuilder::new();
+
+    let quiet = pb.class("Quiet", false);
+    let echo = pb.method(quiet, "echo", 1, |mb| mb.reply(mb.arg(0)));
+    let noop = pb.method(quiet, "noop", 0, |mb| mb.reply_nil());
+
+    let boom_c = pb.class("Boom", false);
+    let cells = pb.array_field(boom_c, "cells");
+    let boom = pb.method(boom_c, "boom", 0, |mb| {
+        let v = mb.get_elem(cells, 99i64); // trap: cells has one element
+        mb.reply(v);
+    });
+
+    let driver = pb.class("Driver", false);
+    let q = pb.field(driver, "q");
+    let tgt = pb.field(driver, "tgt");
+    let marker = pb.field(driver, "marker");
+    let go = pb.method(driver, "go", 0, |mb| {
+        let qv = mb.get_field(q);
+        let tv = mb.get_field(tgt);
+        let s = mb.slot();
+        mb.invoke(Some(s), qv, echo, &[7i64.into()], LocalityHint::Unknown);
+        mb.invoke(None, tv, boom, &[], LocalityHint::Unknown);
+        mb.touch(&[s]);
+        let v = mb.get_slot(s);
+        // Local work: advance this node's clock past the forwarded boom
+        // message's delivery time without yielding to the scheduler.
+        let acc = mb.local();
+        mb.mov(acc, v);
+        mb.for_range(0i64, 400i64, |mb, _| {
+            let t = mb.binl(BinOp::Add, acc, 1i64);
+            mb.mov(acc, t);
+        });
+        // This send polls the inbox; handling the forwarded boom traps.
+        mb.invoke(None, qv, noop, &[], LocalityHint::Unknown);
+        // Must be unreachable: the trap aborts the context at the send.
+        mb.set_field(marker, 1i64);
+        mb.reply_nil();
+    });
+
+    let p = pb.finish();
+    let mut rt =
+        Runtime::new(p, 2, CostModel::cm5(), ExecMode::Hybrid, InterfaceSet::Full).unwrap();
+    let qo = rt.alloc_object_by_name("Quiet", NodeId(1));
+    let bo = rt.alloc_object_by_name("Boom", NodeId(1));
+    rt.set_array(bo, cells, vec![Value::Int(0)]);
+    // Move the boom target home to node 0; the driver keeps the stale
+    // node-1 reference, so its request is forwarded back to node 0 and
+    // arrives (delivery time past the driver's resume) while the driver is
+    // deep in its local loop.
+    rt.migrate_object(bo, NodeId(0));
+    let d = rt.alloc_object_by_name("Driver", NodeId(0));
+    rt.set_field(d, q, Value::Obj(qo));
+    rt.set_field(d, tgt, Value::Obj(bo));
+    rt.set_field(d, marker, Value::Int(0));
+
+    let err = rt.call(d, go, &[]).expect_err("boom must trap the run");
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("array index 99"),
+        "trap is the handler's, not a secondary failure: {msg}"
+    );
+    assert_eq!(
+        rt.get_field(d, marker),
+        Value::Int(0),
+        "driver kept executing past the trapping send"
+    );
+}
+
+/// Same shape, but the trapping handler runs from the scheduler's own
+/// dispatch (no send in flight): the trap still surfaces from `call`.
+#[test]
+fn trap_in_scheduled_handler_propagates() {
+    let mut pb = ProgramBuilder::new();
+    let boom_c = pb.class("Boom", false);
+    let cells = pb.array_field(boom_c, "cells");
+    let boom = pb.method(boom_c, "boom", 0, |mb| {
+        let v = mb.get_elem(cells, 99i64);
+        mb.reply(v);
+    });
+    let driver = pb.class("Driver", false);
+    let tgt = pb.field(driver, "tgt");
+    let go = pb.method(driver, "go", 0, |mb| {
+        let tv = mb.get_field(tgt);
+        mb.invoke(None, tv, boom, &[], LocalityHint::Unknown);
+        mb.reply_nil();
+    });
+    let p = pb.finish();
+    let mut rt =
+        Runtime::new(p, 2, CostModel::cm5(), ExecMode::Hybrid, InterfaceSet::Full).unwrap();
+    let bo = rt.alloc_object_by_name("Boom", NodeId(1));
+    rt.set_array(bo, cells, vec![Value::Int(0)]);
+    let d = rt.alloc_object_by_name("Driver", NodeId(0));
+    rt.set_field(d, tgt, Value::Obj(bo));
+    let err = rt.call(d, go, &[]).expect_err("boom must trap the run");
+    assert!(format!("{err}").contains("array index 99"));
+}

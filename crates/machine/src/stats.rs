@@ -113,6 +113,26 @@ impl Counters {
     }
 }
 
+/// Machine-global scheduler counters for the event-index dispatch loop.
+///
+/// The runtime's `run_to_quiescence` selects the next actionable
+/// `(time, kind, node)` event from a binary heap with lazy invalidation;
+/// these counters expose how hard that index is working so the O(log P)
+/// claim can be measured rather than asserted (see the `sched_throughput`
+/// bench).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Events actually dispatched (messages handled + contexts/grants run).
+    pub events_dispatched: u64,
+    /// Candidate entries pushed onto the event index.
+    pub heap_pushes: u64,
+    /// Popped entries that were stale (superseded or consumed) and were
+    /// discarded or re-keyed instead of dispatched.
+    pub stale_pops: u64,
+    /// High-water mark of the event index depth.
+    pub max_heap_depth: u64,
+}
+
 /// Machine-wide view of a finished (or in-progress) run.
 #[derive(Debug, Clone, Default)]
 pub struct MachineStats {
@@ -120,6 +140,8 @@ pub struct MachineStats {
     pub per_node: Vec<Counters>,
     /// Per-node finishing times (cycles).
     pub node_time: Vec<Cycles>,
+    /// Scheduler (event-index) counters, machine-global.
+    pub sched: SchedStats,
 }
 
 impl MachineStats {
@@ -128,6 +150,7 @@ impl MachineStats {
         MachineStats {
             per_node: vec![Counters::default(); n],
             node_time: vec![0; n],
+            sched: SchedStats::default(),
         }
     }
 

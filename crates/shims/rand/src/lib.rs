@@ -1,0 +1,159 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the tiny slice of the rand 0.8 API it actually uses: a seedable
+//! deterministic small RNG plus `gen_range` over integer/float ranges and
+//! `gen_bool`. The generator is SplitMix64 — statistically fine for test-data
+//! and layout scrambling, and fully deterministic from the seed, which is all
+//! the deterministic-simulation harnesses require. Streams differ from the
+//! real `rand::rngs::SmallRng`; nothing in the workspace depends on the
+//! exact stream, only on seed-reproducibility.
+
+use std::ops::Range;
+
+/// Subset of `rand::Rng` used by the workspace.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `[0, 1)` with 53 random bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform sample from a half-open range.
+    fn gen_range<R>(&mut self, range: R) -> R::Output
+    where
+        R: SampleRange,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.next_f64() < p
+    }
+}
+
+/// Subset of `rand::SeedableRng` used by the workspace.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types a half-open range of which can be uniformly sampled.
+pub trait SampleUniform: Copy {
+    fn sample_in<R: Rng>(range: Range<Self>, rng: &mut R) -> Self;
+}
+
+/// Half-open ranges a value can be uniformly sampled from. The blanket impl
+/// over [`SampleUniform`] (mirroring real rand) lets type inference unify
+/// the output type with the surrounding expression.
+pub trait SampleRange {
+    type Output;
+    fn sample<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+impl<T: SampleUniform> SampleRange for Range<T> {
+    type Output = T;
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        T::sample_in(self, rng)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: Rng>(range: Range<$t>, rng: &mut R) -> $t {
+                assert!(range.start < range.end, "gen_range on empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Modulo reduction: span is tiny relative to 2^64 everywhere
+                // this shim is used, so the bias is negligible.
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (range.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: Rng>(range: Range<f64>, rng: &mut R) -> f64 {
+        assert!(range.start < range.end, "gen_range on empty range");
+        range.start + rng.next_f64() * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_in<R: Rng>(range: Range<f32>, rng: &mut R) -> f32 {
+        assert!(range.start < range.end, "gen_range on empty range");
+        range.start + rng.next_f64() as f32 * (range.end - range.start)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic small-state RNG (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let i = r.gen_range(3u32..17);
+            assert!((3..17).contains(&i));
+            let f = r.gen_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&f));
+            let n = r.gen_range(-10i64..-2);
+            assert!((-10..-2).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(1);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((1500..3500).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+}

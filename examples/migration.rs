@@ -26,7 +26,13 @@ fn main() {
         let last = mb.local();
         mb.mov(last, 0i64);
         mb.for_range(0i64, mb.arg(0), |mb, _| {
-            mb.invoke(Some(s), p, bump, &[1i64.into()], hem::ir::LocalityHint::Unknown);
+            mb.invoke(
+                Some(s),
+                p,
+                bump,
+                &[1i64.into()],
+                hem::ir::LocalityHint::Unknown,
+            );
             mb.touch(&[s]);
             let v = mb.get_slot(s);
             mb.mov(last, v);
@@ -35,15 +41,21 @@ fn main() {
     });
     let program = pb.finish();
 
-    let mut rt = Runtime::new(program, 2, CostModel::cm5(), ExecMode::Hybrid, InterfaceSet::Full)
-        .unwrap();
+    let mut rt = Runtime::new(
+        program,
+        2,
+        CostModel::cm5(),
+        ExecMode::Hybrid,
+        InterfaceSet::Full,
+    )
+    .unwrap();
     let driver = rt.alloc_object_by_name("C", NodeId(0));
     let hot = rt.alloc_object_by_name("C", NodeId(1));
     rt.set_field(hot, n, Value::Int(0));
     rt.set_field(driver, peer, Value::Obj(hot));
 
     let k = 200i64;
-    let mut show = |rt: &mut Runtime, label: &str| {
+    let show = |rt: &mut Runtime, label: &str| {
         rt.reset_counters();
         let t0 = rt.makespan();
         rt.call(driver, phase, &[Value::Int(k)]).unwrap();

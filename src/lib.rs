@@ -31,7 +31,7 @@ pub use hem_ir as ir;
 pub use hem_machine as machine;
 
 pub use hem_analysis::{InterfaceSet, Schema};
-pub use hem_core::{ExecMode, Runtime, Trap};
+pub use hem_core::{ExecMode, Runtime, SchedImpl, Trap};
 pub use hem_ir::{ProgramBuilder, Value};
 pub use hem_machine::cost::CostModel;
 pub use hem_machine::NodeId;

@@ -110,6 +110,39 @@ fn build_program(descs: &[MethodDesc]) -> (Program, MethodId) {
     (pb.finish(), ids[0])
 }
 
+/// Placement world: objects at caller-chosen nodes, peers around the ring
+/// of *objects* (so remote-ness is decided by the placement, not the ring).
+fn run_placed(
+    program: &Program,
+    root: MethodId,
+    nodes: u32,
+    placement: &[u32],
+    mode: ExecMode,
+    arg: i64,
+) -> (Option<Value>, Counters) {
+    let mut rt = Runtime::new(
+        program.clone(),
+        nodes,
+        CostModel::cm5(),
+        mode,
+        InterfaceSet::Full,
+    )
+    .expect("generated program validates");
+    let objs: Vec<_> = placement
+        .iter()
+        .map(|&n| rt.alloc_object_by_name("Gen", NodeId(n)))
+        .collect();
+    let peer = hem::ir::FieldId(0);
+    for (i, o) in objs.iter().enumerate() {
+        rt.set_field(*o, peer, Value::Obj(objs[(i + 1) % objs.len()]));
+    }
+    let r = rt
+        .call(objs[0], root, &[Value::Int(arg)])
+        .expect("no traps");
+    assert_eq!(rt.live_contexts(), 0, "context leak under {mode}");
+    (r, rt.stats().totals())
+}
+
 /// Ring world: one object per node, peers pointing around the ring.
 fn run(
     program: &Program,
@@ -185,6 +218,31 @@ proptest! {
         prop_assert_eq!(a.0, b.0);
         prop_assert_eq!(a.1, b.1, "identical makespans");
         prop_assert_eq!(a.2, b.2, "identical counters");
+    }
+
+    #[test]
+    fn random_placements_hybrid_matches_parallel_only(
+        descs in proptest::collection::vec(method_desc(), 1..5),
+        placement in proptest::collection::vec(0u32..4, 2..7),
+        arg in 0i64..1000,
+    ) {
+        // Data layout is an input to the execution model, not part of its
+        // semantics: wherever the objects land, the hybrid model and the
+        // parallel-only baseline must compute the same answer.
+        let (program, root) = build_program(&descs);
+        let (hv, ht) = run_placed(&program, root, 4, &placement, ExecMode::Hybrid, arg);
+        let (pv, pt) = run_placed(&program, root, 4, &placement, ExecMode::ParallelOnly, arg);
+        prop_assert_eq!(hv, pv, "placement {:?}: modes disagree", placement);
+        for t in [&ht, &pt] {
+            prop_assert_eq!(t.ctx_alloc, t.ctx_free, "context conservation");
+            prop_assert_eq!(t.msgs_sent + t.replies_sent, t.msgs_handled,
+                "message conservation");
+        }
+        // Placement never changes the answer either: all objects on one
+        // node is the degenerate reference layout.
+        let home = vec![0u32; placement.len()];
+        let (lv, _) = run_placed(&program, root, 4, &home, ExecMode::Hybrid, arg);
+        prop_assert_eq!(hv, lv, "placement {:?} changed the result", placement);
     }
 
     #[test]
