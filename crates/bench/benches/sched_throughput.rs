@@ -89,5 +89,58 @@ fn bench_em3d_sched(c: &mut Criterion) {
     bench_kernel(c, "em3d_4xP", run_em3d);
 }
 
-criterion_group!(sched, bench_sor_sched, bench_em3d_sched);
+/// One SOR run with the reliable transport armed on a fault-free wire:
+/// every remote message gains a sequence-number word, an ack frame, and a
+/// retransmit timer that is always cancelled in time.
+fn run_sor_reliable(p: u32, sched: SchedImpl) -> Runtime {
+    let ids = sor::build();
+    let mut rt = hem_apps::make_runtime(
+        ids.program.clone(),
+        p,
+        CostModel::cm5(),
+        ExecMode::Hybrid,
+        InterfaceSet::Full,
+    );
+    rt.sched_impl = sched;
+    rt.enable_reliable_transport();
+    let inst = sor::setup(
+        &mut rt,
+        &ids,
+        sor::SorParams {
+            n: 64,
+            block: 4,
+            procs: ProcGrid::square(p),
+        },
+    );
+    sor::run(&mut rt, &inst, 1).unwrap();
+    rt
+}
+
+/// Ack-protocol overhead: the same SOR run with the transport off (raw
+/// frames) vs on (data/ack envelope, zero faults). The on/off host-time
+/// ratio is the protocol's dispatch cost; the makespan delta (printed by
+/// the experiment script, see EXPERIMENTS.md) is its simulated cost. The
+/// budget is ≤2% at P = 256.
+fn bench_ack_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ack_protocol/sor64");
+    g.sample_size(10);
+    for p in PROCS {
+        for (label, run) in [
+            ("raw", run_sor as fn(u32, SchedImpl) -> Runtime),
+            ("reliable", run_sor_reliable),
+        ] {
+            let events = run(p, SchedImpl::EventIndex)
+                .stats()
+                .sched
+                .events_dispatched;
+            g.throughput(Throughput::Elements(events));
+            g.bench_with_input(BenchmarkId::new(label, format!("P{p}")), &p, |b, &p| {
+                b.iter(|| run(p, SchedImpl::EventIndex).makespan())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(sched, bench_sor_sched, bench_em3d_sched, bench_ack_protocol);
 criterion_main!(sched);

@@ -1,0 +1,59 @@
+use hem_analysis::InterfaceSet;
+use hem_apps::sor;
+use hem_core::{ExecMode, Runtime, SchedImpl};
+use hem_machine::cost::CostModel;
+use hem_machine::topology::ProcGrid;
+
+fn run(p: u32, reliable: bool) -> Runtime {
+    let ids = sor::build();
+    let mut rt = hem_apps::make_runtime(
+        ids.program.clone(),
+        p,
+        CostModel::cm5(),
+        ExecMode::Hybrid,
+        InterfaceSet::Full,
+    );
+    rt.sched_impl = SchedImpl::EventIndex;
+    if reliable {
+        rt.enable_reliable_transport();
+    }
+    let inst = sor::setup(
+        &mut rt,
+        &ids,
+        sor::SorParams {
+            n: 64,
+            block: 4,
+            procs: ProcGrid::square(p),
+        },
+    );
+    sor::run(&mut rt, &inst, 1).unwrap();
+    rt
+}
+
+fn main() {
+    println!(
+        "{:>4} {:>12} {:>12} {:>7} {:>10} {:>10} {:>8} {:>8}",
+        "P", "raw_mk", "rel_mk", "mk_ovh%", "raw_ev", "rel_ev", "acks", "retx"
+    );
+    for p in [1u32, 16, 64, 256] {
+        let a = run(p, false);
+        let b = run(p, true);
+        let (ma, mb) = (a.makespan(), b.makespan());
+        let sa = a.stats();
+        let sb = b.stats();
+        let ta = sa.totals();
+        let tb = sb.totals();
+        assert_eq!(ta.msgs_handled, tb.msgs_handled, "exactly-once at P={p}");
+        println!(
+            "{:>4} {:>12} {:>12} {:>7.3} {:>10} {:>10} {:>8} {:>8}",
+            p,
+            ma,
+            mb,
+            100.0 * (mb as f64 - ma as f64) / ma as f64,
+            sa.sched.events_dispatched,
+            sb.sched.events_dispatched,
+            tb.acks_sent,
+            tb.retransmits
+        );
+    }
+}

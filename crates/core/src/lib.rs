@@ -85,7 +85,7 @@ pub use cont::{CallerInfo, Continuation};
 pub use context::{ActFrame, Context, SlotState, WaitState};
 pub use error::Trap;
 pub use object::Object;
-pub use rt::{Runtime, SchedImpl};
+pub use rt::{NodeObjectState, Runtime, SchedImpl};
 pub use trace::{Trace, TraceEvent, TraceRecord};
 
 pub use hem_analysis::{InterfaceSet, Schema, SchemaMap};

@@ -6,6 +6,11 @@
 //! full continuation and are therefore longer, the effect the EM3D
 //! `forward` variant trades against reply count), and a reply determining
 //! a future.
+//!
+//! On the wire every [`Msg`] travels inside a [`Packet`]: raw (the default,
+//! for a perfectly reliable interconnect) or as a sequenced data frame of
+//! the reliable transport, which adds acknowledgement frames — see
+//! `rt.rs`'s retransmission protocol.
 
 use crate::cont::Continuation;
 use hem_ir::{ContRef, MethodId, Value};
@@ -59,6 +64,36 @@ impl Msg {
     pub fn is_reply(&self) -> bool {
         matches!(self, Msg::Reply { .. })
     }
+}
+
+/// The wire envelope around a [`Msg`].
+///
+/// `Raw` is the legacy framing used when the reliable transport is off:
+/// zero header words, no acknowledgements — correct only on a fault-free
+/// interconnect. With the transport on, payloads travel as `Data` frames
+/// carrying a per-`(sender, destination)` sequence number (the receiver's
+/// duplicate-suppression key) and are confirmed with single-word `Ack`
+/// frames; unconfirmed frames are retransmitted on a capped exponential
+/// backoff in virtual time.
+#[derive(Debug, Clone)]
+pub enum Packet {
+    /// Unsequenced payload (reliable transport off).
+    Raw(Msg),
+    /// Sequenced payload (reliable transport on). `seq` is the sender's
+    /// per-destination transport sequence number — *not* the network's
+    /// global sequence number, which changes on every retransmission.
+    Data {
+        /// Per-(sender, destination) transport sequence number.
+        seq: u64,
+        /// The payload.
+        msg: Msg,
+    },
+    /// Acknowledgement of the `Data` frame `seq` sent by the packet's
+    /// destination to the packet's source. Acks are not themselves acked.
+    Ack {
+        /// The acknowledged transport sequence number.
+        seq: u64,
+    },
 }
 
 #[cfg(test)]

@@ -5,25 +5,27 @@
 use crate::cont::{CallerInfo, Continuation};
 use crate::context::{ActFrame, CtxTable, SlotState, WaitState};
 use crate::error::Trap;
-use crate::msg::Msg;
+use crate::msg::{Msg, Packet};
 use crate::object::{ClassLayout, DeferredInvoke, FieldKind, LockHolder, Object};
 use crate::{ExecMode, InterfaceSet, SchemaMap};
 use hem_analysis::Analysis;
 use hem_ir::{ClassId, ContRef, FieldId, MethodId, ObjRef, Program, ValidationError, Value};
 use hem_machine::cost::CostModel;
+use hem_machine::fault::FaultPlan;
 use hem_machine::net::Network;
 use hem_machine::stats::{Counters, MachineStats, SchedStats};
 use hem_machine::{Cycles, NodeId};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::rc::Rc;
 
-/// A message sitting in a node's inbox awaiting its delivery time.
+/// A packet sitting in a node's inbox awaiting its delivery time.
 #[derive(Debug)]
 pub(crate) struct InboxEntry {
     pub deliver: Cycles,
     pub seq: u64,
-    pub msg: Msg,
+    pub src: NodeId,
+    pub msg: Packet,
 }
 
 impl PartialEq for InboxEntry {
@@ -95,6 +97,24 @@ impl Ord for SchedEntry {
     }
 }
 
+/// An unacknowledged data frame retained by its sender for retransmission
+/// (reliable transport only).
+#[derive(Debug)]
+pub(crate) struct Pending {
+    /// The payload, re-framed verbatim on every retransmission.
+    pub msg: Msg,
+    /// Wire size charged per copy.
+    pub words: u64,
+    /// Wire latency of the original send (requests and replies differ).
+    pub latency: Cycles,
+    /// Sender-side compose cost re-charged per retransmission.
+    pub send_cost: Cycles,
+    /// Virtual time at which the frame times out (keys `tx_timers`).
+    pub deadline: Cycles,
+    /// Retransmissions so far (drives the exponential backoff).
+    pub attempt: u32,
+}
+
 /// One simulated processor.
 pub(crate) struct Node {
     pub id: NodeId,
@@ -110,6 +130,18 @@ pub(crate) struct Node {
     /// index, if any — pushes that would not improve it are suppressed, so
     /// a node keeps O(1) live entries however long its queues get.
     pub sched_noted: Option<(Cycles, u8)>,
+    /// Transport sender state: next per-destination sequence number.
+    pub tx_next: BTreeMap<u32, u64>,
+    /// Transport sender state: unacked frames keyed by `(dest, seq)`.
+    pub tx_pending: BTreeMap<(u32, u64), Pending>,
+    /// Retransmit timer index over `tx_pending`: `(deadline, dest, seq)`,
+    /// minimum first. BTree (not heap) so ack-time removal is exact.
+    pub tx_timers: BTreeSet<(Cycles, u32, u64)>,
+    /// Transport receiver state: per-source floor — every seq below it has
+    /// been delivered to the application exactly once.
+    pub rx_floor: BTreeMap<u32, u64>,
+    /// Transport receiver state: out-of-order seqs at/above the floor.
+    pub rx_seen: BTreeMap<u32, BTreeSet<u64>>,
 }
 
 impl Node {
@@ -124,11 +156,35 @@ impl Node {
             inbox: BinaryHeap::new(),
             counters: Counters::default(),
             sched_noted: None,
+            tx_next: BTreeMap::new(),
+            tx_pending: BTreeMap::new(),
+            tx_timers: BTreeSet::new(),
+            rx_floor: BTreeMap::new(),
+            rx_seen: BTreeMap::new(),
         }
     }
 
     fn has_local_work(&self) -> bool {
         !self.granted.is_empty() || !self.ready.is_empty()
+    }
+
+    /// Record receipt of transport seq `seq` from `src`; returns true when
+    /// it was already delivered (i.e. this copy is a duplicate). The floor
+    /// compacts the seen-set so memory stays proportional to reordering,
+    /// not traffic.
+    fn rx_mark(&mut self, src: u32, seq: u64) -> bool {
+        let floor = self.rx_floor.entry(src).or_insert(0);
+        if seq < *floor {
+            return true;
+        }
+        let seen = self.rx_seen.entry(src).or_default();
+        if !seen.insert(seq) {
+            return true;
+        }
+        while seen.remove(floor) {
+            *floor += 1;
+        }
+        false
     }
 }
 
@@ -142,6 +198,10 @@ pub(crate) struct ActiveCtx {
     pub fills: Vec<(u16, Value)>,
 }
 
+/// One node's object snapshot — `(class, scalar fields, array fields)` in
+/// allocation order; see [`Runtime::object_state`].
+pub type NodeObjectState = Vec<(u32, Vec<Value>, Vec<Vec<Value>>)>;
+
 /// The hybrid-execution-model runtime over a simulated multicomputer.
 ///
 /// See the [crate docs](crate) for the model and an example.
@@ -154,7 +214,7 @@ pub struct Runtime {
     /// The execution mode in force.
     pub mode: ExecMode,
     pub(crate) nodes: Vec<Node>,
-    pub(crate) net: Network<Msg>,
+    pub(crate) net: Network<Packet>,
     pub(crate) next_task: u64,
     pub(crate) current_task: u64,
     pub(crate) result: Option<Value>,
@@ -176,6 +236,16 @@ pub struct Runtime {
     pub(crate) sched: BinaryHeap<SchedEntry>,
     pub(crate) sched_stats: SchedStats,
     pub(crate) trace_buf: crate::trace::Trace,
+    /// Reliable transport (seq/ack/retransmit framing) engaged? Off by
+    /// default: the raw framing is bit-identical to the pre-transport
+    /// runtime and correct on a fault-free wire.
+    pub(crate) reliable: bool,
+    /// Base retransmission timeout in virtual cycles (attempt 0 waits this
+    /// long; each retry doubles it up to [`Self::retx_cap`]). Zero means
+    /// "derive from the cost model" at [`Self::enable_reliable_transport`].
+    pub retx_base: Cycles,
+    /// Upper bound on the retransmission backoff.
+    pub retx_cap: Cycles,
 }
 
 impl Runtime {
@@ -220,7 +290,42 @@ impl Runtime {
             sched: BinaryHeap::new(),
             sched_stats: SchedStats::default(),
             trace_buf: crate::trace::Trace::default(),
+            reliable: false,
+            retx_base: 0,
+            retx_cap: 0,
         })
+    }
+
+    /// Engage the reliable transport: every request and reply travels as a
+    /// sequenced data frame, is acknowledged by the receiver, retransmitted
+    /// on a capped exponential backoff (in virtual time) until acked, and
+    /// duplicate-suppressed at the receiver. Call before the first `call`;
+    /// idempotent. Unless already set, the timeout base is derived as 4×
+    /// the cost model's round trip and capped at 64× that.
+    pub fn enable_reliable_transport(&mut self) {
+        self.reliable = true;
+        if self.retx_base == 0 {
+            let rtt = self.cost.msg_latency
+                + self.cost.handler
+                + self.cost.ack_overhead
+                + self.cost.reply_latency
+                + self.cost.msg_send;
+            self.retx_base = 4 * rtt.max(1);
+            self.retx_cap = 64 * self.retx_base;
+        }
+    }
+
+    /// Install a deterministic fault schedule on the interconnect and
+    /// engage the reliable transport (a lossy wire without retransmission
+    /// would wedge the machine or silently corrupt the run).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.net.set_plan(Some(plan));
+        self.enable_reliable_transport();
+    }
+
+    /// Is the reliable transport engaged?
+    pub fn reliable_transport(&self) -> bool {
+        self.reliable
     }
 
     // ================= setup / inspection API =================
@@ -421,7 +526,24 @@ impl Runtime {
             per_node: self.nodes.iter().map(|n| n.counters.clone()).collect(),
             node_time: self.nodes.iter().map(|n| n.time).collect(),
             sched: self.sched_stats.clone(),
+            net: self.net.stats(),
         }
+    }
+
+    /// Snapshot of every object's contents — `(class, scalars, arrays)`,
+    /// node by node, in allocation order — for final-state equivalence
+    /// checks across execution modes, scheduler implementations, and fault
+    /// schedules.
+    pub fn object_state(&self) -> Vec<NodeObjectState> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.objects
+                    .iter()
+                    .map(|o| (o.class.0, o.scalars.clone(), o.arrays.clone()))
+                    .collect()
+            })
+            .collect()
     }
 
     /// Zero all event counters (virtual clocks keep running). Lets a
@@ -449,13 +571,15 @@ impl Runtime {
         v
     }
 
-    /// True when no runnable work, grants, or messages remain anywhere.
+    /// True when no runnable work, grants, messages, or unacknowledged
+    /// transport frames remain anywhere (a pending frame means a
+    /// retransmission timer will fire).
     pub fn is_quiescent(&self) -> bool {
         self.net.is_empty()
             && self
                 .nodes
                 .iter()
-                .all(|n| !n.has_local_work() && n.inbox.is_empty())
+                .all(|n| !n.has_local_work() && n.inbox.is_empty() && n.tx_pending.is_empty())
     }
 
     // ================= cost & counter helpers =================
@@ -517,19 +641,39 @@ impl Runtime {
         self.sched_note(self.nodes[node].time, 1, node);
     }
 
-    /// Inject a message into the interconnect and drain it straight into
+    /// Inject a packet into the interconnect and drain it straight into
     /// the destination inbox. The wire is drained once per injection — the
-    /// `Network` heap assigns the global sequence number and keeps traffic
-    /// stats, but messages never sit in it across scheduler iterations, so
-    /// the dispatch loop does not need to re-drain it per event.
-    fn inject(&mut self, from: usize, dest: NodeId, deliver: Cycles, words: u64, msg: Msg) {
-        self.net
-            .send(self.nodes[from].id, dest, deliver, words, msg);
+    /// `Network` heap assigns the global sequence number, applies the fault
+    /// plan, and keeps traffic stats, but packets never sit in it across
+    /// scheduler iterations, so the dispatch loop does not need to re-drain
+    /// it per event.
+    fn inject(&mut self, from: usize, dest: NodeId, deliver: Cycles, words: u64, pkt: Packet) {
+        let src = self.nodes[from].id;
+        let fate = self.net.send(src, dest, deliver, words, pkt);
+        if fate.dropped {
+            self.emit(
+                from,
+                crate::trace::TraceEvent::MsgDropped {
+                    from: src,
+                    to: dest,
+                    partitioned: fate.partitioned,
+                },
+            );
+        } else if fate.duplicated {
+            self.emit(
+                from,
+                crate::trace::TraceEvent::MsgDuplicated {
+                    from: src,
+                    to: dest,
+                },
+            );
+        }
         while let Some(m) = self.net.pop() {
             let d = m.dest.idx();
             self.nodes[d].inbox.push(InboxEntry {
                 deliver: m.deliver_at,
                 seq: m.seq,
+                src: m.src,
                 msg: m.msg,
             });
             let at = self.nodes[d].time.max(m.deliver_at);
@@ -537,11 +681,56 @@ impl Runtime {
         }
     }
 
+    /// Frame `msg` for the wire and inject it: raw when the reliable
+    /// transport is off (bit-identical to the pre-transport runtime), else
+    /// as a sequenced data frame retained for retransmission until acked.
+    /// `latency` and `send_cost` are recorded so a retransmission re-prices
+    /// exactly like the original.
+    #[allow(clippy::too_many_arguments)]
+    fn transmit(
+        &mut self,
+        from: usize,
+        dest: NodeId,
+        deliver: Cycles,
+        words: u64,
+        latency: Cycles,
+        send_cost: Cycles,
+        msg: Msg,
+    ) {
+        if !self.reliable {
+            self.inject(from, dest, deliver, words, Packet::Raw(msg));
+            return;
+        }
+        let d = dest.0;
+        let deadline = self.nodes[from].time + self.retx_base;
+        let n = &mut self.nodes[from];
+        let seq_ref = n.tx_next.entry(d).or_insert(0);
+        let seq = *seq_ref;
+        *seq_ref += 1;
+        n.tx_pending.insert(
+            (d, seq),
+            Pending {
+                msg: msg.clone(),
+                words,
+                latency,
+                send_cost,
+                deadline,
+                attempt: 0,
+            },
+        );
+        n.tx_timers.insert((deadline, d, seq));
+        self.sched_note(deadline, 2, from);
+        self.inject(from, dest, deliver, words, Packet::Data { seq, msg });
+    }
+
     /// Send a request message, charging sender-side costs and wire latency.
     /// Sending also polls the network (below); a trap raised by a handler
     /// that runs during that poll propagates promptly to the sender's
     /// execution rather than being parked for the next scheduler iteration.
     pub(crate) fn send_invoke(&mut self, from: usize, dest: NodeId, msg: Msg) -> Result<(), Trap> {
+        // The transport's sequence number rides in the active-message
+        // header word the wire format already reserves, so reliable mode
+        // adds no payload words to data frames.
         let words = msg.words();
         let c = self.cost.msg_send + self.cost.msg_word * words;
         self.charge(from, c);
@@ -555,7 +744,7 @@ impl Runtime {
             },
         );
         let deliver = self.nodes[from].time + self.cost.msg_latency;
-        self.inject(from, dest, deliver, words, msg);
+        self.transmit(from, dest, deliver, words, self.cost.msg_latency, c, msg);
         self.poll_network(from)
     }
 
@@ -581,7 +770,7 @@ impl Runtime {
             },
         );
         let deliver = self.nodes[from].time + self.cost.reply_latency;
-        self.inject(from, dest, deliver, words, msg);
+        self.transmit(from, dest, deliver, words, self.cost.reply_latency, c, msg);
         self.poll_network(from)
     }
 
@@ -604,12 +793,141 @@ impl Runtime {
                 return Ok(());
             }
             let e = self.nodes[node].inbox.pop().expect("peeked entry");
-            self.charge(node, self.cost.handler);
-            self.ctr(node).msgs_handled += 1;
             let saved = self.current_task;
-            let r = self.handle_msg(node, e.msg);
+            let r = self.handle_packet(node, e.src, e.msg);
             self.current_task = saved;
             r?;
+        }
+    }
+
+    /// Transport-level receive processing on `node` for a packet from
+    /// `src`: charges handler entry, acknowledges and duplicate-suppresses
+    /// data frames, retires pending state on acks, and runs any payload
+    /// through [`Self::handle_msg`]. Raw packets take the legacy path
+    /// unchanged.
+    fn handle_packet(&mut self, node: usize, src: NodeId, pkt: Packet) -> Result<(), Trap> {
+        match pkt {
+            Packet::Raw(msg) => {
+                self.charge(node, self.cost.handler);
+                self.ctr(node).msgs_handled += 1;
+                self.handle_msg(node, msg)
+            }
+            Packet::Data { seq, msg } => {
+                self.charge(node, self.cost.handler);
+                // Ack every copy, duplicate or not: acks confirm *receipt*,
+                // and a duplicate often means the original's ack was lost.
+                self.charge(node, self.cost.ack_overhead);
+                self.ctr(node).acks_sent += 1;
+                let deliver = self.nodes[node].time + self.cost.reply_latency;
+                self.inject(node, src, deliver, 1, Packet::Ack { seq });
+                if self.nodes[node].rx_mark(src.0, seq) {
+                    self.ctr(node).dups_suppressed += 1;
+                    self.emit(
+                        node,
+                        crate::trace::TraceEvent::DupSuppressed {
+                            node: NodeId(node as u32),
+                            from: src,
+                        },
+                    );
+                    return Ok(());
+                }
+                self.ctr(node).msgs_handled += 1;
+                self.handle_msg(node, msg)
+            }
+            Packet::Ack { seq } => {
+                self.charge(node, self.cost.ack_overhead);
+                self.ctr(node).acks_handled += 1;
+                let n = &mut self.nodes[node];
+                // A stale ack (retransmit raced the first ack) finds no
+                // pending entry; that is fine.
+                if let Some(p) = n.tx_pending.remove(&(src.0, seq)) {
+                    n.tx_timers.remove(&(p.deadline, src.0, seq));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Is a copy of frame `(node → dest, seq)` still in flight — the data
+    /// frame queued in `dest`'s inbox, or its ack queued in `node`'s? While
+    /// one is, a timeout is premature: the simulator's retransmission timer
+    /// is clairvoyant where a real sender would run an adaptive RTO
+    /// estimator, so the zero-fault path never retransmits into a merely
+    /// slow receiver. Losses leave no copy anywhere and do time out.
+    fn frame_in_flight(&self, node: usize, dest: usize, seq: u64) -> bool {
+        let me = self.nodes[node].id;
+        let data_queued = self.nodes[dest]
+            .inbox
+            .iter()
+            .any(|e| e.src == me && matches!(e.msg, Packet::Data { seq: s, .. } if s == seq));
+        data_queued
+            || self.nodes[node].inbox.iter().any(|e| {
+                e.src.0 == dest as u32 && matches!(e.msg, Packet::Ack { seq: s } if s == seq)
+            })
+    }
+
+    /// Retransmit every pending frame on `node` whose deadline has arrived
+    /// (the caller has advanced the node's clock to the selected event
+    /// time), re-arming each with doubled, capped backoff. A frame with a
+    /// copy still in flight (see [`Self::frame_in_flight`]) is re-armed
+    /// silently — no charge, no injection. The retransmit is a fresh wire
+    /// injection: it takes a new *global* sequence number, so the fault
+    /// plan rolls a fresh fate and the frame eventually gets through with
+    /// probability 1.
+    fn run_retransmits(&mut self, node: usize) {
+        loop {
+            let now = self.nodes[node].time;
+            let Some(&(dl, dest, seq)) = self.nodes[node].tx_timers.first() else {
+                return;
+            };
+            if dl > now {
+                return;
+            }
+            self.nodes[node].tx_timers.remove(&(dl, dest, seq));
+            let live = self.frame_in_flight(node, dest as usize, seq);
+            let (send_cost, words, latency, msg, attempt) = {
+                let p = self.nodes[node]
+                    .tx_pending
+                    .get_mut(&(dest, seq))
+                    .expect("timer without pending frame");
+                p.attempt += 1;
+                (p.send_cost, p.words, p.latency, p.msg.clone(), p.attempt)
+            };
+            if !live {
+                self.charge(node, send_cost);
+                self.ctr(node).retransmits += 1;
+                self.emit(
+                    node,
+                    crate::trace::TraceEvent::Retransmit {
+                        node: NodeId(node as u32),
+                        to: NodeId(dest),
+                        attempt,
+                    },
+                );
+            }
+            let now = self.nodes[node].time;
+            let backoff = self
+                .retx_base
+                .saturating_mul(1u64 << attempt.min(20))
+                .min(self.retx_cap)
+                .max(1);
+            let deadline = now + backoff;
+            let n = &mut self.nodes[node];
+            let p = n
+                .tx_pending
+                .get_mut(&(dest, seq))
+                .expect("pending frame vanished");
+            p.deadline = deadline;
+            n.tx_timers.insert((deadline, dest, seq));
+            if !live {
+                self.inject(
+                    node,
+                    NodeId(dest),
+                    now + latency,
+                    words,
+                    Packet::Data { seq, msg },
+                );
+            }
         }
     }
 
@@ -1020,7 +1338,8 @@ impl Runtime {
     /// A node's current best candidate, under the same selection rule the
     /// linear scan applies: an inbox head is actionable at
     /// `max(node time, delivery time)` (kind 0); any ready context or lock
-    /// grant at the node's current time (kind 1).
+    /// grant at the node's current time (kind 1); the earliest pending
+    /// retransmission timer at `max(node time, deadline)` (kind 2).
     #[inline]
     fn node_candidate(&self, i: usize) -> Option<(Cycles, u8)> {
         let n = &self.nodes[i];
@@ -1034,20 +1353,28 @@ impl Runtime {
                 best = Some(cand);
             }
         }
+        if let Some(&(dl, _, _)) = n.tx_timers.first() {
+            let cand = (n.time.max(dl), 2u8);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
         best
     }
 
     /// Dispatch the selected event on node `i`. `t` is the (validated)
     /// candidate time; `kind` 0 handles the inbox head, 1 runs a grant or
-    /// ready context.
+    /// ready context, 2 fires due retransmission timers.
     fn dispatch_event(&mut self, t: Cycles, kind: u8, i: usize) -> Result<(), Trap> {
         self.sched_stats.events_dispatched += 1;
         if kind == 0 {
             let e = self.nodes[i].inbox.pop().expect("selected inbox entry");
             self.nodes[i].time = t;
-            self.charge(i, self.cost.handler);
-            self.ctr(i).msgs_handled += 1;
-            self.handle_msg(i, e.msg)
+            self.handle_packet(i, e.src, e.msg)
+        } else if kind == 2 {
+            self.nodes[i].time = t;
+            self.run_retransmits(i);
+            Ok(())
         } else if let Some((obj, d)) = self.nodes[i].granted.pop_front() {
             self.run_granted(i, obj, d)
         } else {

@@ -94,6 +94,38 @@ pub enum TraceEvent {
         /// Object index.
         obj: u32,
     },
+    /// The fault plan lost an injected packet (never enqueued).
+    MsgDropped {
+        /// Sender.
+        from: NodeId,
+        /// Intended destination.
+        to: NodeId,
+        /// Lost to a partition window rather than random loss.
+        partitioned: bool,
+    },
+    /// The fault plan enqueued a second wire-level copy of a packet.
+    MsgDuplicated {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+    },
+    /// An unacknowledged data frame timed out and was retransmitted.
+    Retransmit {
+        /// Retransmitting sender.
+        node: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Retransmissions of this frame so far (1 = first retry).
+        attempt: u32,
+    },
+    /// A received data frame was discarded as a duplicate.
+    DupSuppressed {
+        /// Receiver.
+        node: NodeId,
+        /// The frame's sender.
+        from: NodeId,
+    },
 }
 
 /// A timestamped event.
@@ -105,17 +137,31 @@ pub struct TraceRecord {
     pub event: TraceEvent,
 }
 
-/// The trace buffer.
+/// The trace buffer: unbounded by default, or a bounded ring that keeps
+/// only the most recent `cap` records (long fault-injection soaks want the
+/// tail — the events around the failure — without unbounded memory).
 #[derive(Debug, Default)]
 pub struct Trace {
-    records: Vec<TraceRecord>,
+    records: std::collections::VecDeque<TraceRecord>,
     enabled: bool,
+    /// Ring capacity; 0 = unbounded.
+    cap: usize,
+    /// Records evicted from the front of the ring since the last `take`.
+    dropped: u64,
 }
 
 impl Trace {
-    /// Turn recording on.
+    /// Turn recording on (unbounded).
     pub fn enable(&mut self) {
         self.enabled = true;
+    }
+
+    /// Turn recording on, keeping only the most recent `cap` records
+    /// (`cap = 0` means unbounded). Evictions are counted in
+    /// [`Trace::dropped`].
+    pub fn enable_ring(&mut self, cap: usize) {
+        self.enabled = true;
+        self.cap = cap;
     }
 
     /// Is recording on?
@@ -124,22 +170,32 @@ impl Trace {
         self.enabled
     }
 
+    /// Records evicted from the ring since the last drain.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Record (no-op when disabled).
     #[inline]
     pub(crate) fn emit(&mut self, at: Cycles, event: TraceEvent) {
         if self.enabled {
-            self.records.push(TraceRecord { at, event });
+            if self.cap != 0 && self.records.len() == self.cap {
+                self.records.pop_front();
+                self.dropped += 1;
+            }
+            self.records.push_back(TraceRecord { at, event });
         }
     }
 
-    /// Drain the recorded events.
+    /// Drain the recorded events (oldest first) and reset the drop count.
     pub fn take(&mut self) -> Vec<TraceRecord> {
-        std::mem::take(&mut self.records)
+        self.dropped = 0;
+        std::mem::take(&mut self.records).into()
     }
 
-    /// Peek at the recorded events.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// Iterate over the recorded events, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
     }
 }
 
@@ -147,6 +203,16 @@ impl crate::rt::Runtime {
     /// Enable execution tracing (see [`TraceEvent`]).
     pub fn enable_trace(&mut self) {
         self.trace_buf.enable();
+    }
+
+    /// Enable tracing into a bounded ring keeping the last `cap` records.
+    pub fn enable_trace_ring(&mut self, cap: usize) {
+        self.trace_buf.enable_ring(cap);
+    }
+
+    /// Records evicted from the bounded trace ring since the last drain.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_buf.dropped()
     }
 
     /// Drain recorded trace events.
@@ -172,13 +238,27 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut t = Trace::default();
         t.emit(1, TraceEvent::ContMaterialized { node: NodeId(0) });
-        assert!(t.records().is_empty());
+        assert_eq!(t.records().count(), 0);
         t.enable();
         t.emit(2, TraceEvent::ContMaterialized { node: NodeId(0) });
-        assert_eq!(t.records().len(), 1);
-        assert_eq!(t.records()[0].at, 2);
+        assert_eq!(t.records().count(), 1);
+        assert_eq!(t.records().next().unwrap().at, 2);
         let drained = t.take();
         assert_eq!(drained.len(), 1);
-        assert!(t.records().is_empty());
+        assert_eq!(t.records().count(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_the_tail_and_counts_evictions() {
+        let mut t = Trace::default();
+        t.enable_ring(3);
+        for i in 0..5 {
+            t.emit(i, TraceEvent::ContMaterialized { node: NodeId(0) });
+        }
+        assert_eq!(t.dropped(), 2);
+        let recs = t.take();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs.iter().map(|r| r.at).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(t.dropped(), 0);
     }
 }

@@ -10,6 +10,7 @@ use hem_analysis::InterfaceSet;
 use hem_core::{ExecMode, Runtime};
 use hem_ir::{BinOp, LocalityHint, ProgramBuilder, Value};
 use hem_machine::cost::CostModel;
+use hem_machine::fault::{FaultPlan, LinkWindow, NodeWindow};
 use hem_machine::NodeId;
 
 /// Node 0's driver sends to node 1, suspends, resumes, computes locally,
@@ -115,4 +116,121 @@ fn trap_in_scheduled_handler_propagates() {
     rt.set_field(d, tgt, Value::Obj(bo));
     let err = rt.call(d, go, &[]).expect_err("boom must trap the run");
     assert!(format!("{err}").contains("array index 99"));
+}
+
+/// A reply lost to a link partition must be recovered by the transport's
+/// retransmission — it must not surface as a trap, a hang, or a parked
+/// continuation. The driver invokes a remote echo and touches the result
+/// while the 1→0 link is partitioned; the call still completes with the
+/// echoed value once retransmits punch through the closed window.
+#[test]
+fn dropped_reply_is_retransmitted_not_trapped() {
+    let mut pb = ProgramBuilder::new();
+    let quiet = pb.class("Quiet", false);
+    let echo = pb.method(quiet, "echo", 1, |mb| mb.reply(mb.arg(0)));
+    let driver = pb.class("Driver", false);
+    let q = pb.field(driver, "q");
+    let out = pb.field(driver, "out");
+    let go = pb.method(driver, "go", 0, |mb| {
+        let qv = mb.get_field(q);
+        let s = mb.slot();
+        mb.invoke(Some(s), qv, echo, &[41i64.into()], LocalityHint::Unknown);
+        mb.touch(&[s]);
+        let v = mb.get_slot(s);
+        let w = mb.binl(BinOp::Add, v, 1i64);
+        mb.set_field(out, w);
+        mb.reply_nil();
+    });
+    let p = pb.finish();
+    let mut rt =
+        Runtime::new(p, 2, CostModel::cm5(), ExecMode::Hybrid, InterfaceSet::Full).unwrap();
+    // Close the reply direction (1→0) for a window wide enough to swallow
+    // the first reply and at least its first retransmission; request
+    // traffic (0→1) is unaffected.
+    let mut plan = FaultPlan::seeded(7);
+    plan.partitions = vec![LinkWindow {
+        src: Some(NodeId(1)),
+        dest: Some(NodeId(0)),
+        from: 0,
+        until: 2_000,
+    }];
+    rt.set_fault_plan(plan);
+    let qo = rt.alloc_object_by_name("Quiet", NodeId(1));
+    let d = rt.alloc_object_by_name("Driver", NodeId(0));
+    rt.set_field(d, q, Value::Obj(qo));
+    rt.set_field(d, out, Value::Int(0));
+
+    rt.call(d, go, &[])
+        .expect("partition loss must be recovered, not trapped");
+    assert_eq!(
+        rt.get_field(d, out),
+        Value::Int(42),
+        "echoed value survived the loss"
+    );
+    let stats = rt.stats();
+    assert!(
+        stats.net.faults.partition_drops > 0,
+        "the window actually dropped frames"
+    );
+    assert!(
+        stats.totals().retransmits > 0,
+        "recovery came from retransmission"
+    );
+}
+
+/// A node stalled well past the retransmission timeout still delivers its
+/// deferred messages — and the stalled frame, being in flight the whole
+/// time, is never redundantly retransmitted. The deferred invocation's
+/// trap must surface exactly as it would on a healthy wire.
+#[test]
+fn stalled_node_delivers_deferred_trap() {
+    let mut pb = ProgramBuilder::new();
+    let boom_c = pb.class("Boom", false);
+    let cells = pb.array_field(boom_c, "cells");
+    let boom = pb.method(boom_c, "boom", 0, |mb| {
+        let v = mb.get_elem(cells, 99i64);
+        mb.reply(v);
+    });
+    let driver = pb.class("Driver", false);
+    let tgt = pb.field(driver, "tgt");
+    let go = pb.method(driver, "go", 0, |mb| {
+        let tv = mb.get_field(tgt);
+        mb.invoke(None, tv, boom, &[], LocalityHint::Unknown);
+        mb.reply_nil();
+    });
+    let p = pb.finish();
+    let mut rt =
+        Runtime::new(p, 2, CostModel::cm5(), ExecMode::Hybrid, InterfaceSet::Full).unwrap();
+    // Stall node 1 far past the cm5 retransmission timeout (~1160 cycles):
+    // the boom request sits deferred for 8000 cycles while the sender's
+    // timer fires repeatedly.
+    let mut plan = FaultPlan::seeded(11);
+    plan.stalls = vec![NodeWindow {
+        node: NodeId(1),
+        from: 0,
+        until: 8_000,
+    }];
+    rt.set_fault_plan(plan);
+    let bo = rt.alloc_object_by_name("Boom", NodeId(1));
+    rt.set_array(bo, cells, vec![Value::Int(0)]);
+    let d = rt.alloc_object_by_name("Driver", NodeId(0));
+    rt.set_field(d, tgt, Value::Obj(bo));
+
+    let err = rt
+        .call(d, go, &[])
+        .expect_err("deferred boom must still trap");
+    assert!(
+        format!("{err}").contains("array index 99"),
+        "the deferred handler's own trap surfaced: {err}"
+    );
+    let stats = rt.stats();
+    assert!(
+        stats.net.faults.stall_defers > 0,
+        "the stall actually deferred frames"
+    );
+    assert_eq!(
+        stats.totals().retransmits,
+        0,
+        "an in-flight (stalled) frame is never redundantly retransmitted"
+    );
 }

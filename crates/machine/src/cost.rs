@@ -113,6 +113,13 @@ pub struct CostModel {
     pub reply_word: Cycles,
     /// Wire latency of a reply.
     pub reply_latency: Cycles,
+    /// Processor cycles stolen by composing *or* consuming a transport
+    /// acknowledgement (reliable-transport mode only). Acks are
+    /// single-word frames generated and matched largely on the network
+    /// interface — the CM-5 NI's outgoing FIFO and the T3D's hardware
+    /// messaging both do this without a full handler entry — so only a
+    /// small residual charge lands on the node's clock.
+    pub ack_overhead: Cycles,
 
     /// Clock rate used to convert cycles to seconds in reports.
     pub clock_hz: f64,
@@ -155,6 +162,7 @@ impl CostModel {
             reply_send: 20,
             reply_word: 4,
             reply_latency: 90,
+            ack_overhead: 1,
             clock_hz: 33.0e6,
         }
     }
@@ -198,6 +206,7 @@ impl CostModel {
             reply_send: 120,
             reply_word: 5,
             reply_latency: 40,
+            ack_overhead: 3,
             clock_hz: 150.0e6,
         }
     }
@@ -239,6 +248,7 @@ impl CostModel {
             reply_send: 1,
             reply_word: 1,
             reply_latency: 0,
+            ack_overhead: 1,
             clock_hz: 1.0e6,
         }
     }

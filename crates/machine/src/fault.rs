@@ -1,0 +1,308 @@
+//! Deterministic fault injection for the interconnect.
+//!
+//! A [`FaultPlan`] is a *pure function* from a message's identity — its
+//! globally unique network sequence number plus `(src, dest)` — to a fault
+//! decision: drop the message, duplicate it, add extra wire latency
+//! ("jitter"), lose it to a link-partition window, or defer its delivery
+//! past a node-stall window. Because the decision depends only on
+//! `(seq, src, dest)` and the plan's seed, two runs of the same experiment
+//! inject *identical* faults — the property the hybrid ≡ parallel-only
+//! fault-matrix tests rely on — while a retransmitted copy of a lost
+//! message (which is injected with a fresh sequence number) re-rolls its
+//! fate independently, so lossy links make progress with probability 1.
+//!
+//! The plan is installed into a [`crate::net::Network`] and applied inside
+//! `send`; the network stays purely mechanical and the runtime above it
+//! provides reliability (acknowledgements and retransmission).
+
+use crate::{Cycles, NodeId};
+
+/// A half-open virtual-time window `[from, until)` during which a link is
+/// partitioned: messages whose delivery would start inside the window are
+/// lost. `None` endpoints are wildcards, so a single window can sever one
+/// direction of one link, everything into a node, or everything out of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkWindow {
+    /// Source filter (`None` = any source).
+    pub src: Option<NodeId>,
+    /// Destination filter (`None` = any destination).
+    pub dest: Option<NodeId>,
+    /// Window start (inclusive), in virtual cycles.
+    pub from: Cycles,
+    /// Window end (exclusive), in virtual cycles.
+    pub until: Cycles,
+}
+
+impl LinkWindow {
+    fn covers(&self, src: NodeId, dest: NodeId, at: Cycles) -> bool {
+        self.src.is_none_or(|s| s == src)
+            && self.dest.is_none_or(|d| d == dest)
+            && (self.from..self.until).contains(&at)
+    }
+}
+
+/// A half-open virtual-time window `[from, until)` during which a node's
+/// network interface is stalled: messages that would arrive inside the
+/// window are deferred to the window's end (they are delayed, not lost).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeWindow {
+    /// The stalled node.
+    pub node: NodeId,
+    /// Window start (inclusive), in virtual cycles.
+    pub from: Cycles,
+    /// Window end (exclusive); deferred messages are delivered here.
+    pub until: Cycles,
+}
+
+/// What the plan decided for one injected message.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Decision {
+    /// The message is lost (random loss or a partition window).
+    pub drop: bool,
+    /// The loss was caused by a partition window (implies `drop`).
+    pub partitioned: bool,
+    /// A second wire-level copy is delivered as well.
+    pub duplicate: bool,
+    /// Extra wire latency added to the primary copy.
+    pub jitter: Cycles,
+    /// Extra wire latency (beyond one cycle) added to the duplicate copy.
+    pub dup_jitter: Cycles,
+}
+
+/// Seeded, deterministic fault schedule for the interconnect.
+///
+/// Probabilities are expressed in permille (0–1000) and evaluated against
+/// a SplitMix64 hash of `(seed, seq, src, dest, salt)`; windows are
+/// evaluated against the message's nominal delivery time. The default plan
+/// injects nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed decorrelating this plan's decisions from any other plan's.
+    pub seed: u64,
+    /// Random-loss probability, in permille of injected messages.
+    pub drop_permille: u16,
+    /// Wire-duplication probability, in permille of delivered messages.
+    pub dup_permille: u16,
+    /// Maximum extra delivery latency; each delivered copy gets a uniform
+    /// jitter in `0..=jitter_max` (0 disables jitter).
+    pub jitter_max: Cycles,
+    /// Link-partition windows (messages inside one are lost).
+    pub partitions: Vec<LinkWindow>,
+    /// Node-stall windows (arrivals inside one are deferred to its end).
+    pub stalls: Vec<NodeWindow>,
+}
+
+// Distinct salts so the drop / dup / jitter rolls of one message are
+// decorrelated from each other.
+const SALT_DROP: u64 = 0x01;
+const SALT_DUP: u64 = 0x02;
+const SALT_JITTER: u64 = 0x03;
+const SALT_DUP_JITTER: u64 = 0x04;
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults; set fields from there.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// SplitMix64-style hash of `(seed, seq, src, dest, salt)`. Pure:
+    /// the same message identity always rolls the same value.
+    fn roll(&self, seq: u64, src: NodeId, dest: NodeId, salt: u64) -> u64 {
+        let link = ((src.0 as u64) << 32) | dest.0 as u64;
+        let mut z = self
+            .seed
+            .wrapping_add(seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(link.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(salt.wrapping_mul(0x94D0_49BB_1331_11EB));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&self, permille: u16, seq: u64, src: NodeId, dest: NodeId, salt: u64) -> bool {
+        permille > 0 && self.roll(seq, src, dest, salt) % 1000 < permille as u64
+    }
+
+    fn jitter_roll(&self, seq: u64, src: NodeId, dest: NodeId, salt: u64) -> Cycles {
+        if self.jitter_max == 0 {
+            0
+        } else {
+            self.roll(seq, src, dest, salt) % (self.jitter_max + 1)
+        }
+    }
+
+    /// Is the `src → dest` link partitioned at virtual time `at`?
+    pub fn partitioned(&self, src: NodeId, dest: NodeId, at: Cycles) -> bool {
+        self.partitions.iter().any(|w| w.covers(src, dest, at))
+    }
+
+    /// If `node` is stalled at `at`, the latest stall-window end covering
+    /// `at` (the time deferred arrivals are released), else `None`.
+    pub fn stalled_until(&self, node: NodeId, at: Cycles) -> Option<Cycles> {
+        self.stalls
+            .iter()
+            .filter(|w| w.node == node && (w.from..w.until).contains(&at))
+            .map(|w| w.until)
+            .max()
+    }
+
+    /// The complete fault decision for a message injected with global
+    /// sequence number `seq` over `src → dest`, nominally delivered at
+    /// `deliver_at`.
+    pub fn decide(&self, seq: u64, src: NodeId, dest: NodeId, deliver_at: Cycles) -> Decision {
+        let partitioned = self.partitioned(src, dest, deliver_at);
+        let drop = partitioned || self.chance(self.drop_permille, seq, src, dest, SALT_DROP);
+        Decision {
+            drop,
+            partitioned,
+            duplicate: !drop && self.chance(self.dup_permille, seq, src, dest, SALT_DUP),
+            jitter: self.jitter_roll(seq, src, dest, SALT_JITTER),
+            dup_jitter: self.jitter_roll(seq, src, dest, SALT_DUP_JITTER),
+        }
+    }
+}
+
+/// Cumulative fault-injection counters, kept by the network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages lost to random loss.
+    pub dropped: u64,
+    /// Messages lost to a partition window.
+    pub partition_drops: u64,
+    /// Wire-level duplicate copies delivered.
+    pub duplicated: u64,
+    /// Arrivals deferred past a node-stall window.
+    pub stall_defers: u64,
+    /// Total extra latency injected as jitter, in cycles.
+    pub jitter_cycles: u64,
+}
+
+impl FaultStats {
+    /// Total messages lost (random loss + partitions).
+    pub fn lost(&self) -> u64 {
+        self.dropped + self.partition_drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_functions_of_identity() {
+        let plan = FaultPlan {
+            seed: 42,
+            drop_permille: 100,
+            dup_permille: 100,
+            jitter_max: 50,
+            ..Default::default()
+        };
+        for seq in 0..200u64 {
+            let a = plan.decide(seq, NodeId(1), NodeId(2), 1000);
+            let b = plan.decide(seq, NodeId(1), NodeId(2), 1000);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn seeds_and_links_decorrelate() {
+        let a = FaultPlan {
+            seed: 1,
+            drop_permille: 500,
+            ..Default::default()
+        };
+        let b = FaultPlan {
+            seed: 2,
+            ..a.clone()
+        };
+        let fates_a: Vec<bool> = (0..64)
+            .map(|s| a.decide(s, NodeId(0), NodeId(1), 0).drop)
+            .collect();
+        let fates_b: Vec<bool> = (0..64)
+            .map(|s| b.decide(s, NodeId(0), NodeId(1), 0).drop)
+            .collect();
+        let fates_a2: Vec<bool> = (0..64)
+            .map(|s| a.decide(s, NodeId(2), NodeId(1), 0).drop)
+            .collect();
+        assert_ne!(fates_a, fates_b, "seed must change the schedule");
+        assert_ne!(fates_a, fates_a2, "link must change the schedule");
+    }
+
+    #[test]
+    fn loss_rate_tracks_permille() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_permille: 50, // 5%
+            ..Default::default()
+        };
+        let lost = (0..10_000u64)
+            .filter(|&s| plan.decide(s, NodeId(0), NodeId(1), 0).drop)
+            .count();
+        assert!((300..=700).contains(&lost), "5% of 10k ≈ 500, got {lost}");
+    }
+
+    #[test]
+    fn partition_windows_cover_and_wildcard() {
+        let plan = FaultPlan {
+            partitions: vec![
+                LinkWindow {
+                    src: Some(NodeId(0)),
+                    dest: Some(NodeId(1)),
+                    from: 100,
+                    until: 200,
+                },
+                LinkWindow {
+                    src: None,
+                    dest: Some(NodeId(3)),
+                    from: 50,
+                    until: 60,
+                },
+            ],
+            ..Default::default()
+        };
+        assert!(plan.partitioned(NodeId(0), NodeId(1), 100));
+        assert!(plan.partitioned(NodeId(0), NodeId(1), 199));
+        assert!(!plan.partitioned(NodeId(0), NodeId(1), 200), "half-open");
+        assert!(!plan.partitioned(NodeId(1), NodeId(0), 150), "directional");
+        assert!(plan.partitioned(NodeId(7), NodeId(3), 55), "wildcard src");
+        assert!(plan.decide(0, NodeId(0), NodeId(1), 150).drop);
+        assert!(plan.decide(0, NodeId(0), NodeId(1), 150).partitioned);
+    }
+
+    #[test]
+    fn stalls_defer_to_latest_covering_window() {
+        let plan = FaultPlan {
+            stalls: vec![
+                NodeWindow {
+                    node: NodeId(2),
+                    from: 10,
+                    until: 100,
+                },
+                NodeWindow {
+                    node: NodeId(2),
+                    from: 50,
+                    until: 300,
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(plan.stalled_until(NodeId(2), 20), Some(100));
+        assert_eq!(plan.stalled_until(NodeId(2), 60), Some(300));
+        assert_eq!(plan.stalled_until(NodeId(2), 300), None);
+        assert_eq!(plan.stalled_until(NodeId(1), 60), None);
+    }
+
+    #[test]
+    fn zero_plan_injects_nothing() {
+        let plan = FaultPlan::seeded(99);
+        for seq in 0..100 {
+            assert_eq!(
+                plan.decide(seq, NodeId(0), NodeId(1), seq),
+                Decision::default()
+            );
+        }
+    }
+}

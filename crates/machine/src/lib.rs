@@ -16,6 +16,8 @@
 //!   [`cost::CostModel::t3d`]) plus pure-counting and `seq-opt` variants,
 //! * [`net::Network`] — an in-flight message queue with deterministic
 //!   delivery order,
+//! * [`fault::FaultPlan`] — seeded, deterministic fault injection (loss,
+//!   duplication, jitter, partitions, stalls) applied inside the network,
 //! * [`stats::MachineStats`] / [`stats::Counters`] — the instrumentation the
 //!   paper's tables are derived from (heap contexts allocated, fallbacks,
 //!   stack invocations, messages, …),
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod fault;
 pub mod net;
 pub mod stats;
 pub mod topology;

@@ -6,6 +6,7 @@
 //! deliver messages identically — the foundation for reproducible results
 //! and the hybrid ≡ parallel-only property tests.
 
+use crate::fault::{FaultPlan, FaultStats};
 use crate::{Cycles, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -68,6 +69,10 @@ pub struct Network<M> {
     pub delivered: u64,
     /// Total payload words ever sent.
     pub words: u64,
+    /// Installed fault schedule, if any (see [`FaultPlan`]).
+    plan: Option<FaultPlan>,
+    /// Cumulative fault-injection counters.
+    pub faults: FaultStats,
 }
 
 impl<M> Default for Network<M> {
@@ -78,8 +83,30 @@ impl<M> Default for Network<M> {
             sent: 0,
             delivered: 0,
             words: 0,
+            plan: None,
+            faults: FaultStats::default(),
         }
     }
+}
+
+/// What happened to one injected message (the plan's decision as applied).
+///
+/// With no plan installed every fate is `{seq, dropped: false,
+/// duplicated: false, extra_latency: 0}` and exactly one copy is enqueued
+/// at the caller's `deliver_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendFate {
+    /// Globally unique sequence number assigned to the message.
+    pub seq: u64,
+    /// The message was lost (no copy enqueued).
+    pub dropped: bool,
+    /// The loss was a partition-window loss (implies `dropped`).
+    pub partitioned: bool,
+    /// A second wire-level copy was enqueued.
+    pub duplicated: bool,
+    /// Extra latency (jitter and/or stall deferral) added to the primary
+    /// copy, beyond the caller's `deliver_at`.
+    pub extra_latency: Cycles,
 }
 
 impl<M> Network<M> {
@@ -88,8 +115,23 @@ impl<M> Network<M> {
         Self::default()
     }
 
+    /// Install (or clear) the fault schedule applied to subsequent sends.
+    pub fn set_plan(&mut self, plan: Option<FaultPlan>) {
+        self.plan = plan;
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
     /// Inject a message. `deliver_at` must already include wire latency.
-    /// Returns the sequence number assigned to the message.
+    ///
+    /// The installed [`FaultPlan`] (if any) is applied here: the message
+    /// may be dropped, duplicated, jittered, or deferred past a stall
+    /// window — decided purely by `(seq, src, dest)` and the plan's seed,
+    /// so two runs with the same plan inject identical faults. Returns the
+    /// assigned sequence number and the applied decision.
     pub fn send(
         &mut self,
         src: NodeId,
@@ -97,19 +139,81 @@ impl<M> Network<M> {
         deliver_at: Cycles,
         words: u64,
         msg: M,
-    ) -> u64 {
+    ) -> SendFate
+    where
+        M: Clone,
+    {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.sent += 1;
+        let mut fate = SendFate {
+            seq,
+            dropped: false,
+            partitioned: false,
+            duplicated: false,
+            extra_latency: 0,
+        };
+        let Some(plan) = &self.plan else {
+            self.words += words;
+            self.heap.push(InFlight {
+                deliver_at,
+                dest,
+                src,
+                seq,
+                msg,
+            });
+            return fate;
+        };
+        let d = plan.decide(seq, src, dest, deliver_at);
+        if d.drop {
+            fate.dropped = true;
+            fate.partitioned = d.partitioned;
+            if d.partitioned {
+                self.faults.partition_drops += 1;
+            } else {
+                self.faults.dropped += 1;
+            }
+            return fate;
+        }
+        // Primary copy: jitter, then stall deferral at the jittered time.
+        let mut at = deliver_at + d.jitter;
+        self.faults.jitter_cycles += d.jitter;
+        if let Some(release) = plan.stalled_until(dest, at) {
+            self.faults.stall_defers += 1;
+            at = release;
+        }
+        fate.extra_latency = at - deliver_at;
+        if d.duplicate {
+            // Wire-level duplicate: same sequence number (it *is* the same
+            // message — receiver-side dedup keys on transport state, and
+            // identical payloads make any heap tie unobservable), at least
+            // one cycle later.
+            fate.duplicated = true;
+            self.faults.duplicated += 1;
+            let mut at2 = deliver_at + 1 + d.dup_jitter;
+            self.faults.jitter_cycles += d.dup_jitter;
+            if let Some(release) = plan.stalled_until(dest, at2) {
+                self.faults.stall_defers += 1;
+                at2 = release;
+            }
+            self.words += words;
+            self.heap.push(InFlight {
+                deliver_at: at2,
+                dest,
+                src,
+                seq,
+                msg: msg.clone(),
+            });
+        }
         self.words += words;
         self.heap.push(InFlight {
-            deliver_at,
+            deliver_at: at,
             dest,
             src,
             seq,
             msg,
         });
-        seq
+        fate
     }
 
     /// Time and destination of the earliest undelivered message, if any.
@@ -129,6 +233,16 @@ impl<M> Network<M> {
     /// Number of messages currently in flight.
     pub fn in_flight(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Snapshot the traffic and fault counters.
+    pub fn stats(&self) -> crate::stats::NetStats {
+        crate::stats::NetStats {
+            sent: self.sent,
+            delivered: self.delivered,
+            words: self.words,
+            faults: self.faults,
+        }
     }
 
     /// True when no messages are in flight.

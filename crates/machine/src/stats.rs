@@ -55,6 +55,16 @@ pub struct Counters {
     pub wrapper_runs: u64,
     /// Proxy continuations synthesized for handler-side CP execution.
     pub proxy_conts: u64,
+    /// Data messages retransmitted after an ack timeout (reliable
+    /// transport only).
+    pub retransmits: u64,
+    /// Transport acknowledgements sent from this node.
+    pub acks_sent: u64,
+    /// Transport acknowledgements handled on this node.
+    pub acks_handled: u64,
+    /// Received data messages discarded as duplicates (wire duplication or
+    /// a retransmit racing its original).
+    pub dups_suppressed: u64,
 }
 
 impl Counters {
@@ -83,6 +93,10 @@ impl Counters {
         self.stack_forwards += other.stack_forwards;
         self.wrapper_runs += other.wrapper_runs;
         self.proxy_conts += other.proxy_conts;
+        self.retransmits += other.retransmits;
+        self.acks_sent += other.acks_sent;
+        self.acks_handled += other.acks_handled;
+        self.dups_suppressed += other.dups_suppressed;
     }
 
     /// Total method invocations observed (stack completions + heap starts +
@@ -133,6 +147,19 @@ pub struct SchedStats {
     pub max_heap_depth: u64,
 }
 
+/// Machine-global interconnect traffic and fault-injection counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages injected into the interconnect (including lost ones).
+    pub sent: u64,
+    /// Message copies delivered (duplicates count individually).
+    pub delivered: u64,
+    /// Payload words that actually crossed the wire.
+    pub words: u64,
+    /// Fault-injection counters (all zero with no fault plan installed).
+    pub faults: crate::fault::FaultStats,
+}
+
 /// Machine-wide view of a finished (or in-progress) run.
 #[derive(Debug, Clone, Default)]
 pub struct MachineStats {
@@ -142,6 +169,8 @@ pub struct MachineStats {
     pub node_time: Vec<Cycles>,
     /// Scheduler (event-index) counters, machine-global.
     pub sched: SchedStats,
+    /// Interconnect traffic and fault counters, machine-global.
+    pub net: NetStats,
 }
 
 impl MachineStats {
@@ -151,6 +180,7 @@ impl MachineStats {
             per_node: vec![Counters::default(); n],
             node_time: vec![0; n],
             sched: SchedStats::default(),
+            net: NetStats::default(),
         }
     }
 

@@ -8,9 +8,27 @@
 //! case number and generated inputs, which together with the deterministic
 //! per-case RNG is enough to reproduce and debug.
 
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
-/// Deterministic per-case RNG (SplitMix64 over a fixed base seed).
+/// Default base seed when `HYBRID_TEST_SEED` is unset (keeps historical
+/// streams bit-identical).
+const DEFAULT_BASE_SEED: u64 = 0xD1B54A32D192ED03;
+
+/// The base seed all per-case RNGs derive from: the `HYBRID_TEST_SEED`
+/// environment variable when set (so a CI soak or a failure reproduction
+/// can pin the whole stream), else [`DEFAULT_BASE_SEED`]. Read once.
+pub fn base_seed() -> u64 {
+    static SEED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *SEED.get_or_init(|| match std::env::var("HYBRID_TEST_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .expect("HYBRID_TEST_SEED must be an unsigned integer"),
+        Err(_) => DEFAULT_BASE_SEED,
+    })
+}
+
+/// Deterministic per-case RNG (SplitMix64 over the base seed).
 #[derive(Debug, Clone)]
 pub struct TestRng {
     state: u64,
@@ -20,7 +38,7 @@ impl TestRng {
     pub fn for_case(case: u64) -> Self {
         // Decorrelate consecutive case indices.
         TestRng {
-            state: case.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1B54A32D192ED03,
+            state: case.wrapping_mul(0x9E3779B97F4A7C15) ^ base_seed(),
         }
     }
 
@@ -127,6 +145,22 @@ macro_rules! int_range_strategy {
 }
 
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! int_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "strategy on empty range");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (*self.start() as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl Strategy for Range<f64> {
     type Value = f64;
@@ -310,8 +344,12 @@ macro_rules! __proptest_fns {
                 );
                 if let Err(e) = result {
                     eprintln!(
-                        "proptest case {case} of {} failed with inputs: {inputs}",
+                        "proptest case {case} of {} (base seed {seed}) failed \
+                         with inputs: {inputs}\n\
+                         reproduce with: HYBRID_TEST_SEED={seed} cargo test {}",
                         stringify!($name),
+                        stringify!($name),
+                        seed = $crate::base_seed(),
                     );
                     ::std::panic::resume_unwind(e);
                 }

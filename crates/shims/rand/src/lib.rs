@@ -95,6 +95,22 @@ impl SampleUniform for f32 {
     }
 }
 
+/// Test-harness hook: the seed from the `HYBRID_TEST_SEED` environment
+/// variable, if set. Harnesses that scramble layouts or generate inputs
+/// can fold this in so one env var re-seeds an entire fault-soak run;
+/// `None` means "use your built-in default" (keeping unset-env streams
+/// bit-identical to historical runs). Read once.
+pub fn env_seed() -> Option<u64> {
+    static SEED: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    *SEED.get_or_init(|| {
+        std::env::var("HYBRID_TEST_SEED").ok().map(|s| {
+            s.trim()
+                .parse()
+                .expect("HYBRID_TEST_SEED must be an unsigned integer")
+        })
+    })
+}
+
 pub mod rngs {
     use super::{Rng, SeedableRng};
 

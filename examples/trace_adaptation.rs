@@ -101,6 +101,27 @@ fn main() {
             TraceEvent::LockDeferred { node, obj } => {
                 format!("{node}: invocation deferred on lock of object {obj}")
             }
+            TraceEvent::MsgDropped {
+                from,
+                to,
+                partitioned,
+            } => format!(
+                "{from} -> {to}: packet LOST ({})",
+                if partitioned {
+                    "partition"
+                } else {
+                    "random loss"
+                }
+            ),
+            TraceEvent::MsgDuplicated { from, to } => {
+                format!("{from} -> {to}: wire duplicated a packet")
+            }
+            TraceEvent::Retransmit { node, to, attempt } => {
+                format!("{node} -> {to}: retransmit (attempt {attempt})")
+            }
+            TraceEvent::DupSuppressed { node, from } => {
+                format!("{node}: duplicate frame from {from} suppressed")
+            }
         };
         println!("{:<10} {desc}", rec.at);
     }
