@@ -160,4 +160,57 @@ mod tests {
         assert_eq!(Schema::MayBlock.to_string(), "MB");
         assert_eq!(Schema::ContPassing.to_string(), "CP");
     }
+
+    const ALL_SCHEMAS: [Schema; 3] = [Schema::NonBlocking, Schema::MayBlock, Schema::ContPassing];
+    const ALL_SETS: [InterfaceSet; 3] =
+        [InterfaceSet::Full, InterfaceSet::MbCp, InterfaceSet::CpOnly];
+
+    #[test]
+    fn clamp_never_loses_generality_and_is_idempotent() {
+        for set in ALL_SETS {
+            for s in ALL_SCHEMAS {
+                let c = set.clamp(s);
+                assert!(c >= s, "{set:?}.clamp({s:?}) = {c:?} lost generality");
+                assert_eq!(set.clamp(c), c, "{set:?} clamp not idempotent at {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_is_monotone_in_both_arguments() {
+        // Monotone in the schema argument (per set)...
+        for set in ALL_SETS {
+            for w in ALL_SCHEMAS.windows(2) {
+                assert!(set.clamp(w[0]) <= set.clamp(w[1]));
+            }
+        }
+        // ...and in the set argument (tighter sets clamp at least as high).
+        for s in ALL_SCHEMAS {
+            assert!(InterfaceSet::Full.clamp(s) <= InterfaceSet::MbCp.clamp(s));
+            assert!(InterfaceSet::MbCp.clamp(s) <= InterfaceSet::CpOnly.clamp(s));
+        }
+    }
+
+    #[test]
+    fn full_set_clamp_is_identity() {
+        for s in ALL_SCHEMAS {
+            assert_eq!(InterfaceSet::Full.clamp(s), s);
+        }
+    }
+
+    #[test]
+    fn histogram_always_sums_to_method_count() {
+        // Exhaustive over all 2-bit fact combinations for a few sizes.
+        for n in [0usize, 1, 4, 9] {
+            let f = facts(
+                (0..n).map(|i| i % 2 == 0).collect(),
+                (0..n).map(|i| i % 3 == 0).collect(),
+            );
+            for set in ALL_SETS {
+                let m = SchemaMap::select(&f, set);
+                let (nb, mb, cp) = m.histogram();
+                assert_eq!(nb + mb + cp, n, "{set:?} histogram must cover {n} methods");
+            }
+        }
+    }
 }

@@ -142,5 +142,113 @@ fn bench_ack_protocol(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(sched, bench_sor_sched, bench_em3d_sched, bench_ack_protocol);
+/// One SOR run with tracing on and the sanitizer optionally armed,
+/// returning the full trace and makespan.
+fn run_sor_traced(p: u32, sanitize: bool) -> (Vec<hem_core::trace::TraceRecord>, u64) {
+    let ids = sor::build();
+    let mut rt = hem_apps::make_runtime(
+        ids.program.clone(),
+        p,
+        CostModel::cm5(),
+        ExecMode::Hybrid,
+        InterfaceSet::Full,
+    );
+    rt.enable_trace();
+    if sanitize {
+        rt.enable_sanitizer();
+    }
+    let inst = sor::setup(
+        &mut rt,
+        &ids,
+        sor::SorParams {
+            n: 64,
+            block: 4,
+            procs: ProcGrid::square(p),
+        },
+    );
+    sor::run(&mut rt, &inst, 1).unwrap();
+    assert!(
+        rt.sanitizer_violations().is_empty(),
+        "sanitizer violations on a correct run: {:?}",
+        rt.sanitizer_violations()
+    );
+    let mk = rt.makespan();
+    (rt.take_trace(), mk)
+}
+
+/// One plain SOR run with the sanitizer armed (no tracing), for the
+/// host-time overhead comparison.
+fn run_sor_sanitized(p: u32, sched: SchedImpl) -> Runtime {
+    let ids = sor::build();
+    let mut rt = hem_apps::make_runtime(
+        ids.program.clone(),
+        p,
+        CostModel::cm5(),
+        ExecMode::Hybrid,
+        InterfaceSet::Full,
+    );
+    rt.sched_impl = sched;
+    rt.enable_sanitizer();
+    let inst = sor::setup(
+        &mut rt,
+        &ids,
+        sor::SorParams {
+            n: 64,
+            block: 4,
+            procs: ProcGrid::square(p),
+        },
+    );
+    sor::run(&mut rt, &inst, 1).unwrap();
+    rt
+}
+
+/// Sanitizer cost: the online invariant sanitizer must be *semantically*
+/// free — at P = 256 the trace and makespan are bit-identical with the
+/// sanitizer on or off (its hooks never charge virtual time or emit
+/// events; this guard runs before the benchmark and fails it loudly) —
+/// and its host-time overhead is what the off/on ratio reports.
+fn bench_sanitizer(c: &mut Criterion) {
+    let (trace_off, mk_off) = run_sor_traced(256, false);
+    let (trace_on, mk_on) = run_sor_traced(256, true);
+    assert_eq!(
+        mk_off, mk_on,
+        "sanitizer changed the makespan at P=256 ({mk_off} vs {mk_on})"
+    );
+    assert_eq!(
+        trace_off.len(),
+        trace_on.len(),
+        "sanitizer changed the trace length at P=256"
+    );
+    assert!(
+        trace_off == trace_on,
+        "sanitizer changed the trace contents at P=256"
+    );
+
+    let mut g = c.benchmark_group("sanitizer/sor64");
+    g.sample_size(10);
+    for p in PROCS {
+        for (label, run) in [
+            ("off", run_sor as fn(u32, SchedImpl) -> Runtime),
+            ("on", run_sor_sanitized),
+        ] {
+            let events = run(p, SchedImpl::EventIndex)
+                .stats()
+                .sched
+                .events_dispatched;
+            g.throughput(Throughput::Elements(events));
+            g.bench_with_input(BenchmarkId::new(label, format!("P{p}")), &p, |b, &p| {
+                b.iter(|| run(p, SchedImpl::EventIndex).makespan())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    sched,
+    bench_sor_sched,
+    bench_em3d_sched,
+    bench_ack_protocol,
+    bench_sanitizer
+);
 criterion_main!(sched);

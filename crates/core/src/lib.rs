@@ -73,10 +73,12 @@ pub mod context;
 pub mod cref;
 pub mod error;
 pub mod exec;
+pub mod explore;
 pub mod msg;
 pub mod object;
 pub mod par;
 pub mod rt;
+pub mod sanitize;
 pub mod seq;
 pub mod trace;
 pub mod wrapper;
@@ -84,8 +86,10 @@ pub mod wrapper;
 pub use cont::{CallerInfo, Continuation};
 pub use context::{ActFrame, Context, SlotState, WaitState};
 pub use error::Trap;
+pub use explore::{Explorer, Mutant, TieBreak, TieChoice};
 pub use object::Object;
 pub use rt::{NodeObjectState, Runtime, SchedImpl};
+pub use sanitize::Sanitizer;
 pub use trace::{Trace, TraceEvent, TraceRecord};
 
 pub use hem_analysis::{InterfaceSet, Schema, SchemaMap};

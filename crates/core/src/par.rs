@@ -41,6 +41,7 @@ enum StepEnd {
 pub(crate) fn dispatch(rt: &mut Runtime, node: usize, id: u32) -> Result<(), Trap> {
     rt.charge(node, rt.cost.dispatch);
     rt.new_task();
+    rt.san_dispatch_check(node, id);
     let (frame, gen) = {
         let c = rt.nodes[node].ctxs.get_mut(id);
         debug_assert_eq!(c.wait, WaitState::Ready, "dispatch of non-ready context");

@@ -5,6 +5,7 @@
 use crate::cont::{CallerInfo, Continuation};
 use crate::context::{ActFrame, CtxTable, SlotState, WaitState};
 use crate::error::Trap;
+use crate::explore::{Mutant, TieBreak, TieChoice};
 use crate::msg::{Msg, Packet};
 use crate::object::{ClassLayout, DeferredInvoke, FieldKind, LockHolder, Object};
 use crate::{ExecMode, InterfaceSet, SchemaMap};
@@ -236,6 +237,23 @@ pub struct Runtime {
     pub(crate) sched: BinaryHeap<SchedEntry>,
     pub(crate) sched_stats: SchedStats,
     pub(crate) trace_buf: crate::trace::Trace,
+    /// Online invariant sanitizer (see [`crate::sanitize`]); off by
+    /// default, where every hook is one `Option` discriminant test.
+    pub(crate) sanitizer: Option<Box<crate::sanitize::Sanitizer>>,
+    /// Same-timestamp tie-break policy (see [`crate::explore`]). The
+    /// default [`TieBreak::Det`] routes through the production dispatch
+    /// loops unchanged.
+    pub(crate) tie_break: TieBreak,
+    /// SplitMix64 state for [`TieBreak::Seeded`].
+    pub(crate) tie_rng: u64,
+    /// Next index into a [`TieBreak::Replay`] vector.
+    pub(crate) tie_cursor: usize,
+    /// Log of non-forced tie decisions taken by the exploring loop.
+    pub(crate) tie_log: Vec<TieChoice>,
+    /// Seeded protocol mutant under test (`HEM_MUTANT`); see
+    /// [`Mutant`]. Test/mutants builds only.
+    #[cfg(any(test, feature = "mutants"))]
+    pub(crate) mutant: Option<Mutant>,
     /// Reliable transport (seq/ack/retransmit framing) engaged? Off by
     /// default: the raw framing is bit-identical to the pre-transport
     /// runtime and correct on a fault-free wire.
@@ -290,6 +308,13 @@ impl Runtime {
             sched: BinaryHeap::new(),
             sched_stats: SchedStats::default(),
             trace_buf: crate::trace::Trace::default(),
+            sanitizer: None,
+            tie_break: TieBreak::Det,
+            tie_rng: 0,
+            tie_cursor: 0,
+            tie_log: Vec::new(),
+            #[cfg(any(test, feature = "mutants"))]
+            mutant: Mutant::from_env(),
             reliable: false,
             retx_base: 0,
             retx_cap: 0,
@@ -326,6 +351,49 @@ impl Runtime {
     /// Is the reliable transport engaged?
     pub fn reliable_transport(&self) -> bool {
         self.reliable
+    }
+
+    /// Select how the dispatch loop breaks same-timestamp ties (see
+    /// [`crate::explore`]). Resets the decision log and, for
+    /// [`TieBreak::Seeded`], the RNG stream. [`TieBreak::Det`] (the
+    /// default) uses the production dispatch loops unchanged; any other
+    /// policy routes [`Self::run_to_quiescence`] through the exploring
+    /// loop, which logs every non-forced decision for replay.
+    pub fn set_tie_break(&mut self, tb: TieBreak) {
+        self.tie_rng = match tb {
+            TieBreak::Seeded(seed) => seed,
+            _ => 0,
+        };
+        self.tie_cursor = 0;
+        self.tie_log.clear();
+        self.tie_break = tb;
+    }
+
+    /// The non-forced tie decisions taken since the last
+    /// [`Self::set_tie_break`], in order.
+    pub fn tie_log(&self) -> &[TieChoice] {
+        &self.tie_log
+    }
+
+    /// The decision vector alone — feed to [`TieBreak::Replay`] to rerun
+    /// this exact schedule.
+    pub fn tie_choices(&self) -> Vec<u32> {
+        self.tie_log.iter().map(|t| t.choice).collect()
+    }
+
+    /// Is the named protocol mutant active? Always false outside
+    /// test/mutants builds — the optimizer removes the mutation sites.
+    #[inline]
+    pub(crate) fn mutant_is(&self, m: Mutant) -> bool {
+        #[cfg(any(test, feature = "mutants"))]
+        {
+            self.mutant == Some(m)
+        }
+        #[cfg(not(any(test, feature = "mutants")))]
+        {
+            let _ = m;
+            false
+        }
     }
 
     // ================= setup / inspection API =================
@@ -973,6 +1041,8 @@ impl Runtime {
         }
         let cost_store = self.cost.future_store;
         let cost_enqueue = self.cost.enqueue;
+        let eager_wake = self.mutant_is(Mutant::EagerWake);
+        let drop_join = self.mutant_is(Mutant::DropJoinDecrement);
         let n = &mut self.nodes[tnode];
         let c = n.ctxs.get_mut(ctx);
         if c.gen != gen || c.wait == WaitState::Free {
@@ -982,16 +1052,29 @@ impl Runtime {
             )));
         }
         debug_assert_ne!(c.wait, WaitState::Shell, "fill into unpopulated shell");
+        // Mutant: swallow this fill's join decrement (the join never
+        // completes and its awaiter leaks).
+        if drop_join
+            && matches!(c.frame.slots.get(slot as usize), Some(SlotState::Join(k)) if *k >= 2)
+        {
+            n.time += cost_store;
+            n.counters.instructions += cost_store;
+            return Ok(());
+        }
         let became = Self::apply_fill(&mut c.frame.slots, slot, v)
             .map_err(|e| Trap::at(c.frame.method, c.frame.pc, e))?;
         let mut wake = false;
+        let mut wake_mask = 0u64;
         if became {
             if let WaitState::Waiting { mask, missing } = c.wait {
                 if mask & (1u64 << slot) != 0 {
                     let missing = missing - 1;
-                    if missing == 0 {
+                    // Mutant: wake one fill early, while a touched slot
+                    // is still unresolved.
+                    if missing == 0 || (eager_wake && missing == 1) {
                         c.wait = WaitState::Ready;
                         wake = true;
+                        wake_mask = mask;
                     } else {
                         c.wait = WaitState::Waiting { mask, missing };
                     }
@@ -1005,6 +1088,7 @@ impl Runtime {
             n.counters.resumes += 1;
             n.time += cost_enqueue;
             n.counters.instructions += cost_enqueue;
+            self.san_wake_check(tnode, ctx, wake_mask);
             self.sched_note_local(tnode);
             self.emit(
                 tnode,
@@ -1028,6 +1112,13 @@ impl Runtime {
             Continuation::Unset => Err(Trap::new("reply through unset continuation")),
             Continuation::Discard => Ok(()),
             Continuation::Root => {
+                // Mutant: deliver the root reply twice; the overwrite is
+                // value-identical, so only the one-shot check sees it.
+                if self.mutant_is(Mutant::DoubleRootReply) {
+                    self.san_root_delivered();
+                    self.result = Some(v);
+                }
+                self.san_root_delivered();
                 self.result = Some(v);
                 Ok(())
             }
@@ -1081,8 +1172,17 @@ impl Runtime {
                 debug_assert_eq!(obj.node.idx(), node, "shell off-node");
                 let m = self.program.method(method);
                 let mut frame = ActFrame::new(method, obj, m.locals, m.slots, &[]);
-                frame.slots[ret_slot as usize] = SlotState::Pending;
+                // Mutant: mark slot 0 instead of the caller's declared
+                // return slot; adoption discards shell slots, so only the
+                // structural offset check sees it.
+                let mark = if self.mutant_is(Mutant::ShellSlotZero) {
+                    0
+                } else {
+                    ret_slot as usize
+                };
+                frame.slots[mark] = SlotState::Pending;
                 let id = self.new_ctx(node, frame, Continuation::Unset, WaitState::Shell, true);
+                self.san_shell_check(node, id, ret_slot);
                 let gen = self.nodes[node].ctxs.gen(id);
                 Ok((
                     Continuation::Into(ContRef {
@@ -1120,6 +1220,7 @@ impl Runtime {
             n.counters.fallbacks += 1;
         }
         let id = n.ctxs.alloc(frame, cont, wait);
+        self.san_ctx_alloc(node, id, fallback);
         self.emit(
             node,
             if fallback {
@@ -1159,6 +1260,7 @@ impl Runtime {
         let n = &mut self.nodes[node];
         n.counters.ctx_free += 1;
         n.ctxs.release(ctx);
+        self.san_ctx_free();
     }
 
     /// Move a stack frame into a lazily allocated heap context: the
@@ -1309,6 +1411,7 @@ impl Runtime {
         args: &[Value],
     ) -> Result<Option<Value>, Trap> {
         self.result = None;
+        self.san_root_reset();
         crate::wrapper::run_invocation(
             self,
             obj.node.idx(),
@@ -1329,9 +1432,66 @@ impl Runtime {
     /// tie-break is a specification both implementations satisfy
     /// bit-identically (see [`SchedImpl`]).
     pub fn run_to_quiescence(&mut self) -> Result<(), Trap> {
+        if !matches!(self.tie_break, TieBreak::Det) {
+            return self.run_explore();
+        }
         match self.sched_impl {
             SchedImpl::EventIndex => self.run_event_index(),
             SchedImpl::LinearScan => self.run_linear_scan(),
+        }
+    }
+
+    /// Exploring dispatch loop: like the linear scan, but where the
+    /// deterministic rule picks the minimum `(time, kind, node)`, this
+    /// loop collects *every* candidate tied at the minimum time — all of
+    /// them causally enabled now — and lets the [`TieBreak`] policy pick
+    /// which to dispatch, logging each non-forced decision. Choice 0 in
+    /// canonical `(kind, node)` order is the deterministic selection, so
+    /// an empty replay vector reproduces the default schedule.
+    fn run_explore(&mut self) -> Result<(), Trap> {
+        let mut cands: Vec<(Cycles, u8, u32)> = Vec::new();
+        loop {
+            cands.clear();
+            for i in 0..self.nodes.len() {
+                let n = &self.nodes[i];
+                if let Some(e) = n.inbox.peek() {
+                    cands.push((n.time.max(e.deliver), 0, i as u32));
+                }
+                if n.has_local_work() {
+                    cands.push((n.time, 1, i as u32));
+                }
+                if let Some(&(dl, _, _)) = n.tx_timers.first() {
+                    cands.push((n.time.max(dl), 2, i as u32));
+                }
+            }
+            let Some(min_t) = cands.iter().map(|c| c.0).min() else {
+                return Ok(());
+            };
+            cands.retain(|c| c.0 == min_t);
+            cands.sort_unstable_by_key(|c| (c.1, c.2));
+            let arity = cands.len() as u32;
+            let pick = if arity == 1 {
+                0
+            } else {
+                let pick = match self.tie_break {
+                    TieBreak::Det => 0,
+                    TieBreak::Seeded(_) => {
+                        (crate::explore::splitmix64(&mut self.tie_rng) % arity as u64) as u32
+                    }
+                    TieBreak::Replay(ref v) => {
+                        let c = v.get(self.tie_cursor).copied().unwrap_or(0);
+                        self.tie_cursor += 1;
+                        c.min(arity - 1)
+                    }
+                };
+                self.tie_log.push(TieChoice {
+                    choice: pick,
+                    arity,
+                });
+                pick
+            };
+            let (t, kind, node) = cands[pick as usize];
+            self.dispatch_event(t, kind, node as usize)?;
         }
     }
 

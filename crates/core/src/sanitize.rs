@@ -1,0 +1,303 @@
+//! Online invariant sanitizer: opt-in structural checking of the hybrid
+//! execution model's protocol invariants, at every step of a run.
+//!
+//! The model's semantic-transparency argument (paper §3–4) rests on a
+//! handful of structural invariants. Some are *always* enforced, because
+//! violating them corrupts data the runtime itself needs — those trap
+//! (`Err(Trap)`) unconditionally:
+//!
+//! * join counters never go negative and a future is never filled twice
+//!   ([`crate::Runtime::apply_fill`]: "reply to completed join", "double
+//!   reply to future");
+//! * a future is read only when resolved (`GetSlot` traps on an
+//!   unresolved slot) — a toucher that cannot proceed suspends instead;
+//! * a consumed continuation is never replied through again
+//!   ("reply after continuation consumed").
+//!
+//! Others are invisible to the trap machinery: breaking them yields a run
+//! that still terminates with plausible-looking state. The sanitizer
+//! checks exactly those, online, when enabled with
+//! [`crate::Runtime::enable_sanitizer`]:
+//!
+//! * **Wake soundness** — a waiting context is woken only when every slot
+//!   in its touch mask is satisfied (an early wake re-suspends and hides).
+//! * **One reply to the root** — the harness-visible result is delivered
+//!   at most once per [`crate::Runtime::call`].
+//! * **Continuation slot offset** — a shell context built for a caller
+//!   (§3.2.3) marks the caller's declared return slot pending, not some
+//!   other offset (adoption overwrites the shell's slots, so a wrong
+//!   offset is otherwise silent).
+//! * **Revert-to-parallel honored (§4.1)** — no sequential entry runs at
+//!   or past `max_seq_depth`, and a fallen-back activation is only
+//!   created while unwinding a live stack (`seq_depth > 0`) — a
+//!   fallen-back activation never re-unwinds.
+//! * **Sequential-on-locked** — a sequential version entered on a locked
+//!   object finds the lock held, and a locked method that suspends hands
+//!   its lock to its own context (transfer, not release).
+//! * **Ready-only dispatch** — only `Ready` contexts are dispatched.
+//! * **Context conservation** — at quiescence, every allocated context
+//!   was retired ([`crate::Runtime::sanitizer_check_quiescent`], called
+//!   by the harness when a program should have finished).
+//!
+//! Violations are *recorded*, not panicked: a schedule explorer needs the
+//! run to finish so it can print the failing tie-break sequence for
+//! replay. Costs: the sanitizer never charges virtual time or emits trace
+//! events, so an enabled sanitizer leaves clocks, counters, and traces
+//! bit-identical (the `sched_throughput` bench guards this); disabled,
+//! every hook is one `Option` discriminant test.
+
+use crate::context::{SlotState, WaitState};
+use crate::object::LockHolder;
+use crate::rt::Runtime;
+use hem_ir::{MethodId, ObjRef};
+
+/// Sanitizer state: recorded violations plus the shadow counters the
+/// checks need. Owned by the runtime; see the [module docs](self).
+#[derive(Debug, Default)]
+pub struct Sanitizer {
+    violations: Vec<String>,
+    /// Event-step counter at the last root delivery of the current call.
+    /// A reactive program may legally deliver several late root replies
+    /// in one `call` (parked activations from earlier calls releasing),
+    /// but each arrives in its own dispatched event — two root deliveries
+    /// inside one event step is a double reply.
+    last_root_event: Option<u64>,
+    /// Contexts allocated / retired since the sanitizer was enabled.
+    ctx_allocs: u64,
+    ctx_frees: u64,
+}
+
+impl Sanitizer {
+    fn violation(&mut self, msg: String) {
+        self.violations.push(msg);
+    }
+}
+
+impl Runtime {
+    /// Turn the online invariant sanitizer on (see the
+    /// [module docs](self) for what is checked). Enable before running:
+    /// context conservation counts from this point. Checking never
+    /// charges virtual time, so traces, clocks, and counters are
+    /// bit-identical with the sanitizer on or off.
+    pub fn enable_sanitizer(&mut self) {
+        if self.sanitizer.is_none() {
+            self.sanitizer = Some(Box::default());
+        }
+    }
+
+    /// Is the sanitizer on?
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// Violations recorded so far (empty when the sanitizer is off or the
+    /// run is clean).
+    pub fn sanitizer_violations(&self) -> &[String] {
+        self.sanitizer
+            .as_deref()
+            .map_or(&[], |s| s.violations.as_slice())
+    }
+
+    /// Drain the recorded violations.
+    pub fn take_sanitizer_violations(&mut self) -> Vec<String> {
+        self.sanitizer
+            .as_deref_mut()
+            .map_or_else(Vec::new, |s| std::mem::take(&mut s.violations))
+    }
+
+    /// End-of-program check, called by a harness when the program should
+    /// have fully completed: the machine must be quiescent, no context
+    /// may remain live, and every context allocated since the sanitizer
+    /// was enabled must have been retired. (Do not call between phases of
+    /// an intentionally reactive program — parked contexts are legal
+    /// there.)
+    pub fn sanitizer_check_quiescent(&mut self) {
+        if self.sanitizer.is_none() {
+            return;
+        }
+        let quiescent = self.is_quiescent();
+        let live = self.live_contexts();
+        let stuck = if live > 0 {
+            format!("; stuck: {:?}", self.stuck_contexts())
+        } else {
+            String::new()
+        };
+        let s = self.sanitizer.as_deref_mut().expect("checked above");
+        if !quiescent {
+            s.violation("quiescence check while work remains".into());
+        }
+        if live != 0 {
+            s.violation(format!("{live} contexts live at quiescence{stuck}"));
+        }
+        if s.ctx_allocs != s.ctx_frees {
+            s.violation(format!(
+                "context conservation: {} allocated, {} retired",
+                s.ctx_allocs, s.ctx_frees
+            ));
+        }
+    }
+
+    // ================= internal hooks =================
+    //
+    // Every hook short-circuits on a disabled sanitizer and never touches
+    // clocks, counters, or the trace.
+
+    /// A waiting context is being woken: every slot in its awaited mask
+    /// must be satisfied.
+    #[inline]
+    pub(crate) fn san_wake_check(&mut self, node: usize, ctx: u32, mask: u64) {
+        if self.sanitizer.is_none() {
+            return;
+        }
+        let slots = &self.nodes[node].ctxs.get(ctx).frame.slots;
+        let mut bad = Vec::new();
+        for i in 0..64u16 {
+            if mask & (1u64 << i) != 0 && !slots.get(i as usize).is_some_and(SlotState::satisfied) {
+                bad.push(i);
+            }
+        }
+        if !bad.is_empty() {
+            self.sanitizer.as_deref_mut().unwrap().violation(format!(
+                "node {node} ctx {ctx}: woken with unsatisfied touch slots {bad:?}"
+            ));
+        }
+    }
+
+    /// A reply reached the root continuation. Legitimate root deliveries
+    /// each arrive in their own dispatched event (an activation replies
+    /// at most once); two inside one event step is a double reply.
+    #[inline]
+    pub(crate) fn san_root_delivered(&mut self) {
+        let step = self.sched_stats.events_dispatched;
+        if let Some(s) = self.sanitizer.as_deref_mut() {
+            if s.last_root_event == Some(step) {
+                s.violation(format!(
+                    "root continuation replied to twice within event step {step}"
+                ));
+            }
+            s.last_root_event = Some(step);
+        }
+    }
+
+    /// A new root call is starting; the root continuation is fresh.
+    #[inline]
+    pub(crate) fn san_root_reset(&mut self) {
+        if let Some(s) = self.sanitizer.as_deref_mut() {
+            s.last_root_event = None;
+        }
+    }
+
+    /// A shell context was just built for a caller: its declared return
+    /// slot — and only that slot — must be marked pending.
+    #[inline]
+    pub(crate) fn san_shell_check(&mut self, node: usize, shell: u32, ret_slot: u16) {
+        if self.sanitizer.is_none() {
+            return;
+        }
+        let slots = &self.nodes[node].ctxs.get(shell).frame.slots;
+        let bad: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| (**s == SlotState::Pending) != (*i == ret_slot as usize))
+            .map(|(i, _)| i)
+            .collect();
+        if !bad.is_empty() {
+            self.sanitizer.as_deref_mut().unwrap().violation(format!(
+                "node {node} shell ctx {shell}: continuation slot not at its fixed \
+                 offset (declared return slot {ret_slot}, mismarked slots {bad:?})"
+            ));
+        }
+    }
+
+    /// A sequential version is being entered on `target`: the §4.1 depth
+    /// guard must have kept us under `max_seq_depth`, and a locked
+    /// receiver must actually be held.
+    #[inline]
+    pub(crate) fn san_seq_entry(&mut self, node: usize, target: ObjRef, callee: MethodId) {
+        if self.sanitizer.is_none() {
+            return;
+        }
+        let depth_ok = self.seq_depth < self.max_seq_depth;
+        let lock_ok = match &self.nodes[node].objects[target.index as usize].lock {
+            Some(l) => l.holder.is_some(),
+            None => true,
+        };
+        let (depth, max) = (self.seq_depth, self.max_seq_depth);
+        let s = self.sanitizer.as_deref_mut().unwrap();
+        if !depth_ok {
+            s.violation(format!(
+                "method {callee:?} entered sequentially at depth {depth} >= limit {max} \
+                 (revert-to-parallel bypassed)"
+            ));
+        }
+        if !lock_ok {
+            s.violation(format!(
+                "method {callee:?} running sequentially on locked object \
+                 node {node} obj {} with no lock holder",
+                target.index
+            ));
+        }
+    }
+
+    /// A context was allocated; `fallback` creations (stack unwinding,
+    /// §3.2.2–3.2.3) are only legal while a sequential activation is
+    /// live — a fallen-back activation never re-unwinds.
+    #[inline]
+    pub(crate) fn san_ctx_alloc(&mut self, node: usize, ctx: u32, fallback: bool) {
+        if self.sanitizer.is_none() {
+            return;
+        }
+        let depth = self.seq_depth;
+        let s = self.sanitizer.as_deref_mut().unwrap();
+        s.ctx_allocs += 1;
+        if fallback && depth == 0 {
+            s.violation(format!(
+                "node {node} ctx {ctx}: fallback context created outside any \
+                 sequential activation (re-unwind of a fallen-back activation?)"
+            ));
+        }
+    }
+
+    /// A context was retired.
+    #[inline]
+    pub(crate) fn san_ctx_free(&mut self) {
+        if let Some(s) = self.sanitizer.as_deref_mut() {
+            s.ctx_frees += 1;
+        }
+    }
+
+    /// A context is about to be dispatched: it must be `Ready`.
+    #[inline]
+    pub(crate) fn san_dispatch_check(&mut self, node: usize, ctx: u32) {
+        if self.sanitizer.is_none() {
+            return;
+        }
+        let wait = self.nodes[node].ctxs.get(ctx).wait;
+        if wait != WaitState::Ready {
+            self.sanitizer.as_deref_mut().unwrap().violation(format!(
+                "node {node} ctx {ctx}: dispatched in state {wait:?} (not Ready)"
+            ));
+        }
+    }
+
+    /// A locked method suspended: its lock must have been transferred to
+    /// the fallen-back context, which must know it holds it.
+    #[inline]
+    pub(crate) fn san_settle_blocked(&mut self, node: usize, obj: u32, ctx: u32) {
+        if self.sanitizer.is_none() {
+            return;
+        }
+        let holder = self.nodes[node].objects[obj as usize]
+            .lock
+            .as_ref()
+            .and_then(|l| l.holder);
+        let holds = self.nodes[node].ctxs.get(ctx).holds_lock;
+        if holder != Some(LockHolder::Ctx(ctx)) || !holds {
+            self.sanitizer.as_deref_mut().unwrap().violation(format!(
+                "node {node} obj {obj}: locked method suspended into ctx {ctx} but \
+                 lock holder is {holder:?} (holds_lock = {holds}); lock must \
+                 transfer, not release"
+            ));
+        }
+    }
+}

@@ -588,6 +588,7 @@ pub(crate) fn settle_lock(rt: &mut Runtime, node: usize, obj: u32, locked: bool,
             // The method still holds its receiver across the suspension.
             rt.lock_transfer(node, obj, LockHolder::Ctx(*ctx));
             rt.nodes[node].ctxs.get_mut(*ctx).holds_lock = true;
+            rt.san_settle_blocked(node, obj, *ctx);
         }
         _ => rt.lock_release(node, obj),
     }
@@ -610,7 +611,8 @@ pub(crate) fn call_seq_schema(
     // Host-stack depth guard: deep MB/CP chains divert through the heap
     // (the moral equivalent of a stack-limit check); a deep NB chain is a
     // genuine stack overflow, as it would be for the generated C.
-    if rt.seq_depth >= rt.max_seq_depth {
+    // Mutant: bypass the guard; deep chains keep recursing sequentially.
+    if rt.seq_depth >= rt.max_seq_depth && !rt.mutant_is(crate::explore::Mutant::SkipDepthGuard) {
         if schema == Schema::NonBlocking {
             return Err(Trap::new(format!(
                 "sequential depth limit {} exceeded in non-blocking chain",
@@ -631,6 +633,7 @@ pub(crate) fn call_seq_schema(
         });
     }
 
+    rt.san_seq_entry(node, target, callee);
     let inlinable = rt.program.method(callee).inlinable && rt.enable_inlining;
     let inlined = inlinable && schema == Schema::NonBlocking;
     if inlined {

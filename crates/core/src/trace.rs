@@ -261,4 +261,66 @@ mod tests {
         assert_eq!(recs.iter().map(|r| r.at).collect::<Vec<_>>(), vec![2, 3, 4]);
         assert_eq!(t.dropped(), 0);
     }
+
+    #[test]
+    fn ring_at_exactly_cap_evicts_nothing() {
+        let mut t = Trace::default();
+        t.enable_ring(3);
+        for i in 0..3 {
+            t.emit(i, TraceEvent::ContMaterialized { node: NodeId(0) });
+        }
+        assert_eq!(t.dropped(), 0, "filling to cap is not an eviction");
+        let recs = t.take();
+        assert_eq!(recs.iter().map(|r| r.at).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ring_at_cap_plus_one_evicts_exactly_the_oldest() {
+        let mut t = Trace::default();
+        t.enable_ring(3);
+        for i in 0..4 {
+            t.emit(i, TraceEvent::ContMaterialized { node: NodeId(0) });
+        }
+        assert_eq!(t.dropped(), 1);
+        let recs = t.take();
+        assert_eq!(
+            recs.iter().map(|r| r.at).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "exactly the oldest record is evicted"
+        );
+    }
+
+    #[test]
+    fn take_resets_dropped_and_ring_counts_anew() {
+        // `take` drains the buffer *and* resets the eviction counter, so
+        // each drained batch reports only its own window's losses.
+        let mut t = Trace::default();
+        t.enable_ring(2);
+        for i in 0..5 {
+            t.emit(i, TraceEvent::ContMaterialized { node: NodeId(0) });
+        }
+        assert_eq!(t.dropped(), 3);
+        t.take();
+        assert_eq!(t.dropped(), 0, "take resets the drop count");
+        t.emit(9, TraceEvent::ContMaterialized { node: NodeId(0) });
+        assert_eq!(t.dropped(), 0, "emptied ring refills before evicting");
+        t.emit(10, TraceEvent::ContMaterialized { node: NodeId(0) });
+        t.emit(11, TraceEvent::ContMaterialized { node: NodeId(0) });
+        assert_eq!(t.dropped(), 1, "evictions count from the drained state");
+        assert_eq!(
+            t.take().iter().map(|r| r.at).collect::<Vec<_>>(),
+            vec![10, 11]
+        );
+    }
+
+    #[test]
+    fn unbounded_ring_cap_zero_never_drops() {
+        let mut t = Trace::default();
+        t.enable_ring(0);
+        for i in 0..100 {
+            t.emit(i, TraceEvent::ContMaterialized { node: NodeId(0) });
+        }
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.take().len(), 100);
+    }
 }
