@@ -1,0 +1,209 @@
+//! `hemprof` — profile an app kernel on the simulated machine.
+//!
+//! Runs one of the four paper kernels with tracing on and prints a
+//! Table-style rollup report; optionally exports a Perfetto timeline and
+//! the virtual-time critical path.
+//!
+//! ```text
+//! hemprof <sor|md|em3d|fib> [options]
+//!   --p N             machine size (default 16)
+//!   --size N          problem size (kernel-specific default)
+//!   --iters N         iterations (default 1)
+//!   --seed S          generation seed (default 20260806)
+//!   --layout L        spatial|random (MD) / high|low locality (EM3D)
+//!   --style S         em3d style: pull|push|forward
+//!   --mode M          hybrid|parallel (default hybrid)
+//!   --cost C          cm5|t3d (default cm5)
+//!   --ring N          bound the trace ring to N records
+//!   --report F        table|json (default table)
+//!   --perfetto FILE   write a Perfetto trace_event JSON timeline
+//!   --critical-path   print the longest virtual-time path
+//!   --events          dump the raw event log (small runs only)
+//! ```
+//!
+//! Example: `hemprof sor --p 64 --perfetto sor.json --critical-path`
+
+use hem_bench::profile::{Kernel, ProfileConfig};
+use hem_bench::Args;
+use hem_core::ExecMode;
+use hem_machine::cost::CostModel;
+use hem_obs::{critpath, perfetto, Report, Rollup, SegClass, Timeline};
+
+fn usage() -> ! {
+    eprintln!("usage: hemprof <sor|md|em3d|fib> [--p N] [--size N] [--iters N] [--seed S]");
+    eprintln!("               [--layout spatial|random] [--style pull|push|forward]");
+    eprintln!("               [--mode hybrid|parallel] [--cost cm5|t3d] [--ring N]");
+    eprintln!("               [--report table|json] [--perfetto FILE] [--critical-path]");
+    eprintln!("               [--events]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = Args::capture();
+    let kernel = match std::env::args().nth(1).as_deref().and_then(Kernel::parse) {
+        Some(k) => k,
+        None => usage(),
+    };
+
+    let mut cfg = ProfileConfig::new(kernel);
+    if let Some(p) = args.get("--p") {
+        cfg.p = p;
+    }
+    if let Some(s) = args.get("--size") {
+        cfg.size = s;
+    }
+    if let Some(i) = args.get("--iters") {
+        cfg.iters = i;
+    }
+    if let Some(s) = args.get("--seed") {
+        cfg.seed = s;
+    }
+    if let Some(l) = args.get::<String>("--layout") {
+        cfg.high_locality = match l.as_str() {
+            "spatial" | "high" => true,
+            "random" | "low" => false,
+            _ => usage(),
+        };
+    }
+    if let Some(s) = args.get::<String>("--style") {
+        cfg.style = match s.as_str() {
+            "pull" => hem_apps::em3d::Style::Pull,
+            "push" => hem_apps::em3d::Style::Push,
+            "forward" => hem_apps::em3d::Style::Forward,
+            _ => usage(),
+        };
+    }
+    if let Some(m) = args.get::<String>("--mode") {
+        cfg.mode = match m.as_str() {
+            "hybrid" => ExecMode::Hybrid,
+            "parallel" | "parallel-only" => ExecMode::ParallelOnly,
+            _ => usage(),
+        };
+    }
+    if let Some(c) = args.get::<String>("--cost") {
+        cfg.cost = match c.as_str() {
+            "cm5" => CostModel::cm5(),
+            "t3d" => CostModel::t3d(),
+            _ => usage(),
+        };
+    }
+    cfg.ring = args.get("--ring");
+
+    let mut rt = cfg.run();
+    let records = rt.take_trace();
+    let stats = rt.stats();
+
+    if stats.sched.dropped_events > 0 {
+        eprintln!(
+            "hemprof: WARNING: the trace ring evicted {} records; every report \
+             below is computed from a TRUNCATED event stream (raise --ring or \
+             drop it for an unbounded trace)",
+            stats.sched.dropped_events
+        );
+    }
+
+    if args.has("--events") {
+        for rec in &records {
+            println!(
+                "{:<12} {}",
+                rec.at,
+                hem_obs::describe(&rec.event, rt.program())
+            );
+        }
+        println!();
+    }
+
+    let rollup = Rollup::from_records(&records);
+    let report = Report::new(&cfg.title(), &rollup, &stats, rt.program(), rt.schemas());
+    match args.get::<String>("--report").as_deref() {
+        None | Some("table") => print!("{}", report.text()),
+        Some("json") => println!("{}", report.json()),
+        Some(_) => usage(),
+    }
+
+    let need_timeline = args.has("--critical-path") || args.get::<String>("--perfetto").is_some();
+    if !need_timeline {
+        return;
+    }
+    let tl = Timeline::build(&records, stats.per_node.len());
+
+    if let Some(path) = args.get::<String>("--perfetto") {
+        let json = perfetto::to_json(&records, &tl, rt.program());
+        std::fs::write(&path, &json).unwrap_or_else(|e| {
+            eprintln!("hemprof: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "hemprof: wrote {path} ({} bytes; open at ui.perfetto.dev)",
+            json.len()
+        );
+    }
+
+    if args.has("--critical-path") {
+        let cp = critpath::critical_path(&tl);
+        println!(
+            "\ncritical path ({} segments, {} cycles == makespan):",
+            cp.segments.len(),
+            cp.total
+        );
+        for cls in [
+            SegClass::Compute,
+            SegClass::Dispatch,
+            SegClass::Network,
+            SegClass::Blocked,
+            SegClass::Idle,
+        ] {
+            let t = cp.time_in(cls);
+            if t > 0 {
+                println!(
+                    "  {:<9} {:>12} cycles ({:>5.1}%)",
+                    cls.to_string(),
+                    t,
+                    100.0 * t as f64 / cp.total.max(1) as f64
+                );
+            }
+        }
+        let show = 12.min(cp.segments.len());
+        println!("  longest segments:");
+        let mut by_len: Vec<_> = cp.segments.iter().collect();
+        by_len.sort_by_key(|s| std::cmp::Reverse(s.dur()));
+        for s in by_len.iter().take(show) {
+            match s.from_node {
+                Some(f) => println!(
+                    "    [{:>10}..{:>10}] n{} <- n{} {} ({} cycles)",
+                    s.start,
+                    s.end,
+                    s.node,
+                    f,
+                    s.class,
+                    s.dur()
+                ),
+                None => println!(
+                    "    [{:>10}..{:>10}] n{} {} ({} cycles)",
+                    s.start,
+                    s.end,
+                    s.node,
+                    s.class,
+                    s.dur()
+                ),
+            }
+        }
+
+        println!("\nper-node breakdown (cycles; every row sums to the makespan):");
+        println!(
+            "  {:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "node", "compute", "dispatch", "network", "blocked", "idle", "slack"
+        );
+        let bds = critpath::node_breakdowns(&tl);
+        let shown = bds.len().min(16);
+        for b in bds.iter().take(shown) {
+            println!(
+                "  {:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                b.node, b.compute, b.dispatch, b.network, b.blocked, b.idle, b.slack
+            );
+        }
+        if bds.len() > shown {
+            println!("  ... ({} more nodes)", bds.len() - shown);
+        }
+    }
+}

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod micro;
+pub mod profile;
 pub mod report;
 
 use hem_analysis::InterfaceSet;

@@ -1,0 +1,226 @@
+//! Shared kernel runner for the `hemprof` profiler and the observability
+//! integration tests: builds one of the four app kernels at a given
+//! machine size / layout / seed, runs it with tracing on, and hands back
+//! the runtime for analysis. Keeping this in the library (rather than in
+//! the `hemprof` binary) means the CLI and the tests profile *the same*
+//! runs.
+
+use hem_analysis::InterfaceSet;
+use hem_apps::md::Layout;
+use hem_apps::{em3d, md, sor};
+use hem_core::{ExecMode, Runtime};
+use hem_machine::cost::CostModel;
+
+/// Which kernel to profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Red-black successive over-relaxation (Table 4).
+    Sor,
+    /// MD-Force pair interactions (Table 5).
+    Md,
+    /// EM3D bipartite graph relaxation (Table 6).
+    Em3d,
+    /// Call-intensive `fib` (Table 3).
+    Fib,
+}
+
+impl Kernel {
+    /// All four, in paper order.
+    pub const ALL: [Kernel; 4] = [Kernel::Fib, Kernel::Sor, Kernel::Md, Kernel::Em3d];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Sor => "sor",
+            Kernel::Md => "md",
+            Kernel::Em3d => "em3d",
+            Kernel::Fib => "fib",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<Kernel> {
+        match s {
+            "sor" => Some(Kernel::Sor),
+            "md" => Some(Kernel::Md),
+            "em3d" => Some(Kernel::Em3d),
+            "fib" => Some(Kernel::Fib),
+            _ => None,
+        }
+    }
+
+    /// Default problem size (SOR grid side / MD atoms / EM3D nodes per
+    /// side / fib argument) — small enough to profile quickly, large
+    /// enough that every node does work at the default machine size.
+    pub fn default_size(self) -> u32 {
+        match self {
+            Kernel::Sor => 16,
+            Kernel::Md => 96,
+            Kernel::Em3d => 48,
+            Kernel::Fib => 14,
+        }
+    }
+}
+
+/// A profiling run's configuration.
+#[derive(Debug, Clone)]
+pub struct ProfileConfig {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Machine size.
+    pub p: u32,
+    /// Problem size ([`Kernel::default_size`] when unset).
+    pub size: u32,
+    /// Iterations (SOR sweeps / MD iterations / EM3D relaxation steps).
+    pub iters: u32,
+    /// Layout/generation seed (MD clusters, EM3D graph).
+    pub seed: u64,
+    /// High locality (spatial MD layout, mostly-local EM3D edges) vs low
+    /// (random layout, mostly-remote edges).
+    pub high_locality: bool,
+    /// EM3D communication style.
+    pub style: em3d::Style,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Machine cost model.
+    pub cost: CostModel,
+    /// Bound the trace to a ring of this many records (`None`:
+    /// unbounded).
+    pub ring: Option<usize>,
+}
+
+impl ProfileConfig {
+    /// Defaults: hybrid mode, CM-5 costs, high locality, 16 nodes.
+    pub fn new(kernel: Kernel) -> ProfileConfig {
+        ProfileConfig {
+            kernel,
+            p: 16,
+            size: kernel.default_size(),
+            iters: 1,
+            seed: 20260806,
+            high_locality: true,
+            style: em3d::Style::Pull,
+            mode: ExecMode::Hybrid,
+            cost: CostModel::cm5(),
+            ring: None,
+        }
+    }
+
+    /// One-line caption for reports.
+    pub fn title(&self) -> String {
+        format!(
+            "{} p={} size={} iters={} seed={} {} {}",
+            self.kernel.name(),
+            self.p,
+            self.size,
+            self.iters,
+            self.seed,
+            if self.high_locality {
+                "high-loc"
+            } else {
+                "low-loc"
+            },
+            self.mode,
+        )
+    }
+
+    /// Build the kernel, enable tracing, run it, and return the runtime
+    /// (trace still buffered inside). Panics on a trap — the profiled
+    /// kernels are deadlock-free by construction.
+    pub fn run(&self) -> Runtime {
+        self.run_impl(None)
+    }
+
+    /// Same as [`ProfileConfig::run`], with a zero-virtual-time observer
+    /// attached before the kernel starts, so it sees the full stream.
+    pub fn run_with_observer(&self, obs: Box<dyn hem_core::Observer>) -> Runtime {
+        self.run_impl(Some(obs))
+    }
+
+    fn run_impl(&self, obs: Option<Box<dyn hem_core::Observer>>) -> Runtime {
+        match self.kernel {
+            Kernel::Sor => {
+                let ids = sor::build();
+                let mut rt = crate::rt(
+                    ids.program.clone(),
+                    self.p,
+                    self.cost.clone(),
+                    self.mode,
+                    InterfaceSet::Full,
+                );
+                self.arm(&mut rt, obs);
+                let params = sor::SorParams {
+                    n: self.size,
+                    block: 4,
+                    procs: hem_machine::topology::ProcGrid::square(self.p),
+                };
+                let inst = sor::setup(&mut rt, &ids, params);
+                sor::run(&mut rt, &inst, self.iters).expect("sor run");
+                rt
+            }
+            Kernel::Md => {
+                let ids = md::build();
+                let layout = if self.high_locality {
+                    Layout::Spatial
+                } else {
+                    Layout::Random
+                };
+                let sys = md::generate(self.size, 1.1, self.p, layout, self.seed);
+                let mut rt = crate::rt(
+                    ids.program.clone(),
+                    self.p,
+                    self.cost.clone(),
+                    self.mode,
+                    InterfaceSet::Full,
+                );
+                self.arm(&mut rt, obs);
+                let inst = md::setup(&mut rt, &ids, &sys);
+                for _ in 0..self.iters {
+                    md::run_iteration(&mut rt, &inst).expect("md iteration");
+                }
+                rt
+            }
+            Kernel::Em3d => {
+                let ids = em3d::build(4);
+                let p_local = if self.high_locality { 0.9 } else { 0.2 };
+                let g = em3d::generate(self.size, 4, self.p, p_local, self.seed);
+                let mut rt = crate::rt(
+                    ids.program.clone(),
+                    self.p,
+                    self.cost.clone(),
+                    self.mode,
+                    InterfaceSet::Full,
+                );
+                self.arm(&mut rt, obs);
+                let inst = em3d::setup(&mut rt, &ids, &g);
+                em3d::run(&mut rt, &inst, self.style, self.iters).expect("em3d run");
+                rt
+            }
+            Kernel::Fib => {
+                let suite = hem_apps::callintensive::build();
+                let mut rt = crate::rt(
+                    suite.program.clone(),
+                    self.p,
+                    self.cost.clone(),
+                    self.mode,
+                    InterfaceSet::Full,
+                );
+                self.arm(&mut rt, obs);
+                let o = rt.alloc_object_by_name("Math", hem_machine::NodeId(0));
+                rt.call(o, suite.fib, &[hem_ir::Value::Int(self.size as i64)])
+                    .expect("fib run");
+                rt
+            }
+        }
+    }
+
+    fn arm(&self, rt: &mut Runtime, obs: Option<Box<dyn hem_core::Observer>>) {
+        match self.ring {
+            Some(cap) => rt.enable_trace_ring(cap),
+            None => rt.enable_trace(),
+        }
+        if let Some(o) = obs {
+            rt.attach_observer(o);
+        }
+    }
+}

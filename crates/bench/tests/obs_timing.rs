@@ -1,0 +1,76 @@
+//! Manual probe for the observer's host-time overhead at P = 256 (the
+//! `observer/sor64` budget discussion in EXPERIMENTS.md). Interleaves
+//! off / rollup / nop configurations and takes the per-configuration
+//! minimum over many trials, which rejects scheduling noise far better
+//! than criterion's mean on a shared single-core box.
+//!
+//! Ignored by default (it is a measurement, not a correctness check):
+//!
+//! ```text
+//! cargo test --release -p hem-bench --test obs_timing -- --ignored --nocapture
+//! ```
+
+use hem_analysis::InterfaceSet;
+use hem_apps::sor;
+use hem_core::{ExecMode, Runtime};
+use hem_machine::cost::CostModel;
+use hem_machine::topology::ProcGrid;
+
+struct Nop;
+impl hem_core::Observer for Nop {
+    fn on_record(&mut self, _rec: &hem_core::trace::TraceRecord) {}
+}
+
+fn run(p: u32, obs: u8) -> Runtime {
+    let ids = sor::build();
+    let mut rt = hem_apps::make_runtime(
+        ids.program.clone(),
+        p,
+        CostModel::cm5(),
+        ExecMode::Hybrid,
+        InterfaceSet::Full,
+    );
+    match obs {
+        1 => rt.attach_observer(Box::new(hem_obs::Rollup::new())),
+        2 => rt.attach_observer(Box::new(Nop)),
+        _ => {}
+    }
+    let inst = sor::setup(
+        &mut rt,
+        &ids,
+        sor::SorParams {
+            n: 64,
+            block: 4,
+            procs: ProcGrid::square(p),
+        },
+    );
+    sor::run(&mut rt, &inst, 1).unwrap();
+    rt
+}
+
+#[test]
+#[ignore = "manual timing probe; run with --ignored --nocapture in release"]
+fn timing() {
+    let mut mins = [f64::MAX; 3];
+    for _ in 0..30 {
+        for (i, obs) in [0u8, 1, 2].into_iter().enumerate() {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(run(256, obs).makespan());
+            let t = t0.elapsed().as_secs_f64();
+            if t < mins[i] {
+                mins[i] = t;
+            }
+        }
+    }
+    println!("off:    {:.3}ms", mins[0] * 1e3);
+    println!(
+        "rollup: {:.3}ms ({:+.1}%)",
+        mins[1] * 1e3,
+        100.0 * (mins[1] / mins[0] - 1.0)
+    );
+    println!(
+        "nop:    {:.3}ms ({:+.1}%)",
+        mins[2] * 1e3,
+        100.0 * (mins[2] / mins[0] - 1.0)
+    );
+}

@@ -90,7 +90,7 @@ pub use explore::{Explorer, Mutant, TieBreak, TieChoice};
 pub use object::Object;
 pub use rt::{NodeObjectState, Runtime, SchedImpl};
 pub use sanitize::Sanitizer;
-pub use trace::{Trace, TraceEvent, TraceRecord};
+pub use trace::{MsgCause, Observer, Trace, TraceEvent, TraceRecord};
 
 pub use hem_analysis::{InterfaceSet, Schema, SchemaMap};
 

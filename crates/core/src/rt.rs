@@ -237,6 +237,10 @@ pub struct Runtime {
     pub(crate) sched: BinaryHeap<SchedEntry>,
     pub(crate) sched_stats: SchedStats,
     pub(crate) trace_buf: crate::trace::Trace,
+    /// Zero-virtual-time streaming trace consumer (see
+    /// [`crate::trace::Observer`]); when attached, records are generated
+    /// and forwarded even if the buffering trace is off.
+    pub(crate) observer: Option<Box<dyn crate::trace::Observer>>,
     /// Online invariant sanitizer (see [`crate::sanitize`]); off by
     /// default, where every hook is one `Option` discriminant test.
     pub(crate) sanitizer: Option<Box<crate::sanitize::Sanitizer>>,
@@ -308,6 +312,7 @@ impl Runtime {
             sched: BinaryHeap::new(),
             sched_stats: SchedStats::default(),
             trace_buf: crate::trace::Trace::default(),
+            observer: None,
             sanitizer: None,
             tie_break: TieBreak::Det,
             tie_rng: 0,
@@ -590,10 +595,12 @@ impl Runtime {
 
     /// Snapshot the per-node counters and times.
     pub fn stats(&self) -> MachineStats {
+        let mut sched = self.sched_stats.clone();
+        sched.dropped_events = self.trace_buf.dropped_total();
         MachineStats {
             per_node: self.nodes.iter().map(|n| n.counters.clone()).collect(),
             node_time: self.nodes.iter().map(|n| n.time).collect(),
-            sched: self.sched_stats.clone(),
+            sched,
             net: self.net.stats(),
         }
     }
@@ -715,9 +722,17 @@ impl Runtime {
     /// plan, and keeps traffic stats, but packets never sit in it across
     /// scheduler iterations, so the dispatch loop does not need to re-drain
     /// it per event.
-    fn inject(&mut self, from: usize, dest: NodeId, deliver: Cycles, words: u64, pkt: Packet) {
+    fn inject(
+        &mut self,
+        from: usize,
+        dest: NodeId,
+        deliver: Cycles,
+        words: u64,
+        class: hem_machine::net::WireClass,
+        pkt: Packet,
+    ) {
         let src = self.nodes[from].id;
-        let fate = self.net.send(src, dest, deliver, words, pkt);
+        let fate = self.net.send_classed(src, dest, deliver, words, class, pkt);
         if fate.dropped {
             self.emit(
                 from,
@@ -766,7 +781,14 @@ impl Runtime {
         msg: Msg,
     ) {
         if !self.reliable {
-            self.inject(from, dest, deliver, words, Packet::Raw(msg));
+            self.inject(
+                from,
+                dest,
+                deliver,
+                words,
+                hem_machine::net::WireClass::Data,
+                Packet::Raw(msg),
+            );
             return;
         }
         let d = dest.0;
@@ -788,7 +810,14 @@ impl Runtime {
         );
         n.tx_timers.insert((deadline, d, seq));
         self.sched_note(deadline, 2, from);
-        self.inject(from, dest, deliver, words, Packet::Data { seq, msg });
+        self.inject(
+            from,
+            dest,
+            deliver,
+            words,
+            hem_machine::net::WireClass::Data,
+            Packet::Data { seq, msg },
+        );
     }
 
     /// Send a request message, charging sender-side costs and wire latency.
@@ -802,13 +831,16 @@ impl Runtime {
         let words = msg.words();
         let c = self.cost.msg_send + self.cost.msg_word * words;
         self.charge(from, c);
-        self.ctr(from).msgs_sent += 1;
+        let ctr = self.ctr(from);
+        ctr.msgs_sent += 1;
+        ctr.req_words_sent += words;
         self.emit(
             from,
             crate::trace::TraceEvent::MsgSent {
                 from: self.nodes[from].id,
                 to: dest,
-                reply: false,
+                words,
+                cause: crate::trace::MsgCause::Request,
             },
         );
         let deliver = self.nodes[from].time + self.cost.msg_latency;
@@ -828,13 +860,16 @@ impl Runtime {
         let words = msg.words();
         let c = self.cost.reply_send + self.cost.reply_word * words;
         self.charge(from, c);
-        self.ctr(from).replies_sent += 1;
+        let ctr = self.ctr(from);
+        ctr.replies_sent += 1;
+        ctr.reply_words_sent += words;
         self.emit(
             from,
             crate::trace::TraceEvent::MsgSent {
                 from: self.nodes[from].id,
                 to: dest,
-                reply: true,
+                words,
+                cause: crate::trace::MsgCause::Reply,
             },
         );
         let deliver = self.nodes[from].time + self.cost.reply_latency;
@@ -878,6 +913,7 @@ impl Runtime {
             Packet::Raw(msg) => {
                 self.charge(node, self.cost.handler);
                 self.ctr(node).msgs_handled += 1;
+                self.emit_handled(node, src, &msg);
                 self.handle_msg(node, msg)
             }
             Packet::Data { seq, msg } => {
@@ -886,8 +922,24 @@ impl Runtime {
                 // and a duplicate often means the original's ack was lost.
                 self.charge(node, self.cost.ack_overhead);
                 self.ctr(node).acks_sent += 1;
+                self.emit(
+                    node,
+                    crate::trace::TraceEvent::MsgSent {
+                        from: NodeId(node as u32),
+                        to: src,
+                        words: 1,
+                        cause: crate::trace::MsgCause::Ack,
+                    },
+                );
                 let deliver = self.nodes[node].time + self.cost.reply_latency;
-                self.inject(node, src, deliver, 1, Packet::Ack { seq });
+                self.inject(
+                    node,
+                    src,
+                    deliver,
+                    1,
+                    hem_machine::net::WireClass::Ack,
+                    Packet::Ack { seq },
+                );
                 if self.nodes[node].rx_mark(src.0, seq) {
                     self.ctr(node).dups_suppressed += 1;
                     self.emit(
@@ -900,11 +952,21 @@ impl Runtime {
                     return Ok(());
                 }
                 self.ctr(node).msgs_handled += 1;
+                self.emit_handled(node, src, &msg);
                 self.handle_msg(node, msg)
             }
             Packet::Ack { seq } => {
                 self.charge(node, self.cost.ack_overhead);
                 self.ctr(node).acks_handled += 1;
+                self.emit(
+                    node,
+                    crate::trace::TraceEvent::MsgHandled {
+                        node: NodeId(node as u32),
+                        from: src,
+                        words: 1,
+                        cause: crate::trace::MsgCause::Ack,
+                    },
+                );
                 let n = &mut self.nodes[node];
                 // A stale ack (retransmit raced the first ack) finds no
                 // pending entry; that is fine.
@@ -914,6 +976,28 @@ impl Runtime {
                 Ok(())
             }
         }
+    }
+
+    /// Emit the [`crate::trace::TraceEvent::MsgHandled`] record for a
+    /// delivered application payload.
+    #[inline]
+    fn emit_handled(&mut self, node: usize, src: NodeId, msg: &Msg) {
+        if !self.trace_buf.enabled() && self.observer.is_none() {
+            return;
+        }
+        self.emit(
+            node,
+            crate::trace::TraceEvent::MsgHandled {
+                node: NodeId(node as u32),
+                from: src,
+                words: msg.words(),
+                cause: if msg.is_reply() {
+                    crate::trace::MsgCause::Reply
+                } else {
+                    crate::trace::MsgCause::Request
+                },
+            },
+        );
     }
 
     /// Is a copy of frame `(node → dest, seq)` still in flight — the data
@@ -972,6 +1056,18 @@ impl Runtime {
                         attempt,
                     },
                 );
+                // The wire-accounting record for the fresh copy (one
+                // `MsgSent` per injection; the `Retransmit` event above is
+                // the protocol-level record).
+                self.emit(
+                    node,
+                    crate::trace::TraceEvent::MsgSent {
+                        from: NodeId(node as u32),
+                        to: NodeId(dest),
+                        words,
+                        cause: crate::trace::MsgCause::Retransmit,
+                    },
+                );
             }
             let now = self.nodes[node].time;
             let backoff = self
@@ -993,6 +1089,7 @@ impl Runtime {
                     NodeId(dest),
                     now + latency,
                     words,
+                    hem_machine::net::WireClass::Retx,
                     Packet::Data { seq, msg },
                 );
             }
@@ -1257,6 +1354,13 @@ impl Runtime {
             self.lock_release(node, obj);
         }
         self.charge(node, self.cost.ctx_free);
+        self.emit(
+            node,
+            crate::trace::TraceEvent::CtxFreed {
+                node: NodeId(node as u32),
+                ctx,
+            },
+        );
         let n = &mut self.nodes[node];
         n.counters.ctx_free += 1;
         n.ctxs.release(ctx);
@@ -1527,20 +1631,46 @@ impl Runtime {
     /// ready context, 2 fires due retransmission timers.
     fn dispatch_event(&mut self, t: Cycles, kind: u8, i: usize) -> Result<(), Trap> {
         self.sched_stats.events_dispatched += 1;
-        if kind == 0 {
+        let r = if kind == 0 {
             let e = self.nodes[i].inbox.pop().expect("selected inbox entry");
             self.nodes[i].time = t;
+            self.emit_event_start(i, kind);
             self.handle_packet(i, e.src, e.msg)
         } else if kind == 2 {
             self.nodes[i].time = t;
+            self.emit_event_start(i, kind);
             self.run_retransmits(i);
             Ok(())
         } else if let Some((obj, d)) = self.nodes[i].granted.pop_front() {
+            self.emit_event_start(i, kind);
             self.run_granted(i, obj, d)
         } else {
             let c = self.nodes[i].ready.pop_front().expect("selected ready ctx");
+            self.emit_event_start(i, kind);
             crate::par::dispatch(self, i, c)
+        };
+        if r.is_ok() {
+            self.emit(
+                i,
+                crate::trace::TraceEvent::EventEnd {
+                    node: NodeId(i as u32),
+                },
+            );
         }
+        r
+    }
+
+    /// Emit the step-start marker for a dispatched event (the node's clock
+    /// already stands at the event's start time).
+    #[inline]
+    fn emit_event_start(&mut self, i: usize, kind: u8) {
+        self.emit(
+            i,
+            crate::trace::TraceEvent::EventStart {
+                node: NodeId(i as u32),
+                kind,
+            },
+        );
     }
 
     /// O(log P)-per-event dispatch: pop the minimum candidate from the

@@ -13,6 +13,43 @@ use hem_analysis::Schema;
 use hem_ir::MethodId;
 use hem_machine::{Cycles, NodeId};
 
+/// Why a wire message was sent (and, symmetrically, what kind of payload
+/// a handled message carried). Extends the old `reply: bool` so byte
+/// accounting can attribute ack-protocol and retransmission overhead
+/// separately from first-copy application traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgCause {
+    /// Remote method invocation request.
+    Request,
+    /// Reply determining a future.
+    Reply,
+    /// Transport acknowledgement frame (reliable transport only).
+    Ack,
+    /// Retransmitted copy of an unacknowledged data frame (reliable
+    /// transport only). Receivers never see this cause: a delivered
+    /// retransmission is handled as its payload's `Request`/`Reply`.
+    Retransmit,
+}
+
+impl MsgCause {
+    /// Is this an application reply (the old `reply` bool)?
+    pub fn is_reply(self) -> bool {
+        matches!(self, MsgCause::Reply)
+    }
+}
+
+impl std::fmt::Display for MsgCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MsgCause::Request => "request",
+            MsgCause::Reply => "reply",
+            MsgCause::Ack => "ack",
+            MsgCause::Retransmit => "retransmit",
+        };
+        write!(f, "{s}")
+    }
+}
+
 /// One recorded runtime action.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -64,14 +101,34 @@ pub enum TraceEvent {
         /// Node.
         node: NodeId,
     },
-    /// A request (`reply = false`) or reply message was sent.
+    /// A message was injected into the interconnect. Every wire injection
+    /// emits exactly one `MsgSent` (including copies the fault plan then
+    /// loses), so the count of these events equals the network's `sent`
+    /// statistic.
     MsgSent {
         /// Sender.
         from: NodeId,
         /// Destination.
         to: NodeId,
-        /// Reply vs request.
-        reply: bool,
+        /// Payload size in words (drives the per-word wire cost).
+        words: u64,
+        /// What the message is (request/reply/ack/retransmit).
+        cause: MsgCause,
+    },
+    /// A delivered message was handled on its destination node (transport
+    /// duplicates that were suppressed emit [`TraceEvent::DupSuppressed`]
+    /// instead). Nested handling during a send-time network poll emits
+    /// this too, so every consumed message has exactly one record.
+    MsgHandled {
+        /// Handling (destination) node.
+        node: NodeId,
+        /// The message's sender.
+        from: NodeId,
+        /// Payload size in words.
+        words: u64,
+        /// Payload kind; never [`MsgCause::Retransmit`] (a delivered
+        /// retransmission carries its original payload).
+        cause: MsgCause,
     },
     /// A context suspended on a touch.
     Suspend {
@@ -126,6 +183,32 @@ pub enum TraceEvent {
         /// The frame's sender.
         from: NodeId,
     },
+    /// A heap context was freed (its activation completed). Together with
+    /// the allocation events (`ParInvoke`/`Fallback`) this delimits a
+    /// context's residency span.
+    CtxFreed {
+        /// Node.
+        node: NodeId,
+        /// Context index.
+        ctx: u32,
+    },
+    /// The dispatch loop selected an event: the node's clock now stands at
+    /// the event's start time. `kind` 0 = handle a message, 1 = run local
+    /// work (a lock grant or ready context), 2 = fire retransmission
+    /// timers. Paired with [`TraceEvent::EventEnd`]; all records emitted
+    /// between the pair belong to this scheduler step.
+    EventStart {
+        /// Dispatching node.
+        node: NodeId,
+        /// Candidate kind (0 message, 1 local work, 2 timers).
+        kind: u8,
+    },
+    /// The dispatched event completed; the record's time is the node's
+    /// clock after all work charged during the step.
+    EventEnd {
+        /// Dispatching node.
+        node: NodeId,
+    },
 }
 
 /// A timestamped event.
@@ -135,6 +218,30 @@ pub struct TraceRecord {
     pub at: Cycles,
     /// The event.
     pub event: TraceEvent,
+}
+
+/// A zero-virtual-time trace consumer, fed every [`TraceRecord`] as it is
+/// generated — the online analogue of draining the trace buffer, without
+/// the buffer.
+///
+/// The contract is the sanitizer's: an attached observer must not (and,
+/// through this interface, cannot) charge virtual time, touch counters, or
+/// alter the event stream, so a run is bit-identical in trace, clocks, and
+/// makespan with observation on or off (the `sched_throughput` bench
+/// guards this). Attaching an observer forces record generation even when
+/// the buffering trace is disabled, so machine-sized runs can be profiled
+/// without holding the whole event stream in memory.
+/// The `Any` supertrait lets a harness recover its concrete observer
+/// after the run: `Box<dyn Observer>` upcasts to `Box<dyn Any>`, which
+/// downcasts to the observer type (see the `trace_adaptation` example).
+pub trait Observer: std::any::Any {
+    /// Called once per generated record, in emission order.
+    fn on_record(&mut self, rec: &TraceRecord);
+
+    /// Called when the observer is detached ([`Runtime::take_observer`]).
+    /// Observers that buffer records internally (to amortize per-record
+    /// cost) must drain here; the default is a no-op.
+    fn on_flush(&mut self) {}
 }
 
 /// The trace buffer: unbounded by default, or a bounded ring that keeps
@@ -148,6 +255,10 @@ pub struct Trace {
     cap: usize,
     /// Records evicted from the front of the ring since the last `take`.
     dropped: u64,
+    /// Records evicted over the buffer's whole lifetime (never reset —
+    /// reports derived from a truncated ring must be able to say so even
+    /// after intermediate drains).
+    dropped_total: u64,
 }
 
 impl Trace {
@@ -175,6 +286,12 @@ impl Trace {
         self.dropped
     }
 
+    /// Records evicted from the ring over its whole lifetime (not reset by
+    /// [`Trace::take`]).
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total
+    }
+
     /// Record (no-op when disabled).
     #[inline]
     pub(crate) fn emit(&mut self, at: Cycles, event: TraceEvent) {
@@ -182,6 +299,7 @@ impl Trace {
             if self.cap != 0 && self.records.len() == self.cap {
                 self.records.pop_front();
                 self.dropped += 1;
+                self.dropped_total += 1;
             }
             self.records.push_back(TraceRecord { at, event });
         }
@@ -215,16 +333,49 @@ impl crate::rt::Runtime {
         self.trace_buf.dropped()
     }
 
+    /// Records evicted from the bounded trace ring over the whole run
+    /// (never reset; also surfaced as `MachineStats.sched.dropped_events`).
+    pub fn trace_dropped_total(&self) -> u64 {
+        self.trace_buf.dropped_total()
+    }
+
     /// Drain recorded trace events.
     pub fn take_trace(&mut self) -> Vec<TraceRecord> {
         self.trace_buf.take()
     }
 
+    /// Attach a zero-virtual-time [`Observer`] that is fed every record as
+    /// it is generated. Generation is forced even if the buffering trace
+    /// is off; the observer never charges virtual time, so traces, clocks,
+    /// and makespan are bit-identical with or without it.
+    pub fn attach_observer(&mut self, obs: Box<dyn Observer>) {
+        self.observer = Some(obs);
+    }
+
+    /// Detach and return the attached observer, if any. The observer's
+    /// [`Observer::on_flush`] runs first, so buffering observers hand
+    /// back fully-drained aggregates.
+    pub fn take_observer(&mut self) -> Option<Box<dyn Observer>> {
+        let mut obs = self.observer.take();
+        if let Some(o) = obs.as_deref_mut() {
+            o.on_flush();
+        }
+        obs
+    }
+
+    /// Is an observer attached?
+    pub fn observer_attached(&self) -> bool {
+        self.observer.is_some()
+    }
+
     /// Record an event against a node's current virtual time.
     #[inline]
     pub(crate) fn emit(&mut self, node: usize, event: TraceEvent) {
-        if self.trace_buf.enabled() {
+        if self.trace_buf.enabled() || self.observer.is_some() {
             let at = self.nodes[node].time;
+            if let Some(o) = self.observer.as_deref_mut() {
+                o.on_record(&TraceRecord { at, event });
+            }
             self.trace_buf.emit(at, event);
         }
     }
@@ -311,6 +462,24 @@ mod tests {
             t.take().iter().map(|r| r.at).collect::<Vec<_>>(),
             vec![10, 11]
         );
+    }
+
+    #[test]
+    fn dropped_total_survives_take() {
+        let mut t = Trace::default();
+        t.enable_ring(2);
+        for i in 0..5 {
+            t.emit(i, TraceEvent::ContMaterialized { node: NodeId(0) });
+        }
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.dropped_total(), 3);
+        t.take();
+        assert_eq!(t.dropped(), 0, "drain-relative counter resets");
+        assert_eq!(t.dropped_total(), 3, "lifetime counter does not");
+        for i in 0..3 {
+            t.emit(10 + i, TraceEvent::ContMaterialized { node: NodeId(0) });
+        }
+        assert_eq!(t.dropped_total(), 4);
     }
 
     #[test]

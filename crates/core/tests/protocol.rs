@@ -131,12 +131,28 @@ fn trace_records_the_adaptation_story() {
     );
     assert!(has(&|e| matches!(
         e,
-        TraceEvent::MsgSent { reply: false, .. }
+        TraceEvent::MsgSent {
+            cause: hem_core::MsgCause::Request,
+            ..
+        }
     )));
     assert!(has(&|e| matches!(
         e,
-        TraceEvent::MsgSent { reply: true, .. }
+        TraceEvent::MsgSent {
+            cause: hem_core::MsgCause::Reply,
+            ..
+        }
     )));
+    assert!(
+        has(&|e| matches!(
+            e,
+            TraceEvent::MsgHandled {
+                cause: hem_core::MsgCause::Request,
+                ..
+            }
+        )),
+        "every consumed message leaves a MsgHandled record"
+    );
     assert!(
         has(&|e| matches!(e, TraceEvent::ContMaterialized { .. })),
         "off-node forward materialized the continuation"

@@ -11,6 +11,24 @@ use crate::{Cycles, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Wire-level class of an injected message, for traffic accounting.
+///
+/// The network itself treats every class identically (same ordering, same
+/// fault plan); the class only routes the payload's words into the right
+/// [`crate::stats::NetStats`] bucket so ack-protocol and retransmission
+/// overhead can be attributed separately from first-copy application
+/// traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireClass {
+    /// First wire copy of an application payload (request or reply).
+    #[default]
+    Data,
+    /// Transport acknowledgement frame.
+    Ack,
+    /// Retransmitted copy of a data frame.
+    Retx,
+}
+
 /// A message in flight, carrying its destination and delivery time.
 #[derive(Debug, Clone)]
 pub struct InFlight<M> {
@@ -69,6 +87,12 @@ pub struct Network<M> {
     pub delivered: u64,
     /// Total payload words ever sent.
     pub words: u64,
+    /// Words that crossed the wire in first-copy application payloads.
+    pub data_words: u64,
+    /// Words that crossed the wire in acknowledgement frames.
+    pub ack_words: u64,
+    /// Words that crossed the wire in retransmitted copies.
+    pub retx_words: u64,
     /// Installed fault schedule, if any (see [`FaultPlan`]).
     plan: Option<FaultPlan>,
     /// Cumulative fault-injection counters.
@@ -83,6 +107,9 @@ impl<M> Default for Network<M> {
             sent: 0,
             delivered: 0,
             words: 0,
+            data_words: 0,
+            ack_words: 0,
+            retx_words: 0,
             plan: None,
             faults: FaultStats::default(),
         }
@@ -126,18 +153,48 @@ impl<M> Network<M> {
     }
 
     /// Inject a message. `deliver_at` must already include wire latency.
-    ///
-    /// The installed [`FaultPlan`] (if any) is applied here: the message
-    /// may be dropped, duplicated, jittered, or deferred past a stall
-    /// window — decided purely by `(seq, src, dest)` and the plan's seed,
-    /// so two runs with the same plan inject identical faults. Returns the
-    /// assigned sequence number and the applied decision.
+    /// Accounts the traffic as [`WireClass::Data`]; see
+    /// [`Self::send_classed`].
     pub fn send(
         &mut self,
         src: NodeId,
         dest: NodeId,
         deliver_at: Cycles,
         words: u64,
+        msg: M,
+    ) -> SendFate
+    where
+        M: Clone,
+    {
+        self.send_classed(src, dest, deliver_at, words, WireClass::Data, msg)
+    }
+
+    /// Words that actually crossed the wire, bucketed by class.
+    #[inline]
+    fn account(&mut self, class: WireClass, words: u64) {
+        self.words += words;
+        match class {
+            WireClass::Data => self.data_words += words,
+            WireClass::Ack => self.ack_words += words,
+            WireClass::Retx => self.retx_words += words,
+        }
+    }
+
+    /// Inject a message with an explicit traffic class. `deliver_at` must
+    /// already include wire latency.
+    ///
+    /// The installed [`FaultPlan`] (if any) is applied here: the message
+    /// may be dropped, duplicated, jittered, or deferred past a stall
+    /// window — decided purely by `(seq, src, dest)` and the plan's seed,
+    /// so two runs with the same plan inject identical faults. Returns the
+    /// assigned sequence number and the applied decision.
+    pub fn send_classed(
+        &mut self,
+        src: NodeId,
+        dest: NodeId,
+        deliver_at: Cycles,
+        words: u64,
+        class: WireClass,
         msg: M,
     ) -> SendFate
     where
@@ -154,7 +211,7 @@ impl<M> Network<M> {
             extra_latency: 0,
         };
         let Some(plan) = &self.plan else {
-            self.words += words;
+            self.account(class, words);
             self.heap.push(InFlight {
                 deliver_at,
                 dest,
@@ -196,7 +253,7 @@ impl<M> Network<M> {
                 self.faults.stall_defers += 1;
                 at2 = release;
             }
-            self.words += words;
+            self.account(class, words);
             self.heap.push(InFlight {
                 deliver_at: at2,
                 dest,
@@ -205,7 +262,7 @@ impl<M> Network<M> {
                 msg: msg.clone(),
             });
         }
-        self.words += words;
+        self.account(class, words);
         self.heap.push(InFlight {
             deliver_at: at,
             dest,
@@ -241,6 +298,9 @@ impl<M> Network<M> {
             sent: self.sent,
             delivered: self.delivered,
             words: self.words,
+            data_words: self.data_words,
+            ack_words: self.ack_words,
+            retx_words: self.retx_words,
             faults: self.faults,
         }
     }
@@ -297,5 +357,19 @@ mod tests {
         net.send(NodeId(0), NodeId(1), 1, 3, 0);
         net.send(NodeId(0), NodeId(1), 2, 4, 0);
         assert_eq!(net.words, 7);
+    }
+
+    #[test]
+    fn wire_classes_bucket_words() {
+        let mut net: Network<u8> = Network::new();
+        net.send_classed(NodeId(0), NodeId(1), 1, 5, WireClass::Data, 0);
+        net.send_classed(NodeId(1), NodeId(0), 2, 1, WireClass::Ack, 0);
+        net.send_classed(NodeId(0), NodeId(1), 3, 5, WireClass::Retx, 0);
+        net.send(NodeId(0), NodeId(1), 4, 2, 0); // plain send = Data
+        let s = net.stats();
+        assert_eq!(s.data_words, 7);
+        assert_eq!(s.ack_words, 1);
+        assert_eq!(s.retx_words, 5);
+        assert_eq!(s.words, s.data_words + s.ack_words + s.retx_words);
     }
 }

@@ -35,6 +35,10 @@ pub struct Counters {
     pub msgs_sent: u64,
     /// Reply messages sent from this node.
     pub replies_sent: u64,
+    /// Payload words sent from this node in request messages.
+    pub req_words_sent: u64,
+    /// Payload words sent from this node in reply messages.
+    pub reply_words_sent: u64,
     /// Messages handled on this node.
     pub msgs_handled: u64,
     /// Invocations whose target was local at the time of the check.
@@ -83,6 +87,8 @@ impl Counters {
         self.resumes += other.resumes;
         self.msgs_sent += other.msgs_sent;
         self.replies_sent += other.replies_sent;
+        self.req_words_sent += other.req_words_sent;
+        self.reply_words_sent += other.reply_words_sent;
         self.msgs_handled += other.msgs_handled;
         self.local_invokes += other.local_invokes;
         self.remote_invokes += other.remote_invokes;
@@ -145,6 +151,11 @@ pub struct SchedStats {
     pub stale_pops: u64,
     /// High-water mark of the event index depth.
     pub max_heap_depth: u64,
+    /// Trace records evicted from a bounded trace ring over the whole run
+    /// (cumulative — unlike the ring's own drain-relative counter). A
+    /// non-zero value means any report derived from the trace was computed
+    /// from a *truncated* event stream.
+    pub dropped_events: u64,
 }
 
 /// Machine-global interconnect traffic and fault-injection counters.
@@ -156,6 +167,13 @@ pub struct NetStats {
     pub delivered: u64,
     /// Payload words that actually crossed the wire.
     pub words: u64,
+    /// Words carried by first-copy application payloads (requests and
+    /// replies). `words == data_words + ack_words + retx_words`.
+    pub data_words: u64,
+    /// Words carried by transport acknowledgement frames.
+    pub ack_words: u64,
+    /// Words carried by retransmitted data-frame copies.
+    pub retx_words: u64,
     /// Fault-injection counters (all zero with no fault plan installed).
     pub faults: crate::fault::FaultStats,
 }
@@ -243,6 +261,51 @@ mod tests {
         s.node_time = vec![5, 42, 7];
         assert_eq!(s.makespan(), 42);
         assert_eq!(s.totals(), Counters::default());
+    }
+
+    #[test]
+    fn totals_sum_across_nodes() {
+        // Machine-wide totals are the field-wise sum of the per-node sets:
+        // no field is dropped, none is double-counted.
+        let mut s = MachineStats::new(3);
+        for (i, c) in s.per_node.iter_mut().enumerate() {
+            let k = (i + 1) as u64;
+            c.msgs_sent = k;
+            c.replies_sent = 10 * k;
+            c.req_words_sent = 100 * k;
+            c.reply_words_sent = 1000 * k;
+            c.stack_nb = k;
+            c.par_invokes = 2 * k;
+            c.inlined = 3 * k;
+            c.ctx_alloc = 4 * k;
+            c.ctx_free = 4 * k;
+        }
+        let t = s.totals();
+        assert_eq!(t.msgs_sent, 1 + 2 + 3);
+        assert_eq!(t.replies_sent, 60);
+        assert_eq!(t.req_words_sent, 600);
+        assert_eq!(t.reply_words_sent, 6000);
+        assert_eq!(t.total_invokes(), (1 + 2 + 3) * 6);
+        assert_eq!(t.ctx_alloc, t.ctx_free);
+    }
+
+    #[test]
+    fn merge_is_associative_on_word_counters() {
+        let mk = |a: u64, b: u64| Counters {
+            req_words_sent: a,
+            reply_words_sent: b,
+            acks_sent: a + b,
+            ..Default::default()
+        };
+        let (x, y, z) = (mk(1, 2), mk(3, 4), mk(5, 6));
+        let mut left = x.clone();
+        left.merge(&y);
+        left.merge(&z);
+        let mut yz = y.clone();
+        yz.merge(&z);
+        let mut right = x.clone();
+        right.merge(&yz);
+        assert_eq!(left, right);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Power-of-two bucketed histograms over virtual-cycle durations.
+
+/// A log₂-bucket histogram: bucket `b` counts samples `v` with
+/// `2^(b-1) <= v < 2^b` (bucket 0 counts the zeros). 65 buckets cover the
+/// whole `u64` range, so insertion never saturates or clamps.
+#[derive(Debug, Clone)]
+pub struct Log2Hist {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Log2Hist {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Hist {
+    /// Bucket index for a value: `0` for zero, else `floor(log2(v)) + 1`.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive-exclusive value range `[lo, hi)` of a bucket (bucket 0 is
+    /// `[0, 1)`). The top bucket's `hi` saturates at `u64::MAX`.
+    pub fn bucket_range(b: usize) -> (u64, u64) {
+        if b == 0 {
+            (0, 1)
+        } else {
+            (
+                1u64 << (b - 1),
+                1u64.checked_shl(b as u32).unwrap_or(u64::MAX),
+            )
+        }
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets, lowest first: `(bucket_index, count)`.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(b, &c)| (b, c))
+    }
+
+    /// Render as a compact one-per-bucket listing, e.g.
+    /// `[16,32):5 [32,64):2`.
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "(empty)".into();
+        }
+        let mut parts = Vec::new();
+        for (b, c) in self.nonzero() {
+            let (lo, hi) = Self::bucket_range(b);
+            parts.push(format!("[{lo},{hi}):{c}"));
+        }
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(Log2Hist::bucket_of(0), 0);
+        assert_eq!(Log2Hist::bucket_of(1), 1);
+        assert_eq!(Log2Hist::bucket_of(2), 2);
+        assert_eq!(Log2Hist::bucket_of(3), 2);
+        assert_eq!(Log2Hist::bucket_of(4), 3);
+        assert_eq!(Log2Hist::bucket_of(1023), 10);
+        assert_eq!(Log2Hist::bucket_of(1024), 11);
+        assert_eq!(Log2Hist::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn ranges_partition_the_u64_line() {
+        let mut expect_lo = 0u64;
+        for b in 0..=64 {
+            let (lo, hi) = Log2Hist::bucket_range(b);
+            assert_eq!(lo, expect_lo, "bucket {b} starts at the previous end");
+            assert!(hi > lo);
+            expect_lo = hi;
+        }
+        assert_eq!(expect_lo, u64::MAX, "top bucket saturates");
+    }
+
+    #[test]
+    fn every_value_lands_in_its_range() {
+        for v in [0u64, 1, 2, 3, 7, 8, 100, 1 << 40, u64::MAX] {
+            let b = Log2Hist::bucket_of(v);
+            let (lo, hi) = Log2Hist::bucket_range(b);
+            assert!(v >= lo, "{v} >= {lo}");
+            assert!(v < hi || hi == u64::MAX, "{v} < {hi}");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = Log2Hist::default();
+        for v in [0, 1, 1, 5, 16] {
+            h.add(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 16);
+        assert!((h.mean() - 23.0 / 5.0).abs() < 1e-12);
+        let nz: Vec<_> = h.nonzero().collect();
+        assert_eq!(nz, vec![(0, 1), (1, 2), (3, 1), (5, 1)]);
+        assert!(h.summary().contains("[4,8):1"));
+    }
+}

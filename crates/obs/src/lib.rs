@@ -1,0 +1,141 @@
+//! # hem-obs — observability for the hybrid execution model
+//!
+//! Everything in this crate consumes the runtime's [`TraceRecord`] stream
+//! (offline, from a drained buffer) or observes it online through the
+//! zero-virtual-time [`hem_core::Observer`] hook, and turns it into the
+//! artifacts a performance investigation needs:
+//!
+//! | module | artifact |
+//! |---|---|
+//! | [`rollup`] | per-method × per-node × per-schema aggregates, per-link traffic, residency/touch-latency histograms |
+//! | [`model`]  | a [`model::Timeline`]: scheduler steps, context spans, matched message flows |
+//! | [`perfetto`] | Chrome/Perfetto `trace_event` JSON of the timeline |
+//! | [`critpath`] | the longest virtual-time path through the happens-before DAG, plus per-node time breakdowns |
+//! | [`report`] | paper-Table-style text / JSON summaries built from a rollup |
+//! | [`json`] | a dependency-free JSON DOM + parser used to validate exports |
+//!
+//! None of it charges virtual time: attaching a [`rollup::Rollup`] as an
+//! observer leaves traces, clocks and makespan bit-identical to an
+//! unobserved run (the `sched_throughput` bench guards this), and offline
+//! analysis happens after `take_trace()`.
+
+#![warn(missing_docs)]
+
+pub mod critpath;
+pub mod hist;
+pub mod json;
+pub mod model;
+pub mod perfetto;
+pub mod report;
+pub mod rollup;
+
+pub use critpath::{critical_path, node_breakdowns, CriticalPath, NodeBreakdown, SegClass};
+pub use hist::Log2Hist;
+pub use model::Timeline;
+pub use report::Report;
+pub use rollup::Rollup;
+
+use hem_core::TraceEvent;
+
+/// The node a record is charged to: the node whose clock stamped it (the
+/// acting node — sender for sends, receiver for handles).
+pub fn event_node(e: &TraceEvent) -> u32 {
+    match *e {
+        TraceEvent::StackComplete { node, .. }
+        | TraceEvent::Inlined { node, .. }
+        | TraceEvent::Fallback { node, .. }
+        | TraceEvent::ParInvoke { node, .. }
+        | TraceEvent::ShellAdopted { node, .. }
+        | TraceEvent::ContMaterialized { node }
+        | TraceEvent::MsgHandled { node, .. }
+        | TraceEvent::Suspend { node, .. }
+        | TraceEvent::Resume { node, .. }
+        | TraceEvent::LockDeferred { node, .. }
+        | TraceEvent::Retransmit { node, .. }
+        | TraceEvent::DupSuppressed { node, .. }
+        | TraceEvent::CtxFreed { node, .. }
+        | TraceEvent::EventStart { node, .. }
+        | TraceEvent::EventEnd { node } => node.0,
+        TraceEvent::MsgSent { from, .. }
+        | TraceEvent::MsgDropped { from, .. }
+        | TraceEvent::MsgDuplicated { from, .. } => from.0,
+    }
+}
+
+/// One-line human description of an event, with method names resolved
+/// against the program. The `trace_adaptation` example and `hemprof`'s
+/// `--events` dump print these.
+pub fn describe(e: &TraceEvent, program: &hem_ir::Program) -> String {
+    let m = |id: hem_ir::MethodId| program.method(id).name.clone();
+    match *e {
+        TraceEvent::StackComplete {
+            node,
+            method,
+            schema,
+        } => format!("n{} stack-complete {} [{}]", node.0, m(method), schema),
+        TraceEvent::Inlined { node, method } => {
+            format!("n{} inlined {}", node.0, m(method))
+        }
+        TraceEvent::Fallback { node, method, ctx } => {
+            format!("n{} FALLBACK {} -> ctx{}", node.0, m(method), ctx)
+        }
+        TraceEvent::ParInvoke { node, method, ctx } => {
+            format!("n{} par-invoke {} ctx{}", node.0, m(method), ctx)
+        }
+        TraceEvent::ShellAdopted { node, method, ctx } => {
+            format!("n{} shell-adopted {} ctx{}", node.0, m(method), ctx)
+        }
+        TraceEvent::ContMaterialized { node } => {
+            format!("n{} continuation materialized", node.0)
+        }
+        TraceEvent::MsgSent {
+            from,
+            to,
+            words,
+            cause,
+        } => format!("n{} -> n{} {} ({} words)", from.0, to.0, cause, words),
+        TraceEvent::MsgHandled {
+            node,
+            from,
+            words,
+            cause,
+        } => format!(
+            "n{} handled {} from n{} ({} words)",
+            node.0, cause, from.0, words
+        ),
+        TraceEvent::Suspend { node, ctx } => format!("n{} suspend ctx{}", node.0, ctx),
+        TraceEvent::Resume { node, ctx } => format!("n{} resume ctx{}", node.0, ctx),
+        TraceEvent::LockDeferred { node, obj } => {
+            format!("n{} lock-deferred obj{}", node.0, obj)
+        }
+        TraceEvent::MsgDropped {
+            from,
+            to,
+            partitioned,
+        } => format!(
+            "n{} -> n{} DROPPED{}",
+            from.0,
+            to.0,
+            if partitioned { " (partition)" } else { "" }
+        ),
+        TraceEvent::MsgDuplicated { from, to } => {
+            format!("n{} -> n{} duplicated on the wire", from.0, to.0)
+        }
+        TraceEvent::Retransmit { node, to, attempt } => {
+            format!("n{} retransmit -> n{} (attempt {})", node.0, to.0, attempt)
+        }
+        TraceEvent::DupSuppressed { node, from } => {
+            format!("n{} suppressed duplicate from n{}", node.0, from.0)
+        }
+        TraceEvent::CtxFreed { node, ctx } => format!("n{} freed ctx{}", node.0, ctx),
+        TraceEvent::EventStart { node, kind } => {
+            let k = match kind {
+                0 => "handle-message",
+                1 => "local-work",
+                _ => "retx-timers",
+            };
+            format!("n{} step start [{}]", node.0, k)
+        }
+        TraceEvent::EventEnd { node } => format!("n{} step end", node.0),
+    }
+}

@@ -1,0 +1,270 @@
+//! Chrome/Perfetto `trace_event` export.
+//!
+//! Serializes a [`Timeline`] into the JSON Trace Event Format that
+//! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! load directly:
+//!
+//! * each simulated node becomes a *process* (`pid` = node id) with two
+//!   tracks: `tid` 0 "sched" (scheduler steps as `X` complete slices) and
+//!   `tid` 1 "contexts" (heap-context residency as `b`/`e` async spans);
+//! * matched message flows become `s`/`f` flow arrows from the sender's
+//!   sched track to the receiver's;
+//! * fallbacks and shell adoptions become instant events — the moments
+//!   the hybrid model *adapted*.
+//!
+//! Virtual cycles are written one-per-microsecond (the format's `ts`
+//! unit), so "1 µs" in the UI reads as one machine cycle. The writer is
+//! hand-rolled — the environment has no serde — and its output is
+//! validated by the integration tests through [`crate::json`].
+
+use std::fmt::Write as _;
+
+use hem_core::TraceEvent;
+use hem_ir::Program;
+use hem_machine::Cycles;
+
+use crate::model::Timeline;
+use hem_core::TraceRecord;
+
+/// Track ids within a node's process.
+const TID_SCHED: u32 = 0;
+const TID_CTX: u32 = 1;
+
+struct W {
+    out: String,
+    first: bool,
+}
+
+impl W {
+    fn new() -> W {
+        W {
+            out: String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"),
+            first: true,
+        }
+    }
+
+    /// Append one event object (the caller provides the inner fields).
+    fn event(&mut self, inner: std::fmt::Arguments<'_>) {
+        if !self.first {
+            self.out.push_str(",\n");
+        }
+        self.first = false;
+        self.out.push('{');
+        let _ = self.out.write_fmt(inner);
+        self.out.push('}');
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("\n]}\n");
+        self.out
+    }
+}
+
+fn esc(s: &str) -> String {
+    crate::json::escape(s)
+}
+
+/// Serialize a timeline (plus the raw records, for instants) to a
+/// Perfetto-loadable JSON string.
+pub fn to_json(records: &[TraceRecord], tl: &Timeline, program: &Program) -> String {
+    let mut w = W::new();
+
+    // Process/thread naming metadata.
+    for n in 0..tl.n_nodes {
+        w.event(format_args!(
+            "\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{n},\"tid\":0,\
+             \"args\":{{\"name\":\"node {n}\"}}"
+        ));
+        w.event(format_args!(
+            "\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{n},\"tid\":{TID_SCHED},\
+             \"args\":{{\"name\":\"sched\"}}"
+        ));
+        w.event(format_args!(
+            "\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{n},\"tid\":{TID_CTX},\
+             \"args\":{{\"name\":\"contexts\"}}"
+        ));
+    }
+
+    // Scheduler steps as complete slices.
+    for steps in &tl.steps {
+        for s in steps {
+            w.event(format_args!(
+                "\"ph\":\"X\",\"cat\":\"sched\",\"name\":\"{}\",\"pid\":{},\
+                 \"tid\":{TID_SCHED},\"ts\":{},\"dur\":{},\
+                 \"args\":{{\"msgs\":{}}}",
+                s.kind_name(),
+                s.node,
+                s.start,
+                s.end - s.start,
+                s.msgs.len(),
+            ));
+        }
+    }
+
+    // Context residency as async spans (id = span index; ids are unique
+    // trace-wide so `cat`+`id` matching never collides across reuse).
+    for (i, c) in tl.ctx_spans.iter().enumerate() {
+        let name = format!(
+            "{}{} ctx{}",
+            if c.fallback { "fallback " } else { "" },
+            esc(&program.method(c.method).name),
+            c.ctx
+        );
+        w.event(format_args!(
+            "\"ph\":\"b\",\"cat\":\"ctx\",\"name\":\"{name}\",\"id\":{i},\
+             \"pid\":{},\"tid\":{TID_CTX},\"ts\":{}",
+            c.node, c.start
+        ));
+        let end = c.end.unwrap_or(tl.makespan);
+        w.event(format_args!(
+            "\"ph\":\"e\",\"cat\":\"ctx\",\"name\":\"{name}\",\"id\":{i},\
+             \"pid\":{},\"tid\":{TID_CTX},\"ts\":{end}",
+            c.node
+        ));
+    }
+
+    // Message flows as arrows between sched tracks.
+    for (i, f) in tl.flows.iter().enumerate() {
+        w.event(format_args!(
+            "\"ph\":\"s\",\"cat\":\"msg\",\"name\":\"{}\",\"id\":{i},\
+             \"pid\":{},\"tid\":{TID_SCHED},\"ts\":{}",
+            f.cause, f.from, f.sent_at
+        ));
+        w.event(format_args!(
+            "\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"msg\",\"name\":\"{}\",\"id\":{i},\
+             \"pid\":{},\"tid\":{TID_SCHED},\"ts\":{}",
+            f.cause, f.to, f.handled_at
+        ));
+    }
+
+    // Adaptation instants.
+    for r in records {
+        match r.event {
+            TraceEvent::Fallback { node, method, .. } => instant(
+                &mut w,
+                node.0,
+                r.at,
+                &format!("fallback {}", esc(&program.method(method).name)),
+            ),
+            TraceEvent::ShellAdopted { node, method, .. } => instant(
+                &mut w,
+                node.0,
+                r.at,
+                &format!("shell adopted {}", esc(&program.method(method).name)),
+            ),
+            TraceEvent::Retransmit { node, to, attempt } => instant(
+                &mut w,
+                node.0,
+                r.at,
+                &format!("retransmit->n{} #{attempt}", to.0),
+            ),
+            _ => {}
+        }
+    }
+
+    w.finish()
+}
+
+fn instant(w: &mut W, node: u32, at: Cycles, name: &str) {
+    w.event(format_args!(
+        "\"ph\":\"i\",\"s\":\"t\",\"cat\":\"adapt\",\"name\":\"{name}\",\
+         \"pid\":{node},\"tid\":{TID_SCHED},\"ts\":{at}"
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use hem_core::MsgCause;
+    use hem_machine::NodeId;
+
+    fn program_with_one_method() -> Program {
+        let mut pb = hem_ir::ProgramBuilder::new();
+        let c = pb.class("C", false);
+        let m = pb.declare(c, "m", 0);
+        pb.define(m, |mb| mb.reply(0));
+        pb.finish()
+    }
+
+    #[test]
+    fn exports_valid_json_with_slices_flows_and_spans() {
+        let a = NodeId(0);
+        let b = NodeId(1);
+        let recs = vec![
+            TraceRecord {
+                at: 0,
+                event: TraceEvent::EventStart { node: a, kind: 1 },
+            },
+            TraceRecord {
+                at: 1,
+                event: TraceEvent::ParInvoke {
+                    node: a,
+                    method: hem_ir::MethodId(0),
+                    ctx: 0,
+                },
+            },
+            TraceRecord {
+                at: 2,
+                event: TraceEvent::MsgSent {
+                    from: a,
+                    to: b,
+                    words: 3,
+                    cause: MsgCause::Request,
+                },
+            },
+            TraceRecord {
+                at: 5,
+                event: TraceEvent::CtxFreed { node: a, ctx: 0 },
+            },
+            TraceRecord {
+                at: 6,
+                event: TraceEvent::EventEnd { node: a },
+            },
+            TraceRecord {
+                at: 9,
+                event: TraceEvent::EventStart { node: b, kind: 0 },
+            },
+            TraceRecord {
+                at: 9,
+                event: TraceEvent::MsgHandled {
+                    node: b,
+                    from: a,
+                    words: 3,
+                    cause: MsgCause::Request,
+                },
+            },
+            TraceRecord {
+                at: 12,
+                event: TraceEvent::EventEnd { node: b },
+            },
+        ];
+        let tl = Timeline::build(&recs, 2);
+        let program = program_with_one_method();
+        let out = to_json(&recs, &tl, &program);
+        let doc = Json::parse(&out).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let ph = |p: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some(p))
+                .count()
+        };
+        assert_eq!(ph("X"), 2, "one slice per step");
+        assert_eq!(ph("s"), 1, "flow start");
+        assert_eq!(ph("f"), 1, "flow end");
+        assert_eq!(ph("b"), 1, "ctx span begin");
+        assert_eq!(ph("e"), 1, "ctx span end");
+        assert!(ph("M") >= 6, "naming metadata per node");
+        // Every node has at least one slice.
+        for n in 0..2 {
+            assert!(
+                events.iter().any(|e| {
+                    e.get("ph").and_then(|v| v.as_str()) == Some("X")
+                        && e.get("pid").and_then(|v| v.as_num()) == Some(n as f64)
+                }),
+                "node {n} has a slice"
+            );
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Paper-Table-style summaries built from a [`Rollup`].
+//!
+//! [`Report::text`] renders the per-method invocation-path table the
+//! paper's evaluation revolves around (which fraction of each method's
+//! invocations stayed on the stack, how often speculation fell back),
+//! followed by traffic, histogram and machine sections. [`Report::json`]
+//! emits the same data machine-readably (validated by the integration
+//! tests through [`crate::json`]).
+
+use std::fmt::Write as _;
+
+use hem_analysis::SchemaMap;
+use hem_ir::{MethodId, Program};
+use hem_machine::stats::MachineStats;
+
+use crate::json::escape;
+use crate::rollup::{MethodCell, Rollup};
+
+/// One method's row.
+#[derive(Debug, Clone)]
+pub struct MethodRow {
+    /// Method id.
+    pub method: u32,
+    /// `Class::method` name.
+    pub name: String,
+    /// Selected sequential schema.
+    pub schema: String,
+    /// Counts summed over nodes.
+    pub cell: MethodCell,
+}
+
+/// A rendered summary.
+#[derive(Debug)]
+pub struct Report {
+    /// Caption, e.g. `sor p=64 seed=1`.
+    pub title: String,
+    /// Per-method rows (methods that were invoked at least once).
+    pub rows: Vec<MethodRow>,
+    /// Grand totals.
+    pub total: MethodCell,
+    /// Messages and words by cause: `(requests, replies, acks, retx)`,
+    /// each `(msgs, words)`.
+    pub traffic: [(u64, u64); 4],
+    /// Active directed links.
+    pub links: usize,
+    /// Continuations lazily materialized.
+    pub conts: u64,
+    /// Residency histogram summary.
+    pub residency: String,
+    /// Residency mean (cycles).
+    pub residency_mean: f64,
+    /// Touch-latency histogram summary.
+    pub touch: String,
+    /// Touch-latency mean (cycles).
+    pub touch_mean: f64,
+    /// Makespan in cycles.
+    pub makespan: u64,
+    /// Node count.
+    pub nodes: usize,
+    /// Trace-ring evictions over the run (non-zero = the trace the
+    /// rollup saw was truncated).
+    pub dropped_events: u64,
+    per_link: Vec<(u32, u32, u64, u64)>,
+}
+
+impl Report {
+    /// Build a report from a rollup plus the machine's own stats.
+    pub fn new(
+        title: &str,
+        rollup: &Rollup,
+        stats: &MachineStats,
+        program: &Program,
+        schemas: &SchemaMap,
+    ) -> Report {
+        let mut rows = Vec::new();
+        for m in rollup.methods() {
+            let cell = rollup.method_totals(m);
+            let meth = program.method(MethodId(m));
+            let class = &program.class(meth.class).name;
+            rows.push(MethodRow {
+                method: m,
+                name: format!("{class}::{}", meth.name),
+                schema: schemas.of(MethodId(m)).to_string(),
+                cell,
+            });
+        }
+        let mut traffic = [(0u64, 0u64); 4];
+        let mut per_link = Vec::new();
+        for ((f, t), l) in rollup.per_link() {
+            for (i, tr) in traffic.iter_mut().enumerate() {
+                tr.0 += l.msgs[i];
+                tr.1 += l.words[i];
+            }
+            per_link.push((f, t, l.total_msgs(), l.total_words()));
+        }
+        Report {
+            title: title.to_string(),
+            rows,
+            total: rollup.grand_total(),
+            traffic,
+            links: per_link.len(),
+            conts: rollup.total_conts(),
+            residency: rollup.residency.summary(),
+            residency_mean: rollup.residency.mean(),
+            touch: rollup.touch_latency.summary(),
+            touch_mean: rollup.touch_latency.mean(),
+            makespan: stats.makespan(),
+            nodes: stats.per_node.len(),
+            dropped_events: stats.sched.dropped_events,
+            per_link,
+        }
+    }
+
+    /// Render the text report.
+    pub fn text(&self) -> String {
+        let mut o = String::new();
+        let _ = writeln!(o, "== {} ==", self.title);
+        let _ = writeln!(
+            o,
+            "{} nodes, makespan {} cycles{}",
+            self.nodes,
+            self.makespan,
+            if self.dropped_events > 0 {
+                format!(
+                    " [TRUNCATED TRACE: {} records dropped]",
+                    self.dropped_events
+                )
+            } else {
+                String::new()
+            }
+        );
+        let _ = writeln!(o);
+        let _ = writeln!(
+            o,
+            "{:<24} {:>3} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7}",
+            "method", "sch", "NB", "MB", "CP", "inline", "par", "fallbk", "shell", "stack%", "fb%"
+        );
+        for r in &self.rows {
+            let c = &r.cell;
+            let _ = writeln!(
+                o,
+                "{:<24} {:>3} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>6.1}% {:>6.1}%",
+                r.name,
+                r.schema,
+                c.stack_nb,
+                c.stack_mb,
+                c.stack_cp,
+                c.inlined,
+                c.par_invokes,
+                c.fallbacks,
+                c.shells_adopted,
+                100.0 * c.stack_fraction(),
+                100.0 * c.fallback_rate(),
+            );
+        }
+        let c = &self.total;
+        let _ = writeln!(
+            o,
+            "{:<24} {:>3} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>6.1}% {:>6.1}%",
+            "TOTAL",
+            "",
+            c.stack_nb,
+            c.stack_mb,
+            c.stack_cp,
+            c.inlined,
+            c.par_invokes,
+            c.fallbacks,
+            c.shells_adopted,
+            100.0 * c.stack_fraction(),
+            100.0 * c.fallback_rate(),
+        );
+        let _ = writeln!(o);
+        let names = ["requests", "replies", "acks", "retransmits"];
+        let _ = writeln!(o, "traffic ({} active links):", self.links);
+        for (i, name) in names.iter().enumerate() {
+            let (m, w) = self.traffic[i];
+            if m > 0 {
+                let _ = writeln!(o, "  {name:<12} {m:>8} msgs {w:>10} words");
+            }
+        }
+        if self.conts > 0 {
+            let _ = writeln!(o, "  {:<12} {:>8}", "lazy conts", self.conts);
+        }
+        let _ = writeln!(o);
+        let _ = writeln!(
+            o,
+            "ctx residency (cycles, log2 buckets, mean {:.1}):\n  {}",
+            self.residency_mean, self.residency
+        );
+        let _ = writeln!(
+            o,
+            "touch latency (cycles, log2 buckets, mean {:.1}):\n  {}",
+            self.touch_mean, self.touch
+        );
+        o
+    }
+
+    /// Render the JSON report.
+    pub fn json(&self) -> String {
+        let mut o = String::new();
+        let _ = write!(
+            o,
+            "{{\"title\":\"{}\",\"nodes\":{},\"makespan\":{},\"dropped_events\":{},",
+            escape(&self.title),
+            self.nodes,
+            self.makespan,
+            self.dropped_events
+        );
+        let _ = write!(o, "\"methods\":[");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let c = &r.cell;
+            let _ = write!(
+                o,
+                "{{\"id\":{},\"name\":\"{}\",\"schema\":\"{}\",\"stack_nb\":{},\
+                 \"stack_mb\":{},\"stack_cp\":{},\"inlined\":{},\"par_invokes\":{},\
+                 \"fallbacks\":{},\"shells_adopted\":{},\"stack_fraction\":{:.6},\
+                 \"fallback_rate\":{:.6}}}",
+                r.method,
+                escape(&r.name),
+                r.schema,
+                c.stack_nb,
+                c.stack_mb,
+                c.stack_cp,
+                c.inlined,
+                c.par_invokes,
+                c.fallbacks,
+                c.shells_adopted,
+                c.stack_fraction(),
+                c.fallback_rate(),
+            );
+        }
+        let _ = write!(o, "],\"traffic\":{{");
+        let names = ["requests", "replies", "acks", "retransmits"];
+        for (i, name) in names.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let (m, w) = self.traffic[i];
+            let _ = write!(o, "\"{name}\":{{\"msgs\":{m},\"words\":{w}}}");
+        }
+        let _ = write!(o, "}},\"links\":[");
+        for (i, (f, t, m, w)) in self.per_link.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(o, "{{\"from\":{f},\"to\":{t},\"msgs\":{m},\"words\":{w}}}");
+        }
+        let _ = write!(
+            o,
+            "],\"conts_created\":{},\"residency_mean\":{:.6},\"touch_latency_mean\":{:.6}}}",
+            self.conts, self.residency_mean, self.touch_mean
+        );
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use hem_core::{MsgCause, TraceEvent, TraceRecord};
+    use hem_machine::NodeId;
+
+    fn toy() -> (Rollup, MachineStats, Program, SchemaMap) {
+        let mut pb = hem_ir::ProgramBuilder::new();
+        let c = pb.class("C", false);
+        let m = pb.declare(c, "work", 0);
+        pb.define(m, |mb| mb.reply(1));
+        let program = pb.finish();
+        let schemas =
+            hem_analysis::Analysis::analyze(&program).schemas(hem_analysis::InterfaceSet::Full);
+        let recs = vec![
+            TraceRecord {
+                at: 1,
+                event: TraceEvent::StackComplete {
+                    node: NodeId(0),
+                    method: MethodId(0),
+                    schema: hem_analysis::Schema::MayBlock,
+                },
+            },
+            TraceRecord {
+                at: 2,
+                event: TraceEvent::MsgSent {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    words: 4,
+                    cause: MsgCause::Request,
+                },
+            },
+        ];
+        let rollup = Rollup::from_records(&recs);
+        let mut stats = MachineStats::new(2);
+        stats.node_time = vec![10, 20];
+        (rollup, stats, program, schemas)
+    }
+
+    #[test]
+    fn text_report_has_the_method_table() {
+        let (r, s, p, sm) = toy();
+        let rep = Report::new("toy", &r, &s, &p, &sm);
+        let text = rep.text();
+        assert!(text.contains("C::work"));
+        assert!(text.contains("makespan 20"));
+        assert!(text.contains("requests"));
+        assert!(!text.contains("TRUNCATED"));
+    }
+
+    #[test]
+    fn json_report_parses_and_carries_the_counts() {
+        let (r, s, p, sm) = toy();
+        let rep = Report::new("toy", &r, &s, &p, &sm);
+        let doc = Json::parse(&rep.json()).expect("valid json");
+        assert_eq!(doc.get("makespan").unwrap().as_num(), Some(20.0));
+        let methods = doc.get("methods").unwrap().as_arr().unwrap();
+        assert_eq!(methods.len(), 1);
+        assert_eq!(methods[0].get("stack_mb").unwrap().as_num(), Some(1.0));
+        let traffic = doc.get("traffic").unwrap();
+        assert_eq!(
+            traffic
+                .get("requests")
+                .unwrap()
+                .get("msgs")
+                .unwrap()
+                .as_num(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn truncation_is_loud() {
+        let (r, mut s, p, sm) = toy();
+        s.sched.dropped_events = 7;
+        let rep = Report::new("toy", &r, &s, &p, &sm);
+        assert!(rep.text().contains("TRUNCATED TRACE: 7"));
+    }
+}

@@ -1,11 +1,12 @@
 //! Watch the hybrid model adapt: trace a single computation that starts
 //! on the stack, hits a remote object, lazily grows a heap context, and
-//! completes in the parallel version — the paper's Fig. 6 as an event log.
+//! completes in the parallel version — the paper's Fig. 6 as an event log,
+//! rolled up by the observability layer.
 //!
 //! Run with: `cargo run --release --example trace_adaptation`
 
-use hem::core::TraceEvent;
 use hem::ir::BinOp;
+use hem::obs::{describe, Report, Rollup};
 use hem::{CostModel, ExecMode, InterfaceSet, NodeId, ProgramBuilder, Runtime, Value};
 
 fn main() {
@@ -53,79 +54,33 @@ fn main() {
     rt.set_field(a, peer, Value::Obj(b));
     rt.set_field(b, peer, Value::Obj(a));
 
+    // Buffer the trace *and* roll it up online through the observer hook —
+    // the two views are fed the identical record stream.
     rt.enable_trace();
+    rt.attach_observer(Box::new(Rollup::new()));
     let r = rt.call(a, sum, &[Value::Int(6)]).unwrap();
     println!("sum(6) = {r:?}  (expected 21)\n");
+
     println!("{:<10} event", "time");
-    for rec in rt.take_trace() {
-        let desc = match rec.event {
-            TraceEvent::StackComplete {
-                node,
-                method,
-                schema,
-            } => {
-                format!(
-                    "{node}: method #{} completed on the stack ({schema})",
-                    method.0
-                )
-            }
-            TraceEvent::Inlined { node, method } => {
-                format!("{node}: method #{} speculatively inlined", method.0)
-            }
-            TraceEvent::Fallback { node, method, ctx } => format!(
-                "{node}: method #{} FELL BACK into heap context {ctx} (lazy allocation)",
-                method.0
-            ),
-            TraceEvent::ParInvoke { node, method, ctx } => {
-                format!(
-                    "{node}: parallel invocation of #{} as context {ctx}",
-                    method.0
-                )
-            }
-            TraceEvent::ShellAdopted { node, method, ctx } => {
-                format!("{node}: method #{} adopted shell context {ctx}", method.0)
-            }
-            TraceEvent::ContMaterialized { node } => {
-                format!("{node}: continuation lazily materialized")
-            }
-            TraceEvent::MsgSent { from, to, reply } => {
-                format!(
-                    "{from} -> {to}: {}",
-                    if reply { "reply" } else { "request" }
-                )
-            }
-            TraceEvent::Suspend { node, ctx } => {
-                format!("{node}: context {ctx} suspended on touch")
-            }
-            TraceEvent::Resume { node, ctx } => format!("{node}: context {ctx} resumed"),
-            TraceEvent::LockDeferred { node, obj } => {
-                format!("{node}: invocation deferred on lock of object {obj}")
-            }
-            TraceEvent::MsgDropped {
-                from,
-                to,
-                partitioned,
-            } => format!(
-                "{from} -> {to}: packet LOST ({})",
-                if partitioned {
-                    "partition"
-                } else {
-                    "random loss"
-                }
-            ),
-            TraceEvent::MsgDuplicated { from, to } => {
-                format!("{from} -> {to}: wire duplicated a packet")
-            }
-            TraceEvent::Retransmit { node, to, attempt } => {
-                format!("{node} -> {to}: retransmit (attempt {attempt})")
-            }
-            TraceEvent::DupSuppressed { node, from } => {
-                format!("{node}: duplicate frame from {from} suppressed")
-            }
-        };
-        println!("{:<10} {desc}", rec.at);
+    let records = rt.take_trace();
+    for rec in &records {
+        println!("{:<10} {}", rec.at, describe(&rec.event, rt.program()));
     }
+
     println!("\nReading: frames above the remote hop completed later on the");
     println!("stackless path (fallback contexts), everything below it ran as");
-    println!("plain stack calls — the model adapted to the data layout.");
+    println!("plain stack calls — the model adapted to the data layout.\n");
+
+    // The online rollup saw the same stream the buffer recorded.
+    let any: Box<dyn std::any::Any> = rt.take_observer().expect("observer attached");
+    let rollup = any.downcast::<Rollup>().expect("a Rollup");
+    assert_eq!(rollup.records, records.len() as u64);
+    let report = Report::new(
+        "trace_adaptation sum(6), 2 nodes",
+        &rollup,
+        &rt.stats(),
+        rt.program(),
+        rt.schemas(),
+    );
+    print!("{}", report.text());
 }

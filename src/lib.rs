@@ -15,7 +15,10 @@
 //!   with lazy contexts and continuations, the heap-context parallel
 //!   version, wrappers and proxy contexts);
 //! * [`apps`] — the paper's evaluation kernels (fib/tak/nqueens/qsort,
-//!   SOR, MD-Force, EM3D, the Fig. 3 synchronization structures).
+//!   SOR, MD-Force, EM3D, the Fig. 3 synchronization structures);
+//! * [`obs`] — the observability layer (trace rollups, Perfetto timeline
+//!   export, critical-path analysis; driven by the `hemprof` binary in
+//!   `hem-bench`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record. The binaries in
@@ -29,6 +32,7 @@ pub use hem_apps as apps;
 pub use hem_core as core;
 pub use hem_ir as ir;
 pub use hem_machine as machine;
+pub use hem_obs as obs;
 
 pub use hem_analysis::{InterfaceSet, Schema};
 pub use hem_core::{ExecMode, Runtime, SchedImpl, Trap};
