@@ -787,9 +787,12 @@ mod tests {
 
     #[test]
     fn hybrid_wins_more_with_spatial_locality() {
-        let run = |layout, mode| {
+        // The effect is qualitative, and any single generation seed is
+        // noisy: average the hybrid speedup over a few seeds per layout
+        // rather than betting the assertion on one draw.
+        let run = |layout, mode, seed| {
             let ids = build();
-            let sys = generate(400, 1.2, 8, layout, 11);
+            let sys = generate(400, 1.2, 8, layout, seed);
             let mut rt = crate::make_runtime(
                 ids.program.clone(),
                 8,
@@ -801,10 +804,16 @@ mod tests {
             run_iteration(&mut rt, &inst).expect("md");
             rt.makespan() as f64
         };
-        let sp =
-            run(Layout::Spatial, ExecMode::ParallelOnly) / run(Layout::Spatial, ExecMode::Hybrid);
-        let rd =
-            run(Layout::Random, ExecMode::ParallelOnly) / run(Layout::Random, ExecMode::Hybrid);
+        let mean = |layout: Layout| {
+            let seeds = [5u64, 11, 13, 23];
+            seeds
+                .iter()
+                .map(|&s| run(layout, ExecMode::ParallelOnly, s) / run(layout, ExecMode::Hybrid, s))
+                .sum::<f64>()
+                / seeds.len() as f64
+        };
+        let sp = mean(Layout::Spatial);
+        let rd = mean(Layout::Random);
         assert!(sp > 1.05, "spatial hybrid speedup {sp}");
         assert!(sp > rd, "spatial speedup {sp} should exceed random {rd}");
     }

@@ -342,10 +342,76 @@ fn bench_observer(c: &mut Criterion) {
     g.finish();
 }
 
+/// One SOR run with tracing on under an arbitrary scheduler, returning
+/// the full trace and makespan.
+fn run_sor_traced_sched(p: u32, sched: SchedImpl) -> (Vec<hem_core::trace::TraceRecord>, u64) {
+    let ids = sor::build();
+    let mut rt = hem_apps::make_runtime(
+        ids.program.clone(),
+        p,
+        CostModel::cm5(),
+        ExecMode::Hybrid,
+        InterfaceSet::Full,
+    );
+    rt.sched_impl = sched;
+    rt.enable_trace();
+    let inst = sor::setup(
+        &mut rt,
+        &ids,
+        sor::SorParams {
+            n: 64,
+            block: 4,
+            procs: ProcGrid::square(p),
+        },
+    );
+    sor::run(&mut rt, &inst, 1).unwrap();
+    let mk = rt.makespan();
+    (rt.take_trace(), mk)
+}
+
+/// Host-parallel speedup: the sharded executor must be *semantically*
+/// free — at P = 256 the trace and makespan are bit-identical at every
+/// thread count (this guard runs before the benchmark and fails it
+/// loudly) — and its host wall-clock win is what the threads-1/threads-N
+/// ratio reports. `threads1` falls back to the plain event index, so it
+/// doubles as the baseline. EXPERIMENTS.md records the P = 256 table;
+/// the budget there is ≥1.3× with 4 threads.
+fn bench_sharded(c: &mut Criterion) {
+    let (trace_one, mk_one) = run_sor_traced_sched(256, SchedImpl::EventIndex);
+    for threads in [2usize, 4] {
+        let (trace_n, mk_n) = run_sor_traced_sched(256, SchedImpl::Sharded { threads });
+        assert_eq!(
+            mk_one, mk_n,
+            "sharded ({threads} threads) changed the makespan at P=256"
+        );
+        assert!(
+            trace_one == trace_n,
+            "sharded ({threads} threads) changed the trace contents at P=256"
+        );
+    }
+
+    let mut g = c.benchmark_group("sharded/sor64");
+    g.sample_size(10);
+    for p in [64u32, 256] {
+        for threads in [1usize, 2, 4] {
+            let sched = SchedImpl::Sharded { threads };
+            let events = run_sor(p, sched).stats().sched.events_dispatched;
+            g.throughput(Throughput::Elements(events));
+            g.bench_with_input(
+                BenchmarkId::new(format!("threads{threads}"), format!("P{p}")),
+                &(p, sched),
+                |b, &(p, sched)| b.iter(|| run_sor(p, sched).makespan()),
+            );
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     sched,
     bench_sor_sched,
     bench_em3d_sched,
+    bench_sharded,
     bench_ack_protocol,
     bench_sanitizer,
     bench_observer

@@ -14,6 +14,7 @@
 //!   --style S         em3d style: pull|push|forward
 //!   --mode M          hybrid|parallel (default hybrid)
 //!   --cost C          cm5|t3d (default cm5)
+//!   --threads N       host worker threads (sharded executor; default 1)
 //!   --ring N          bound the trace ring to N records
 //!   --report F        table|json (default table)
 //!   --perfetto FILE   write a Perfetto trace_event JSON timeline
@@ -32,7 +33,7 @@ use hem_obs::{critpath, perfetto, Report, Rollup, SegClass, Timeline};
 fn usage() -> ! {
     eprintln!("usage: hemprof <sor|md|em3d|fib> [--p N] [--size N] [--iters N] [--seed S]");
     eprintln!("               [--layout spatial|random] [--style pull|push|forward]");
-    eprintln!("               [--mode hybrid|parallel] [--cost cm5|t3d] [--ring N]");
+    eprintln!("               [--mode hybrid|parallel] [--cost cm5|t3d] [--threads N] [--ring N]");
     eprintln!("               [--report table|json] [--perfetto FILE] [--critical-path]");
     eprintln!("               [--events]");
     std::process::exit(2);
@@ -40,9 +41,15 @@ fn usage() -> ! {
 
 fn main() {
     let args = Args::capture();
-    let kernel = match std::env::args().nth(1).as_deref().and_then(Kernel::parse) {
-        Some(k) => k,
-        None => usage(),
+    let kernel = match std::env::args().nth(1) {
+        Some(name) if !name.starts_with('-') => match Kernel::parse(&name) {
+            Some(k) => k,
+            None => {
+                eprintln!("hemprof: unknown kernel '{name}' (expected sor, md, em3d, or fib)");
+                std::process::exit(2);
+            }
+        },
+        _ => usage(),
     };
 
     let mut cfg = ProfileConfig::new(kernel);
@@ -88,6 +95,24 @@ fn main() {
         };
     }
     cfg.ring = args.get("--ring");
+    if let Some(t) = args.get("--threads") {
+        cfg.threads = t;
+    }
+
+    // Validate the perfetto destination before the (potentially long) run,
+    // so a typo'd path fails in milliseconds, not minutes.
+    let perfetto_path = args.get::<String>("--perfetto");
+    if let Some(path) = &perfetto_path {
+        if let Err(e) = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+        {
+            eprintln!("hemprof: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 
     let mut rt = cfg.run();
     let records = rt.take_trace();
@@ -121,13 +146,13 @@ fn main() {
         Some(_) => usage(),
     }
 
-    let need_timeline = args.has("--critical-path") || args.get::<String>("--perfetto").is_some();
+    let need_timeline = args.has("--critical-path") || perfetto_path.is_some();
     if !need_timeline {
         return;
     }
     let tl = Timeline::build(&records, stats.per_node.len());
 
-    if let Some(path) = args.get::<String>("--perfetto") {
+    if let Some(path) = perfetto_path {
         let json = perfetto::to_json(&records, &tl, rt.program());
         std::fs::write(&path, &json).unwrap_or_else(|e| {
             eprintln!("hemprof: cannot write {path}: {e}");

@@ -87,6 +87,10 @@ pub struct ProfileConfig {
     /// Bound the trace to a ring of this many records (`None`:
     /// unbounded).
     pub ring: Option<usize>,
+    /// Host worker threads for the sharded executor; `1` (the default)
+    /// runs the single-threaded event index. Every thread count yields a
+    /// bit-identical trace and report.
+    pub threads: usize,
 }
 
 impl ProfileConfig {
@@ -103,6 +107,7 @@ impl ProfileConfig {
             mode: ExecMode::Hybrid,
             cost: CostModel::cm5(),
             ring: None,
+            threads: 1,
         }
     }
 
@@ -215,6 +220,11 @@ impl ProfileConfig {
     }
 
     fn arm(&self, rt: &mut Runtime, obs: Option<Box<dyn hem_core::Observer>>) {
+        if self.threads > 1 {
+            rt.sched_impl = hem_core::SchedImpl::Sharded {
+                threads: self.threads,
+            };
+        }
         match self.ring {
             Some(cap) => rt.enable_trace_ring(cap),
             None => rt.enable_trace(),

@@ -80,6 +80,7 @@ pub mod par;
 pub mod rt;
 pub mod sanitize;
 pub mod seq;
+pub mod shard;
 pub mod trace;
 pub mod wrapper;
 

@@ -18,7 +18,7 @@ use hem_machine::stats::{Counters, MachineStats, SchedStats};
 use hem_machine::{Cycles, NodeId};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A packet sitting in a node's inbox awaiting its delivery time.
 #[derive(Debug)]
@@ -49,11 +49,12 @@ impl Ord for InboxEntry {
 
 /// Which dispatch-loop implementation `run_to_quiescence` uses.
 ///
-/// Both are bit-identical in observable behavior (selection order, costs,
-/// counters, traces); the event index is O(log P) per event where the scan
-/// is O(P). The linear scan is kept as the executable specification — the
-/// determinism tests diff full traces across the two, and the
-/// `sched_throughput` bench measures the gap.
+/// All implementations are bit-identical in observable behavior (selection
+/// order, costs, counters, traces); the event index is O(log P) per event
+/// where the scan is O(P), and the sharded executor spreads the event
+/// index across host threads. The linear scan is kept as the executable
+/// specification — the determinism tests diff full traces across the
+/// implementations, and the `sched_throughput` bench measures the gaps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedImpl {
     /// Global `BinaryHeap` of `(time, kind, node)` candidates with lazy
@@ -62,6 +63,23 @@ pub enum SchedImpl {
     EventIndex,
     /// Reference implementation: re-scan every node per dispatched event.
     LinearScan,
+    /// Host-parallel conservative-window executor: nodes are partitioned
+    /// into `threads` shards, each advanced by its own OS thread inside
+    /// lookahead-bounded virtual-time windows, with traces and stats
+    /// merged deterministically so every observable is bit-identical to
+    /// [`SchedImpl::EventIndex`] at any thread count (see [`crate::shard`]).
+    ///
+    /// One departure: the heap-diagnostic fields of
+    /// `MachineStats.sched` (`heap_pushes`, `stale_pops`,
+    /// `max_heap_depth`) report 0, as under [`SchedImpl::LinearScan`] —
+    /// per-shard heap shapes depend on the thread count, so they cannot
+    /// be both meaningful and thread-count-invariant.
+    Sharded {
+        /// Worker thread count; `0` and `1` both mean "run the plain
+        /// event index" (as does a cost model with zero wire latency,
+        /// which admits no lookahead).
+        threads: usize,
+    },
 }
 
 /// A candidate next-event in the global event index: node `node` believes
@@ -143,10 +161,17 @@ pub(crate) struct Node {
     pub rx_floor: BTreeMap<u32, u64>,
     /// Transport receiver state: out-of-order seqs at/above the floor.
     pub rx_seen: BTreeMap<u32, BTreeSet<u64>>,
+    /// Next wire sequence counter for packets *sent* by this node. The
+    /// injected sequence number is `(wire_seq << 20) | id`, a pure
+    /// function of the sender's own execution history — so fault fates
+    /// and same-cycle delivery order are identical across every
+    /// [`SchedImpl`] and thread count, which a network-global counter
+    /// (dependent on the global interleaving of sends) could not be.
+    pub wire_seq: u64,
 }
 
 impl Node {
-    fn new(id: NodeId) -> Self {
+    pub(crate) fn new(id: NodeId) -> Self {
         Node {
             id,
             time: 0,
@@ -162,10 +187,11 @@ impl Node {
             tx_timers: BTreeSet::new(),
             rx_floor: BTreeMap::new(),
             rx_seen: BTreeMap::new(),
+            wire_seq: 0,
         }
     }
 
-    fn has_local_work(&self) -> bool {
+    pub(crate) fn has_local_work(&self) -> bool {
         !self.granted.is_empty() || !self.ready.is_empty()
     }
 
@@ -207,7 +233,7 @@ pub type NodeObjectState = Vec<(u32, Vec<Value>, Vec<Vec<Value>>)>;
 ///
 /// See the [crate docs](crate) for the model and an example.
 pub struct Runtime {
-    pub(crate) program: Rc<Program>,
+    pub(crate) program: Arc<Program>,
     pub(crate) layouts: Vec<ClassLayout>,
     pub(crate) schemas: SchemaMap,
     /// The cost model in force.
@@ -268,6 +294,28 @@ pub struct Runtime {
     pub retx_base: Cycles,
     /// Upper bound on the retransmission backoff.
     pub retx_cap: Cycles,
+    /// Arrival cutoff for send-time network polls: the start time of the
+    /// event currently being dispatched ([`Cycles::MAX`] outside the
+    /// dispatch loop, e.g. during a root invocation). A poll services only
+    /// messages that had arrived by the time the current event began —
+    /// without the cutoff, a node whose clock ran ahead mid-event could
+    /// observe a message sent *during the same scheduler step window*,
+    /// making nested handling depend on host execution order and breaking
+    /// the sharded executor's bit-identity (see [`crate::shard`]).
+    pub(crate) poll_floor: Cycles,
+    /// `(time, kind, node)` key of the event currently being dispatched,
+    /// or [`Self::SAN_ROOT_STEP`] outside the dispatch loop (during a
+    /// root invocation). The sanitizer's root-double-reply check uses it
+    /// as the "same event step" identity: unlike a dispatch *count*, the
+    /// key is invariant across scheduler implementations (shard workers
+    /// count events per window, so counters collide across windows).
+    pub(crate) san_step: (Cycles, u8, u32),
+    /// Present iff this runtime is a shard worker inside
+    /// [`SchedImpl::Sharded`] execution: trace capture, the cross-shard
+    /// outbox, and the node-ownership map (see [`crate::shard`]). `None`
+    /// on every user-constructed runtime, including the sharded
+    /// coordinator itself.
+    pub(crate) shard: Option<Box<crate::shard::ShardCtx>>,
 }
 
 impl Runtime {
@@ -281,6 +329,12 @@ impl Runtime {
         interfaces: InterfaceSet,
     ) -> Result<Runtime, Vec<ValidationError>> {
         program.validate()?;
+        // Wire sequence numbers pack the sender id into their low 20 bits
+        // (see `Node::wire_seq`).
+        assert!(
+            n_nodes < (1 << 20),
+            "node count {n_nodes} exceeds the 2^20 wire-sequence id space"
+        );
         for (i, m) in program.methods.iter().enumerate() {
             if m.slots > 64 {
                 return Err(vec![ValidationError {
@@ -294,7 +348,7 @@ impl Runtime {
         let schemas = analysis.schemas(interfaces);
         let layouts = program.classes.iter().map(ClassLayout::of).collect();
         Ok(Runtime {
-            program: Rc::new(program),
+            program: Arc::new(program),
             layouts,
             schemas,
             cost,
@@ -323,8 +377,16 @@ impl Runtime {
             reliable: false,
             retx_base: 0,
             retx_cap: 0,
+            poll_floor: Cycles::MAX,
+            san_step: Self::SAN_ROOT_STEP,
+            shard: None,
         })
     }
+
+    /// Sentinel [`Self::san_step`] for "not inside a dispatched event"
+    /// (the root-invocation phase of [`Self::call`]). No real event can
+    /// carry this key.
+    pub(crate) const SAN_ROOT_STEP: (Cycles, u8, u32) = (Cycles::MAX, u8::MAX, u32::MAX);
 
     /// Engage the reliable transport: every request and reply travels as a
     /// sequenced data frame, is acknowledged by the receiver, retransmitted
@@ -732,7 +794,16 @@ impl Runtime {
         pkt: Packet,
     ) {
         let src = self.nodes[from].id;
-        let fate = self.net.send_classed(src, dest, deliver, words, class, pkt);
+        // Per-source wire sequence (see `Node::wire_seq`): deterministic
+        // under any scheduler implementation, unlike the network-global
+        // counter, so fault fates and same-cycle tie-breaks never depend
+        // on how sends from different nodes interleave.
+        let wseq = self.nodes[from].wire_seq;
+        self.nodes[from].wire_seq += 1;
+        let seq = (wseq << 20) | src.0 as u64;
+        let fate = self
+            .net
+            .send_tagged(seq, src, dest, deliver, words, class, pkt);
         if fate.dropped {
             self.emit(
                 from,
@@ -753,12 +824,24 @@ impl Runtime {
         }
         while let Some(m) = self.net.pop() {
             let d = m.dest.idx();
-            self.nodes[d].inbox.push(InboxEntry {
+            let entry = InboxEntry {
                 deliver: m.deliver_at,
                 seq: m.seq,
                 src: m.src,
                 msg: m.msg,
-            });
+            };
+            // In a shard worker, a packet for a node another shard owns is
+            // parked in the outbox; the coordinator routes it at the next
+            // window barrier. The window protocol guarantees it cannot be
+            // due before the barrier (its delivery time is at least the
+            // window end; see `crate::shard`).
+            if let Some(sh) = &mut self.shard {
+                if !sh.owns[d] {
+                    sh.outbox.push((d as u32, entry));
+                    continue;
+                }
+            }
+            self.nodes[d].inbox.push(entry);
             let at = self.nodes[d].time.max(m.deliver_at);
             self.sched_note(at, 0, d);
         }
@@ -885,13 +968,17 @@ impl Runtime {
     /// invocations run as nested tasks; the current task's lock identity
     /// is restored afterwards. (Arrived messages already sit in per-node
     /// inboxes — injection drains the wire — so only this node's due
-    /// entries are examined.)
+    /// entries are examined.) A poll services only messages that had
+    /// arrived by the current event's start (`poll_floor`): a message
+    /// delivered later — even if the node's clock ran ahead of its
+    /// delivery time mid-event — waits for its own scheduler step, so
+    /// nested handling is independent of host execution order and of the
+    /// sharded executor's node partition.
     pub(crate) fn poll_network(&mut self, node: usize) -> Result<(), Trap> {
         loop {
-            let due = self.nodes[node]
-                .inbox
-                .peek()
-                .is_some_and(|e| e.deliver <= self.nodes[node].time);
+            let due = self.nodes[node].inbox.peek().is_some_and(|e| {
+                e.deliver <= self.nodes[node].time && e.deliver <= self.poll_floor
+            });
             if !due {
                 return Ok(());
             }
@@ -982,7 +1069,7 @@ impl Runtime {
     /// delivered application payload.
     #[inline]
     fn emit_handled(&mut self, node: usize, src: NodeId, msg: &Msg) {
-        if !self.trace_buf.enabled() && self.observer.is_none() {
+        if !self.tracing_active() {
             return;
         }
         self.emit(
@@ -1516,6 +1603,8 @@ impl Runtime {
     ) -> Result<Option<Value>, Trap> {
         self.result = None;
         self.san_root_reset();
+        self.poll_floor = Cycles::MAX;
+        self.san_step = Self::SAN_ROOT_STEP;
         crate::wrapper::run_invocation(
             self,
             obj.node.idx(),
@@ -1542,6 +1631,7 @@ impl Runtime {
         match self.sched_impl {
             SchedImpl::EventIndex => self.run_event_index(),
             SchedImpl::LinearScan => self.run_linear_scan(),
+            SchedImpl::Sharded { threads } => self.run_sharded(threads),
         }
     }
 
@@ -1605,7 +1695,7 @@ impl Runtime {
     /// grant at the node's current time (kind 1); the earliest pending
     /// retransmission timer at `max(node time, deadline)` (kind 2).
     #[inline]
-    fn node_candidate(&self, i: usize) -> Option<(Cycles, u8)> {
+    pub(crate) fn node_candidate(&self, i: usize) -> Option<(Cycles, u8)> {
         let n = &self.nodes[i];
         let mut best: Option<(Cycles, u8)> = None;
         if let Some(e) = n.inbox.peek() {
@@ -1626,10 +1716,26 @@ impl Runtime {
         best
     }
 
+    /// The node's earliest retransmission-timer candidate time (the kind-2
+    /// component of [`Self::node_candidate`]), used by the sharded
+    /// executor to cap windows below the first timer fire.
+    #[inline]
+    pub(crate) fn node_timer_candidate(&self, i: usize) -> Option<Cycles> {
+        let n = &self.nodes[i];
+        n.tx_timers.first().map(|&(dl, _, _)| n.time.max(dl))
+    }
+
     /// Dispatch the selected event on node `i`. `t` is the (validated)
     /// candidate time; `kind` 0 handles the inbox head, 1 runs a grant or
     /// ready context, 2 fires due retransmission timers.
-    fn dispatch_event(&mut self, t: Cycles, kind: u8, i: usize) -> Result<(), Trap> {
+    pub(crate) fn dispatch_event(&mut self, t: Cycles, kind: u8, i: usize) -> Result<(), Trap> {
+        if let Some(sh) = &mut self.shard {
+            // Every record emitted during this step is captured under the
+            // event's (time, kind, node) key for the deterministic merge.
+            sh.cur = (t, kind, i as u32);
+        }
+        self.poll_floor = t;
+        self.san_step = (t, kind, i as u32);
         self.sched_stats.events_dispatched += 1;
         let r = if kind == 0 {
             let e = self.nodes[i].inbox.pop().expect("selected inbox entry");
@@ -1683,7 +1789,7 @@ impl Runtime {
     /// entry at or below its true key, and the first entry that validates
     /// exactly equal to its node's recomputed candidate is the global
     /// minimum: the same event the linear scan selects.
-    fn run_event_index(&mut self) -> Result<(), Trap> {
+    pub(crate) fn run_event_index(&mut self) -> Result<(), Trap> {
         while let Some(e) = self.sched.pop() {
             let i = e.node as usize;
             // A node's entries pop in key order, so the first pop carries

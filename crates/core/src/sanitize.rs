@@ -56,12 +56,15 @@ use hem_ir::{MethodId, ObjRef};
 #[derive(Debug, Default)]
 pub struct Sanitizer {
     violations: Vec<String>,
-    /// Event-step counter at the last root delivery of the current call.
-    /// A reactive program may legally deliver several late root replies
-    /// in one `call` (parked activations from earlier calls releasing),
-    /// but each arrives in its own dispatched event — two root deliveries
-    /// inside one event step is a double reply.
-    last_root_event: Option<u64>,
+    /// `(time, kind, node)` key of the dispatched event that last
+    /// delivered to the root continuation in the current call. A reactive
+    /// program may legally deliver several late root replies in one
+    /// `call` (parked activations from earlier calls releasing), but each
+    /// arrives in its own dispatched event — two root deliveries inside
+    /// one event step is a double reply. The event *key* (not a dispatch
+    /// count) is the step identity so the check is invariant across
+    /// scheduler implementations: shard workers count events per window.
+    last_root_event: Option<(hem_machine::Cycles, u8, u32)>,
     /// Contexts allocated / retired since the sanitizer was enabled.
     ctx_allocs: u64,
     ctx_frees: u64,
@@ -70,6 +73,19 @@ pub struct Sanitizer {
 impl Sanitizer {
     fn violation(&mut self, msg: String) {
         self.violations.push(msg);
+    }
+
+    /// Fold a shard worker's sanitizer state into the coordinator's:
+    /// violations are appended and the context-conservation counters
+    /// summed, so `sanitizer_check_quiescent` on the coordinator sees the
+    /// machine-wide balance. (`last_root_event` is per-dispatch state and
+    /// does not cross the merge.)
+    pub(crate) fn absorb(&mut self, other: &mut Sanitizer) {
+        self.violations.append(&mut other.violations);
+        self.ctx_allocs += other.ctx_allocs;
+        self.ctx_frees += other.ctx_frees;
+        other.ctx_allocs = 0;
+        other.ctx_frees = 0;
     }
 }
 
@@ -168,11 +184,11 @@ impl Runtime {
     /// at most once); two inside one event step is a double reply.
     #[inline]
     pub(crate) fn san_root_delivered(&mut self) {
-        let step = self.sched_stats.events_dispatched;
+        let step = self.san_step;
         if let Some(s) = self.sanitizer.as_deref_mut() {
             if s.last_root_event == Some(step) {
                 s.violation(format!(
-                    "root continuation replied to twice within event step {step}"
+                    "root continuation replied to twice within event step {step:?}"
                 ));
             }
             s.last_root_event = Some(step);

@@ -1,0 +1,607 @@
+//! Host-parallel sharded execution with bit-identical observables.
+//!
+//! [`SchedImpl::Sharded`] partitions the simulated nodes into contiguous
+//! shards, one OS worker thread per shard, and advances each shard with
+//! its own `(time, kind, node)` event index inside **conservative
+//! virtual-time windows** — the classical conservative-PDES discipline,
+//! specialized to this machine's structure:
+//!
+//! - **Lookahead** `L` is the minimum latency any packet can spend on the
+//!   wire: `CostModel::min_wire_latency()`, capped by the retransmission
+//!   timeout base when the reliable transport is engaged (an in-window
+//!   send may arm a timer no earlier than `now + retx_base`), and never
+//!   *reduced* by an installed [`hem_machine::fault::FaultPlan`] — fault
+//!   plans only delay delivery (`FaultPlan::min_extra_latency` is the
+//!   hook that records this).
+//! - Each **window** is `[W, E)` where `W` is the global minimum
+//!   candidate time and `E = min(W + L, TB)`, with `TB` the earliest
+//!   retransmission-timer candidate anywhere. Every message sent at or
+//!   after `W` is delivered at or after `W + L ≥ E`, and every timer due
+//!   before `E` would contradict `E ≤ TB` — so inside a window the
+//!   shards are causally independent: each may dispatch every candidate
+//!   with key `< E` in its local key order, and the union is exactly the
+//!   set of events a single-threaded run dispatches in `[W, E)`.
+//! - When the window is empty (`E ≤ W`, i.e. a retransmission timer *is*
+//!   the next event), the coordinator pulls every node back and runs one
+//!   **serial step** with exact single-threaded semantics — retransmit
+//!   logic may inspect remote inboxes (`frame_in_flight`), which the
+//!   windowed workers never do.
+//!
+//! **Determinism.** Worker shards capture every trace record under its
+//! dispatching event's `(time, kind, node)` key. At each window barrier
+//! the coordinator concatenates the shard captures, stable-sorts by key
+//! (keys are unique per event, and each shard's buffer is already
+//! sorted), and replays them through the coordinator's trace buffer and
+//! observer — reconstructing the exact single-threaded emission order,
+//! including bounded-ring truncation counts. Cross-shard packets are
+//! parked in per-shard outboxes and routed into destination inboxes at
+//! the barrier (inbox order is a deterministic function of
+//! `(delivery time, wire seq)`, so routing order is irrelevant). Wire
+//! sequence numbers are per-sender (see `Node::wire_seq`), so fault
+//! fates and same-cycle tie-breaks are identical at every thread count.
+//! The result: traces, makespan, `MachineStats`, and observer rollups
+//! are bit-identical between `threads = 1` and any other thread count —
+//! with the single documented exception of the scheduler heap
+//! diagnostics, which read 0 under `Sharded` (as under `LinearScan`).
+//!
+//! **Traps.** If any shard traps, the coordinator keeps the trap with
+//! the minimum event key (windows are thread-count-invariant, so this is
+//! the trap a single-threaded run would hit first), truncates the merged
+//! capture to records at or below that key, and returns the error.
+//! Machine *state* past the trapping event (work other shards completed
+//! inside the same window) is not rolled back; only the error and the
+//! trace are normative after a trap.
+
+use crate::error::Trap;
+use crate::explore::TieBreak;
+use crate::rt::{InboxEntry, Node, Runtime, SchedImpl};
+use crate::trace::TraceRecord;
+use hem_machine::net::Network;
+use hem_machine::stats::SchedStats;
+use hem_machine::{Cycles, NodeId};
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+
+/// A dispatched event's identity: `(virtual time, kind, node)` — the
+/// total order every dispatch loop implementation selects by.
+pub(crate) type EventKey = (Cycles, u8, u32);
+
+/// Shard-worker state hung off a worker [`Runtime`] (absent on every
+/// user-constructed runtime). Holds the node-ownership map, the trace
+/// capture for the deterministic merge, and the cross-shard outbox.
+pub(crate) struct ShardCtx {
+    /// `owns[i]` — does this shard own global node `i`?
+    pub owns: Vec<bool>,
+    /// Records emitted this window, each under its dispatching event's
+    /// key. Appended in dispatch order, so the buffer is key-sorted.
+    pub capture: Vec<(EventKey, TraceRecord)>,
+    /// Packets addressed to nodes of other shards, parked for the
+    /// coordinator to route at the window barrier.
+    pub outbox: Vec<(u32, InboxEntry)>,
+    /// Key of the event currently being dispatched (capture tag; also
+    /// identifies the trapping event when a dispatch returns an error).
+    pub cur: EventKey,
+    /// Capture records at all? Mirrors "trace buffer enabled or observer
+    /// attached" on the coordinator.
+    pub record: bool,
+}
+
+/// Spin iterations before parking on a blocking channel receive. Windows
+/// are short (microseconds of host time), so results usually arrive
+/// within the spin budget; parking is the slow path. On a single-CPU
+/// host spinning only delays the producer thread, so the budget drops to
+/// zero there and every receive parks immediately.
+const SPIN: u32 = 20_000;
+
+fn spin_budget() -> u32 {
+    use std::sync::OnceLock;
+    static BUDGET: OnceLock<u32> = OnceLock::new();
+    *BUDGET.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => SPIN,
+        _ => 0,
+    })
+}
+
+fn recv_spin<T>(rx: &Receiver<T>) -> T {
+    for _ in 0..spin_budget() {
+        match rx.try_recv() {
+            Ok(v) => return v,
+            Err(TryRecvError::Empty) => std::hint::spin_loop(),
+            Err(TryRecvError::Disconnected) => panic!("shard worker thread died"),
+        }
+    }
+    rx.recv().expect("shard worker thread died")
+}
+
+/// One shard's in-window dispatch loop: the event index restricted to
+/// candidates with key strictly below `end`. Mirrors
+/// `Runtime::run_event_index` (pop, lazy re-validation, dispatch,
+/// re-arm), except that candidates at or past the window edge are left
+/// for the next window's reseeding instead of being re-keyed.
+fn run_window(rt: &mut Runtime, end: Cycles) -> Result<(), Trap> {
+    while rt.sched.peek().is_some_and(|e| e.time < end) {
+        let e = rt.sched.pop().expect("peeked entry");
+        let i = e.node as usize;
+        if rt.nodes[i].sched_noted == Some((e.time, e.kind)) {
+            rt.nodes[i].sched_noted = None;
+        }
+        let Some((t, kind)) = rt.node_candidate(i) else {
+            continue;
+        };
+        if (t, kind) != (e.time, e.kind) {
+            if t < end {
+                rt.sched_note(t, kind, i);
+            }
+            continue;
+        }
+        if t >= end {
+            continue;
+        }
+        debug_assert!(
+            kind != 2,
+            "retransmission timer fired inside a window (lookahead bound violated)"
+        );
+        rt.dispatch_event(t, kind, i)?;
+        if let Some((t, kind)) = rt.node_candidate(i) {
+            if t < end {
+                rt.sched_note(t, kind, i);
+            }
+        }
+    }
+    Ok(())
+}
+
+impl Runtime {
+    /// Drive the machine to quiescence with the sharded executor. Falls
+    /// back to the plain event index when fewer than two shards are
+    /// possible or the cost model has zero wire latency (no lookahead —
+    /// every window would be empty).
+    pub(crate) fn run_sharded(&mut self, threads: usize) -> Result<(), Trap> {
+        let p = self.nodes.len();
+        let threads = threads.min(p);
+        let wire = self.cost.min_wire_latency();
+        let mut lookahead = if self.reliable {
+            wire.min(self.retx_base)
+        } else {
+            wire
+        };
+        // Fault plans may only *delay* delivery, so any plan-derived slack
+        // is additive (today always zero; the call records the dependency).
+        lookahead =
+            lookahead.saturating_add(self.net.plan().map_or(0, |plan| plan.min_extra_latency()));
+        if threads <= 1 || lookahead == 0 {
+            return self.run_sharded_fallback();
+        }
+        self.run_sharded_windows(threads, lookahead)
+    }
+
+    /// Zero-lookahead / single-shard path: run the plain event index,
+    /// then zero the heap diagnostics so `MachineStats` is identical to
+    /// what the windowed path reports at higher thread counts.
+    fn run_sharded_fallback(&mut self) -> Result<(), Trap> {
+        let saved = self.sched_impl;
+        self.sched_impl = SchedImpl::EventIndex;
+        for i in 0..self.nodes.len() {
+            self.nodes[i].sched_noted = None;
+            if let Some((t, k)) = self.node_candidate(i) {
+                self.sched_note(t, k, i);
+            }
+        }
+        let r = self.run_event_index();
+        self.sched_impl = saved;
+        self.sched.clear();
+        for n in &mut self.nodes {
+            n.sched_noted = None;
+        }
+        self.sched_stats.heap_pushes = 0;
+        self.sched_stats.stale_pops = 0;
+        self.sched_stats.max_heap_depth = 0;
+        r
+    }
+
+    /// Build the worker runtime for shard `s`: a full machine husk (every
+    /// node present so global indexing works, but only owned nodes ever
+    /// hold state during a window) sharing the program and fault plan,
+    /// with tracing redirected into the shard capture.
+    fn make_worker(&self, s: usize, owner: &[usize], record: bool) -> Runtime {
+        let mut net = Network::new();
+        net.set_plan(self.net.plan().cloned());
+        Runtime {
+            program: Arc::clone(&self.program),
+            layouts: self.layouts.clone(),
+            schemas: self.schemas.clone(),
+            cost: self.cost.clone(),
+            mode: self.mode,
+            nodes: (0..owner.len() as u32)
+                .map(|i| Node::new(NodeId(i)))
+                .collect(),
+            net,
+            // Namespaced so worker-created task tokens (lock-holder
+            // identities, live only within one dispatched event) never
+            // collide with the coordinator's or another shard's.
+            next_task: (s as u64 + 1) << 48,
+            current_task: 0,
+            result: None,
+            active: None,
+            seq_depth: 0,
+            max_seq_depth: self.max_seq_depth,
+            enable_inlining: self.enable_inlining,
+            sched_impl: SchedImpl::EventIndex,
+            sched: BinaryHeap::new(),
+            sched_stats: SchedStats::default(),
+            trace_buf: crate::trace::Trace::default(),
+            observer: None,
+            sanitizer: if self.sanitizer.is_some() {
+                Some(Box::default())
+            } else {
+                None
+            },
+            tie_break: TieBreak::Det,
+            tie_rng: 0,
+            tie_cursor: 0,
+            tie_log: Vec::new(),
+            #[cfg(any(test, feature = "mutants"))]
+            mutant: self.mutant,
+            reliable: self.reliable,
+            retx_base: self.retx_base,
+            retx_cap: self.retx_cap,
+            poll_floor: Cycles::MAX,
+            san_step: Self::SAN_ROOT_STEP,
+            shard: Some(Box::new(ShardCtx {
+                owns: owner.iter().map(|&o| o == s).collect(),
+                capture: Vec::new(),
+                outbox: Vec::new(),
+                cur: (0, 0, 0),
+                record,
+            })),
+        }
+    }
+
+    /// The windowed coordinator loop (see the [module docs](self)).
+    fn run_sharded_windows(&mut self, threads: usize, lookahead: Cycles) -> Result<(), Trap> {
+        let p = self.nodes.len();
+        // Contiguous balanced partition: shard s owns [s·p/T, (s+1)·p/T).
+        let mut owner = vec![0usize; p];
+        for (s, chunk) in (0..threads).map(|s| (s, (s * p / threads, (s + 1) * p / threads))) {
+            for o in &mut owner[chunk.0..chunk.1] {
+                *o = s;
+            }
+        }
+        let record = self.trace_buf.enabled() || self.observer.is_some();
+        let mut workers: Vec<Option<Runtime>> = (0..threads)
+            .map(|s| Some(self.make_worker(s, &owner, record)))
+            .collect();
+
+        let mut outcome: Result<(), (EventKey, Trap)> = Ok(());
+        std::thread::scope(|scope| {
+            type Job = (Runtime, Cycles);
+            type Done = (usize, Runtime, Result<(), Trap>);
+            let mut job_tx: Vec<Sender<Job>> = Vec::with_capacity(threads - 1);
+            let (res_tx, res_rx) = channel::<Done>();
+            for s in 1..threads {
+                let (tx, rx) = channel::<Job>();
+                job_tx.push(tx);
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((mut rt, end)) = rx.recv() {
+                        let r = run_window(&mut rt, end);
+                        if res_tx.send((s, rt, r)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+
+            let mut merged: Vec<(EventKey, TraceRecord)> = Vec::new();
+            'windows: loop {
+                // All nodes live in `self` here. Find W and the timer bound.
+                let mut wkey: Option<EventKey> = None;
+                let mut timer_bound = Cycles::MAX;
+                for i in 0..p {
+                    if let Some((t, k)) = self.node_candidate(i) {
+                        let key = (t, k, i as u32);
+                        if wkey.is_none_or(|b| key < b) {
+                            wkey = Some(key);
+                        }
+                    }
+                    if let Some(t2) = self.node_timer_candidate(i) {
+                        timer_bound = timer_bound.min(t2);
+                    }
+                }
+                let Some(wkey) = wkey else {
+                    break; // quiescent
+                };
+                let end = wkey.0.saturating_add(lookahead).min(timer_bound);
+                if end <= wkey.0 {
+                    // Serial step: the next event is (or ties with) a
+                    // retransmission timer; run it with full-machine
+                    // visibility and exact single-threaded semantics.
+                    if let Err(trap) = self.dispatch_event(wkey.0, wkey.1, wkey.2 as usize) {
+                        outcome = Err((wkey, trap));
+                        break 'windows;
+                    }
+                    continue;
+                }
+
+                // Parallel window [wkey.0, end): hand nodes to shards.
+                let mut active = vec![false; threads];
+                for (s, slot) in workers.iter_mut().enumerate() {
+                    let wk = slot.as_mut().expect("worker at barrier");
+                    wk.sched.clear();
+                    wk.sched_stats.events_dispatched = 0;
+                    for (i, &own) in owner.iter().enumerate() {
+                        if own != s {
+                            continue;
+                        }
+                        std::mem::swap(&mut self.nodes[i], &mut wk.nodes[i]);
+                        wk.nodes[i].sched_noted = None;
+                        if let Some((t, k)) = wk.node_candidate(i) {
+                            if t < end {
+                                wk.sched_note(t, k, i);
+                                active[s] = true;
+                            }
+                        }
+                    }
+                }
+                for s in 1..threads {
+                    if active[s] {
+                        let wk = workers[s].take().expect("worker at barrier");
+                        job_tx[s - 1].send((wk, end)).expect("worker thread died");
+                    }
+                }
+                let mut fails: Vec<(EventKey, Trap)> = Vec::new();
+                if active[0] {
+                    let wk = workers[0].as_mut().expect("inline shard");
+                    if let Err(trap) = run_window(wk, end) {
+                        fails.push((wk.shard.as_ref().expect("shard ctx").cur, trap));
+                    }
+                }
+                let jobs_out = (1..threads).filter(|&s| active[s]).count();
+                for _ in 0..jobs_out {
+                    let (s, wk, r) = recv_spin(&res_rx);
+                    if let Err(trap) = r {
+                        fails.push((wk.shard.as_ref().expect("shard ctx").cur, trap));
+                    }
+                    workers[s] = Some(wk);
+                }
+
+                // Barrier, pass 1: every node back into the coordinator
+                // before any outbox is routed — a shard's outbox may
+                // target a node owned by a shard later in the loop.
+                for (s, slot) in workers.iter_mut().enumerate() {
+                    let wk = slot.as_mut().expect("worker at barrier");
+                    for (i, &own) in owner.iter().enumerate() {
+                        if own == s {
+                            std::mem::swap(&mut self.nodes[i], &mut wk.nodes[i]);
+                        }
+                    }
+                }
+                // Barrier, pass 2: route cross-shard packets, merge
+                // captures, accumulate the dispatch count.
+                merged.clear();
+                for slot in workers.iter_mut() {
+                    let wk = slot.as_mut().expect("worker at barrier");
+                    self.sched_stats.events_dispatched += wk.sched_stats.events_dispatched;
+                    if wk.result.is_some() {
+                        self.result = wk.result.take();
+                    }
+                    let sh = wk.shard.as_mut().expect("shard ctx");
+                    for (d, entry) in sh.outbox.drain(..) {
+                        self.nodes[d as usize].inbox.push(entry);
+                    }
+                    merged.append(&mut sh.capture);
+                }
+                // Stable sort of key-sorted shard runs == deterministic
+                // merge; keys are unique, so the order is total.
+                merged.sort_by_key(|(k, _)| *k);
+                if let Some(&(trap_key, _)) = fails.iter().min_by_key(|(k, _)| *k) {
+                    // Keep only what a single-threaded run would have
+                    // emitted before (and during) the trapping event.
+                    for (k, rec) in merged.drain(..) {
+                        if k <= trap_key {
+                            self.flush_record(rec);
+                        }
+                    }
+                    let (key, trap) = fails
+                        .into_iter()
+                        .min_by_key(|(k, _)| *k)
+                        .expect("nonempty fails");
+                    outcome = Err((key, trap));
+                    break 'windows;
+                }
+                for (_, rec) in merged.drain(..) {
+                    self.flush_record(rec);
+                }
+            }
+            drop(job_tx); // workers exit; scope joins them
+        });
+
+        // Fold worker-side global state back into the coordinator.
+        for slot in &mut workers {
+            let wk = slot.as_mut().expect("worker after run");
+            self.net.absorb_counters(&wk.net);
+            if let (Some(main_s), Some(wk_s)) =
+                (self.sanitizer.as_deref_mut(), wk.sanitizer.as_deref_mut())
+            {
+                main_s.absorb(wk_s);
+            }
+        }
+        for n in &mut self.nodes {
+            n.sched_noted = None;
+        }
+        outcome.map_err(|(_, trap)| trap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Observer, TraceRecord};
+    use crate::{ExecMode, InterfaceSet};
+    use hem_ir::{BinOp, MethodId, ObjRef, ProgramBuilder, Value};
+    use hem_machine::cost::CostModel;
+    use hem_machine::fault::FaultPlan;
+
+    /// A ring of P objects, one per node; `bounce(n)` hops to the next
+    /// peer `n` times, summing the countdown on the way back — every hop
+    /// is cross-node traffic, so windows, outboxes, and the merge all see
+    /// work.
+    fn ring_runtime(p: u32, cost: CostModel) -> (Runtime, ObjRef, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C", false);
+        let peer = pb.field(c, "peer");
+        let bounce = pb.declare(c, "bounce", 1);
+        pb.define(bounce, |mb| {
+            let n = mb.arg(0);
+            let done = mb.binl(BinOp::Lt, n, 1);
+            mb.if_else(
+                done,
+                |mb| mb.reply(n),
+                |mb| {
+                    let pr = mb.get_field(peer);
+                    let n1 = mb.binl(BinOp::Sub, n, 1);
+                    let s = mb.invoke_into(pr, bounce, &[n1.into()]);
+                    let v = mb.touch_get(s);
+                    let r = mb.binl(BinOp::Add, v, n);
+                    mb.reply(r);
+                },
+            );
+        });
+        let mut rt = Runtime::new(pb.finish(), p, cost, ExecMode::Hybrid, InterfaceSet::Full)
+            .expect("valid ring program");
+        let objs: Vec<ObjRef> = (0..p)
+            .map(|i| rt.alloc_object_by_name("C", NodeId(i)))
+            .collect();
+        for (i, &o) in objs.iter().enumerate() {
+            rt.set_field(o, peer, Value::Obj(objs[(i + 1) % objs.len()]));
+        }
+        (rt, objs[0], bounce)
+    }
+
+    struct Collect(Vec<TraceRecord>);
+    impl Observer for Collect {
+        fn on_record(&mut self, rec: &TraceRecord) {
+            self.0.push(*rec);
+        }
+    }
+
+    struct Outcome {
+        result: Option<Value>,
+        makespan: Cycles,
+        trace: Vec<TraceRecord>,
+        observed: Vec<TraceRecord>,
+        stats: hem_machine::stats::MachineStats,
+    }
+
+    fn run_ring(sched: SchedImpl, cost: CostModel, faults: Option<FaultPlan>) -> Outcome {
+        let (mut rt, root, bounce) = ring_runtime(4, cost);
+        rt.sched_impl = sched;
+        rt.enable_trace();
+        rt.attach_observer(Box::new(Collect(Vec::new())));
+        if let Some(plan) = faults {
+            rt.set_fault_plan(plan);
+        }
+        let result = rt.call(root, bounce, &[Value::Int(25)]).expect("ring runs");
+        let obs = rt.take_observer().expect("observer attached");
+        let observed = (obs as Box<dyn std::any::Any>)
+            .downcast::<Collect>()
+            .expect("collect observer")
+            .0;
+        Outcome {
+            result,
+            makespan: rt.makespan(),
+            trace: rt.take_trace(),
+            observed,
+            stats: rt.stats(),
+        }
+    }
+
+    fn assert_bit_identical(a: &Outcome, b: &Outcome, what: &str) {
+        assert_eq!(a.result, b.result, "{what}: result");
+        assert_eq!(a.makespan, b.makespan, "{what}: makespan");
+        if let Some(i) = (0..a.trace.len().min(b.trace.len())).find(|&i| a.trace[i] != b.trace[i]) {
+            panic!(
+                "{what}: traces diverge at record {i}:\n  a: {:?}\n  b: {:?}",
+                a.trace[i], b.trace[i]
+            );
+        }
+        assert_eq!(a.trace.len(), b.trace.len(), "{what}: trace length");
+        assert_eq!(a.observed, b.observed, "{what}: observer stream");
+        assert_eq!(a.stats.node_time, b.stats.node_time, "{what}: clocks");
+        assert_eq!(a.stats.per_node, b.stats.per_node, "{what}: counters");
+        assert_eq!(a.stats.net, b.stats.net, "{what}: net stats");
+        assert_eq!(
+            a.stats.sched.events_dispatched, b.stats.sched.events_dispatched,
+            "{what}: dispatch count"
+        );
+    }
+
+    #[test]
+    fn sharded_matches_event_index_on_a_ring() {
+        let base = run_ring(SchedImpl::EventIndex, CostModel::cm5(), None);
+        assert_eq!(base.result, Some(Value::Int(325)), "25+24+...+1");
+        for threads in [2, 3, 4, 7] {
+            let sharded = run_ring(SchedImpl::Sharded { threads }, CostModel::cm5(), None);
+            assert_bit_identical(&base, &sharded, &format!("threads={threads}"));
+            assert_eq!(
+                sharded.stats.sched.heap_pushes, 0,
+                "sharded heap stats read 0"
+            );
+            assert_eq!(sharded.stats.sched.max_heap_depth, 0);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_event_index_under_faults() {
+        let plan = FaultPlan::seeded(7);
+        let base = run_ring(SchedImpl::EventIndex, CostModel::cm5(), Some(plan.clone()));
+        for threads in [2, 4] {
+            let sharded = run_ring(
+                SchedImpl::Sharded { threads },
+                CostModel::cm5(),
+                Some(plan.clone()),
+            );
+            assert_bit_identical(&base, &sharded, &format!("faulty threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn zero_lookahead_and_degenerate_thread_counts_fall_back() {
+        // The unit cost model has zero wire latency: no lookahead, so the
+        // sharded executor must run the plain event index (and still
+        // report zeroed heap diagnostics).
+        let base = run_ring(SchedImpl::EventIndex, CostModel::unit(), None);
+        for threads in [0, 1, 4] {
+            let sharded = run_ring(SchedImpl::Sharded { threads }, CostModel::unit(), None);
+            assert_bit_identical(&base, &sharded, &format!("unit-cost threads={threads}"));
+            assert_eq!(sharded.stats.sched.heap_pushes, 0);
+        }
+        // Degenerate thread counts on a real cost model: same story.
+        let base = run_ring(SchedImpl::EventIndex, CostModel::cm5(), None);
+        for threads in [0, 1] {
+            let sharded = run_ring(SchedImpl::Sharded { threads }, CostModel::cm5(), None);
+            assert_bit_identical(&base, &sharded, &format!("cm5 threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn sharded_ring_truncation_counts_match() {
+        // Bounded trace ring: eviction counts must survive the merge.
+        let run = |sched: SchedImpl| {
+            let (mut rt, root, bounce) = ring_runtime(4, CostModel::cm5());
+            rt.sched_impl = sched;
+            rt.enable_trace_ring(16);
+            rt.call(root, bounce, &[Value::Int(25)]).expect("ring runs");
+            (rt.trace_dropped_total(), rt.take_trace())
+        };
+        let (base_dropped, base_tail) = run(SchedImpl::EventIndex);
+        assert!(base_dropped > 0, "ring must truncate for the test to bite");
+        for threads in [2, 4] {
+            let (dropped, tail) = run(SchedImpl::Sharded { threads });
+            assert_eq!(dropped, base_dropped, "threads={threads}: evictions");
+            assert_eq!(tail, base_tail, "threads={threads}: ring tail");
+        }
+    }
+}

@@ -234,7 +234,10 @@ pub struct TraceRecord {
 /// The `Any` supertrait lets a harness recover its concrete observer
 /// after the run: `Box<dyn Observer>` upcasts to `Box<dyn Any>`, which
 /// downcasts to the observer type (see the `trace_adaptation` example).
-pub trait Observer: std::any::Any {
+/// `Send` is required so an observed runtime can be driven by the
+/// sharded executor (the observer itself only ever runs on the
+/// coordinator thread, fed the deterministically merged stream).
+pub trait Observer: std::any::Any + Send {
     /// Called once per generated record, in emission order.
     fn on_record(&mut self, rec: &TraceRecord);
 
@@ -368,16 +371,50 @@ impl crate::rt::Runtime {
         self.observer.is_some()
     }
 
+    /// Is any trace consumer live — the buffering trace, an observer, or
+    /// (in a shard worker) the coordinator's capture?
+    #[inline]
+    pub(crate) fn tracing_active(&self) -> bool {
+        match &self.shard {
+            Some(sh) => sh.record,
+            None => self.trace_buf.enabled() || self.observer.is_some(),
+        }
+    }
+
     /// Record an event against a node's current virtual time.
+    ///
+    /// In a shard worker the record is instead captured under the
+    /// dispatching event's `(time, kind, node)` key; the coordinator
+    /// merges all shards' captures in key order at each window barrier
+    /// and replays them through [`Self::flush_record`], reconstructing
+    /// the exact single-threaded emission order.
     #[inline]
     pub(crate) fn emit(&mut self, node: usize, event: TraceEvent) {
+        let at = self.nodes[node].time;
+        if let Some(sh) = &mut self.shard {
+            if sh.record {
+                sh.capture.push((sh.cur, TraceRecord { at, event }));
+            }
+            return;
+        }
         if self.trace_buf.enabled() || self.observer.is_some() {
-            let at = self.nodes[node].time;
             if let Some(o) = self.observer.as_deref_mut() {
                 o.on_record(&TraceRecord { at, event });
             }
             self.trace_buf.emit(at, event);
         }
+    }
+
+    /// Deliver an already-built record to the buffering trace and the
+    /// observer — the sink half of [`Self::emit`], used by the sharded
+    /// coordinator to replay merged shard captures with ring-truncation
+    /// and observer semantics identical to direct emission.
+    #[inline]
+    pub(crate) fn flush_record(&mut self, rec: TraceRecord) {
+        if let Some(o) = self.observer.as_deref_mut() {
+            o.on_record(&rec);
+        }
+        self.trace_buf.emit(rec.at, rec.event);
     }
 }
 

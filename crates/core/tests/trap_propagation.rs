@@ -5,6 +5,14 @@
 //! trap must abort the sender's execution at the send — it must not be
 //! parked for the scheduler to notice later while the sender's method
 //! keeps executing past the failed operation.
+//!
+//! A poll only services messages that had *arrived by the start of the
+//! current event* (`poll_floor`): an event is an atomic action at its
+//! dispatch time, and mid-event clock advance is cost accounting, not
+//! observable time. A message delivered after the event began waits for
+//! its own scheduler step — that rule is what makes nested handling a
+//! pure function of simulated state, independent of host execution
+//! order and of the sharded executor's node partition.
 
 use hem_analysis::InterfaceSet;
 use hem_core::{ExecMode, Runtime};
@@ -13,13 +21,113 @@ use hem_machine::cost::CostModel;
 use hem_machine::fault::{FaultPlan, LinkWindow, NodeWindow};
 use hem_machine::NodeId;
 
-/// Node 0's driver sends to node 1, suspends, resumes, computes locally,
-/// then sends again. Meanwhile a forwarded invocation of a trapping method
-/// (array index out of range) arrives in node 0's inbox; the second send's
-/// poll handles it. The trap must surface from that send: the driver's
-/// `marker` write after the send must never execute.
+/// Two messages are already due at node 0 when it dispatches: a `work`
+/// invocation (inbox head) and, right behind it, an invocation of a
+/// trapping method (array index out of range). The `work` handler marks
+/// that it started, then sends — the send's poll handles the trapping
+/// message, and the trap must surface from that send: the handler's
+/// `marker` write after it must never execute.
 #[test]
 fn trap_in_send_poll_aborts_sender_promptly() {
+    let mut pb = ProgramBuilder::new();
+
+    let quiet = pb.class("Quiet", false);
+    let noop = pb.method(quiet, "noop", 0, |mb| mb.reply_nil());
+
+    let boom_c = pb.class("Boom", false);
+    let cells = pb.array_field(boom_c, "cells");
+    let boom = pb.method(boom_c, "boom", 0, |mb| {
+        let v = mb.get_elem(cells, 99i64); // trap: cells has one element
+        mb.reply(v);
+    });
+
+    let work_c = pb.class("Work", false);
+    let wq = pb.field(work_c, "q");
+    let started = pb.field(work_c, "started");
+    let marker = pb.field(work_c, "marker");
+    let work = pb.method(work_c, "work", 0, |mb| {
+        mb.set_field(started, 1i64);
+        // This send polls the inbox; the boom message behind this one is
+        // already due (it arrived before this event began), so the poll
+        // handles it and its trap surfaces here.
+        let qv = mb.get_field(wq);
+        mb.invoke(None, qv, noop, &[], LocalityHint::Unknown);
+        // Must be unreachable: the trap aborts the context at the send.
+        mb.set_field(marker, 1i64);
+        mb.reply_nil();
+    });
+
+    let kick_c = pb.class("Kicker", false);
+    let kw = pb.field(kick_c, "w");
+    let kb = pb.field(kick_c, "b");
+    let kick = pb.method(kick_c, "kick", 0, |mb| {
+        let wv = mb.get_field(kw);
+        let bv = mb.get_field(kb);
+        mb.invoke(None, wv, work, &[], LocalityHint::Unknown);
+        mb.invoke(None, bv, boom, &[], LocalityHint::Unknown);
+        mb.reply_nil();
+    });
+
+    let driver = pb.class("Driver", false);
+    let dk = pb.field(driver, "k");
+    let go = pb.method(driver, "go", 0, |mb| {
+        let kv = mb.get_field(dk);
+        mb.invoke(None, kv, kick, &[], LocalityHint::Unknown);
+        // Long local work: push node 0's clock far past both deliveries,
+        // so when this root invocation finishes, the work and boom
+        // messages are *both* due at node 0's next dispatch.
+        let acc = mb.local();
+        mb.mov(acc, 0i64);
+        mb.for_range(0i64, 2_000i64, |mb, _| {
+            let t = mb.binl(BinOp::Add, acc, 1i64);
+            mb.mov(acc, t);
+        });
+        mb.reply_nil();
+    });
+
+    let p = pb.finish();
+    let mut rt =
+        Runtime::new(p, 2, CostModel::cm5(), ExecMode::Hybrid, InterfaceSet::Full).unwrap();
+    let qo = rt.alloc_object_by_name("Quiet", NodeId(1));
+    let bo = rt.alloc_object_by_name("Boom", NodeId(0));
+    rt.set_array(bo, cells, vec![Value::Int(0)]);
+    let wo = rt.alloc_object_by_name("Work", NodeId(0));
+    rt.set_field(wo, wq, Value::Obj(qo));
+    rt.set_field(wo, started, Value::Int(0));
+    rt.set_field(wo, marker, Value::Int(0));
+    let ko = rt.alloc_object_by_name("Kicker", NodeId(1));
+    rt.set_field(ko, kw, Value::Obj(wo));
+    rt.set_field(ko, kb, Value::Obj(bo));
+    let d = rt.alloc_object_by_name("Driver", NodeId(0));
+    rt.set_field(d, dk, Value::Obj(ko));
+
+    let err = rt.call(d, go, &[]).expect_err("boom must trap the run");
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("array index 99"),
+        "trap is the handler's, not a secondary failure: {msg}"
+    );
+    assert_eq!(
+        rt.get_field(wo, started),
+        Value::Int(1),
+        "the work handler was dispatched before the boom message"
+    );
+    assert_eq!(
+        rt.get_field(wo, marker),
+        Value::Int(0),
+        "work handler kept executing past the trapping send"
+    );
+}
+
+/// A message that arrives *after* the current event began is not nested
+/// into a later send's poll, even if the node's clock has run past its
+/// delivery time: it waits for its own scheduler step. The driver's
+/// method runs to completion past the send, and the trap surfaces from
+/// the message's own dispatch. (Before `poll_floor`, the send would have
+/// handled it nested — behavior that depended on host execution order
+/// and broke the sharded executor's bit-identity.)
+#[test]
+fn late_arrival_waits_for_its_own_step() {
     let mut pb = ProgramBuilder::new();
 
     let quiet = pb.class("Quiet", false);
@@ -53,9 +161,9 @@ fn trap_in_send_poll_aborts_sender_promptly() {
             let t = mb.binl(BinOp::Add, acc, 1i64);
             mb.mov(acc, t);
         });
-        // This send polls the inbox; handling the forwarded boom traps.
+        // The boom message arrived mid-event (after this resume step
+        // began), so this send's poll must NOT handle it.
         mb.invoke(None, qv, noop, &[], LocalityHint::Unknown);
-        // Must be unreachable: the trap aborts the context at the send.
         mb.set_field(marker, 1i64);
         mb.reply_nil();
     });
@@ -84,8 +192,8 @@ fn trap_in_send_poll_aborts_sender_promptly() {
     );
     assert_eq!(
         rt.get_field(d, marker),
-        Value::Int(0),
-        "driver kept executing past the trapping send"
+        Value::Int(1),
+        "the late arrival must wait for its own step, not abort the driver"
     );
 }
 

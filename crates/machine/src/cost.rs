@@ -269,6 +269,16 @@ impl CostModel {
         cycles as f64 / self.clock_hz
     }
 
+    /// Minimum wire latency of any message class: no send injected at
+    /// virtual time `t` can be delivered before `t + min_wire_latency()`.
+    /// This is the conservative lookahead the host-parallel sharded
+    /// executor uses to size its safe windows — zero (as in
+    /// [`CostModel::unit`]) means no lookahead exists and execution must
+    /// fall back to the single-threaded index.
+    pub fn min_wire_latency(&self) -> Cycles {
+        self.msg_latency.min(self.reply_latency)
+    }
+
     /// Cost charged by a *local heap-based (parallel) invocation*, i.e. the
     /// paper's ~130-instruction figure, for an invocation with `nargs`
     /// argument words. This is the sum of the components the runtime

@@ -149,6 +149,31 @@ impl FaultPlan {
             .max()
     }
 
+    /// The virtual time at which an arrival nominally due at `at` actually
+    /// clears every stall window on `node`: deferrals are iterated to a
+    /// fixpoint, because a single deferral can release an arrival straight
+    /// into another, overlapping window. Returns `at` unchanged when the
+    /// node is not stalled. Terminates: every deferral strictly advances
+    /// `at` toward the finite set of window ends.
+    pub fn stall_release(&self, node: NodeId, mut at: Cycles) -> Cycles {
+        while let Some(release) = self.stalled_until(node, at) {
+            at = release;
+        }
+        at
+    }
+
+    /// Lower bound on the extra wire latency this plan adds to any
+    /// *delivered* copy — a guarantee that a plan never makes a message
+    /// arrive earlier than its nominal delivery time: jitter is drawn from
+    /// `0..=jitter_max` (non-negative), stall windows only defer arrivals
+    /// forward, and a duplicate's second copy is injected at least one
+    /// cycle after the primary's nominal time. Conservative host-parallel
+    /// executors query this so the cost model's minimum wire latency
+    /// remains a valid lookahead window under any installed plan.
+    pub fn min_extra_latency(&self) -> Cycles {
+        0
+    }
+
     /// The complete fault decision for a message injected with global
     /// sequence number `seq` over `src → dest`, nominally delivered at
     /// `deliver_at`.
@@ -184,6 +209,17 @@ impl FaultStats {
     /// Total messages lost (random loss + partitions).
     pub fn lost(&self) -> u64 {
         self.dropped + self.partition_drops
+    }
+
+    /// Field-wise sum of another counter set into this one (all fields are
+    /// order-independent totals, so merging shard-local stats in any order
+    /// yields the single-network value).
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.dropped += other.dropped;
+        self.partition_drops += other.partition_drops;
+        self.duplicated += other.duplicated;
+        self.stall_defers += other.stall_defers;
+        self.jitter_cycles += other.jitter_cycles;
     }
 }
 
@@ -293,6 +329,63 @@ mod tests {
         assert_eq!(plan.stalled_until(NodeId(2), 60), Some(300));
         assert_eq!(plan.stalled_until(NodeId(2), 300), None);
         assert_eq!(plan.stalled_until(NodeId(1), 60), None);
+    }
+
+    #[test]
+    fn stall_release_chases_overlapping_windows() {
+        let plan = FaultPlan {
+            stalls: vec![
+                NodeWindow {
+                    node: NodeId(2),
+                    from: 10,
+                    until: 100,
+                },
+                NodeWindow {
+                    node: NodeId(2),
+                    from: 50,
+                    until: 300,
+                },
+                NodeWindow {
+                    node: NodeId(2),
+                    from: 300,
+                    until: 310,
+                },
+            ],
+            ..Default::default()
+        };
+        // 20 → 100 (first window) → 300 (second covers 100) → 310 (third
+        // starts exactly at the second's release).
+        assert_eq!(plan.stall_release(NodeId(2), 20), 310);
+        assert_eq!(plan.stall_release(NodeId(2), 310), 310, "fixpoint");
+        assert_eq!(
+            plan.stall_release(NodeId(1), 20),
+            20,
+            "other node untouched"
+        );
+        // The release time never sits inside any window.
+        for at in [0u64, 10, 20, 99, 100, 250, 300, 309, 310, 1000] {
+            let r = plan.stall_release(NodeId(2), at);
+            assert!(plan.stalled_until(NodeId(2), r).is_none());
+            assert!(r >= at, "stalls only defer forward");
+        }
+    }
+
+    #[test]
+    fn plans_never_accelerate_delivery() {
+        // The lookahead bound the sharded executor relies on: no decision
+        // can make a copy arrive before its nominal time.
+        let plan = FaultPlan {
+            seed: 11,
+            drop_permille: 100,
+            dup_permille: 300,
+            jitter_max: 17,
+            ..Default::default()
+        };
+        assert_eq!(plan.min_extra_latency(), 0);
+        for seq in 0..500u64 {
+            let d = plan.decide(seq, NodeId(0), NodeId(1), 1000);
+            assert!(d.jitter >= plan.min_extra_latency());
+        }
     }
 
     #[test]

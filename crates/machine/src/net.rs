@@ -202,6 +202,33 @@ impl<M> Network<M> {
     {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.send_tagged(seq, src, dest, deliver_at, words, class, msg)
+    }
+
+    /// [`Self::send_classed`] with a caller-chosen sequence number instead
+    /// of the network's own monotone counter.
+    ///
+    /// The sequence number is the fault plan's randomness key and the final
+    /// delivery tie-breaker, so a caller that derives it from *per-node*
+    /// state (rather than this network's global send order) gets fault
+    /// fates and delivery order that are independent of the interleaving in
+    /// which sends from different nodes reach the network — the property
+    /// the host-parallel executor relies on. Callers own uniqueness; the
+    /// auto-assigning entry points remain available and unaffected.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_tagged(
+        &mut self,
+        seq: u64,
+        src: NodeId,
+        dest: NodeId,
+        deliver_at: Cycles,
+        words: u64,
+        class: WireClass,
+        msg: M,
+    ) -> SendFate
+    where
+        M: Clone,
+    {
         self.sent += 1;
         let mut fate = SendFate {
             seq,
@@ -232,26 +259,29 @@ impl<M> Network<M> {
             }
             return fate;
         }
-        // Primary copy: jitter, then stall deferral at the jittered time.
-        let mut at = deliver_at + d.jitter;
+        // Primary copy: jitter, then stall deferral at the jittered time —
+        // iterated to a fixpoint, since releasing from one window can land
+        // inside another, overlapping one.
+        let jittered = deliver_at + d.jitter;
         self.faults.jitter_cycles += d.jitter;
-        if let Some(release) = plan.stalled_until(dest, at) {
+        let at = plan.stall_release(dest, jittered);
+        if at != jittered {
             self.faults.stall_defers += 1;
-            at = release;
         }
         fate.extra_latency = at - deliver_at;
         if d.duplicate {
             // Wire-level duplicate: same sequence number (it *is* the same
             // message — receiver-side dedup keys on transport state, and
             // identical payloads make any heap tie unobservable), at least
-            // one cycle later.
+            // one cycle later. The copy takes the same stall-fixpoint path
+            // as the primary: no copy may land inside a stall window.
             fate.duplicated = true;
             self.faults.duplicated += 1;
-            let mut at2 = deliver_at + 1 + d.dup_jitter;
+            let dup_jittered = deliver_at + 1 + d.dup_jitter;
             self.faults.jitter_cycles += d.dup_jitter;
-            if let Some(release) = plan.stalled_until(dest, at2) {
+            let at2 = plan.stall_release(dest, dup_jittered);
+            if at2 != dup_jittered {
                 self.faults.stall_defers += 1;
-                at2 = release;
             }
             self.account(class, words);
             self.heap.push(InFlight {
@@ -309,6 +339,21 @@ impl<M> Network<M> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Fold another network's traffic and fault counters into this one.
+    /// Delivery state (the in-flight heap, the auto-sequence counter, the
+    /// installed plan) is deliberately untouched: only counters travel, so
+    /// per-shard networks can be merged back into the main one without
+    /// disturbing its queue.
+    pub fn absorb_counters<N>(&mut self, other: &Network<N>) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.words += other.words;
+        self.data_words += other.data_words;
+        self.ack_words += other.ack_words;
+        self.retx_words += other.retx_words;
+        self.faults.absorb(&other.faults);
+    }
 }
 
 #[cfg(test)]
@@ -357,6 +402,98 @@ mod tests {
         net.send(NodeId(0), NodeId(1), 1, 3, 0);
         net.send(NodeId(0), NodeId(1), 2, 4, 0);
         assert_eq!(net.words, 7);
+    }
+
+    #[test]
+    fn send_tagged_preserves_caller_seq_and_order() {
+        let mut net: Network<&'static str> = Network::new();
+        // Caller-chosen seqs break the deliver-time tie, independent of
+        // injection order.
+        net.send_tagged(7, NodeId(0), NodeId(1), 10, 1, WireClass::Data, "late");
+        net.send_tagged(3, NodeId(2), NodeId(1), 10, 1, WireClass::Data, "early");
+        let a = net.pop().unwrap();
+        let b = net.pop().unwrap();
+        assert_eq!((a.seq, a.msg), (3, "early"));
+        assert_eq!((b.seq, b.msg), (7, "late"));
+        // Tagged sends don't consume the auto counter.
+        let fate = net.send(NodeId(0), NodeId(1), 5, 1, "auto");
+        assert_eq!(fate.seq, 0);
+        assert_eq!(net.sent, 3);
+    }
+
+    #[test]
+    fn stall_release_is_a_fixpoint_for_both_copies() {
+        use crate::fault::{FaultPlan, NodeWindow};
+        // Overlapping stall windows: releasing from the first lands inside
+        // the second, which must defer again — for the primary *and* the
+        // duplicate copy.
+        let windows = vec![
+            NodeWindow {
+                node: NodeId(1),
+                from: 10,
+                until: 100,
+            },
+            NodeWindow {
+                node: NodeId(1),
+                from: 50,
+                until: 300,
+            },
+        ];
+        let plan = FaultPlan {
+            stalls: windows.clone(),
+            ..Default::default()
+        };
+        let mut net: Network<u8> = Network::new();
+        net.set_plan(Some(plan));
+        let fate = net.send(NodeId(0), NodeId(1), 20, 1, 9);
+        assert!(!fate.dropped);
+        let m = net.pop().unwrap();
+        assert_eq!(
+            m.deliver_at, 300,
+            "single pass would release at 100, inside [50,300)"
+        );
+        assert_eq!(fate.extra_latency, 280);
+        assert_eq!(
+            net.faults.stall_defers, 1,
+            "one deferral per copy, not per hop"
+        );
+
+        // Duplicate copy: force dup_permille=1000 so both copies exist,
+        // then check neither lands inside any window.
+        let plan = FaultPlan {
+            dup_permille: 1000,
+            stalls: windows,
+            ..Default::default()
+        };
+        let mut net: Network<u8> = Network::new();
+        net.set_plan(Some(plan.clone()));
+        let fate = net.send(NodeId(0), NodeId(1), 20, 1, 9);
+        assert!(fate.duplicated);
+        while let Some(m) = net.pop() {
+            assert!(
+                plan.stalled_until(m.dest, m.deliver_at).is_none(),
+                "copy delivered at {} inside a stall window",
+                m.deliver_at
+            );
+            assert_eq!(m.deliver_at, 300);
+        }
+        assert_eq!(net.faults.stall_defers, 2);
+    }
+
+    #[test]
+    fn absorb_counters_sums_traffic() {
+        let mut a: Network<u8> = Network::new();
+        a.send_classed(NodeId(0), NodeId(1), 1, 5, WireClass::Data, 0);
+        let mut b: Network<u8> = Network::new();
+        b.send_classed(NodeId(1), NodeId(0), 2, 1, WireClass::Ack, 0);
+        b.pop();
+        a.absorb_counters(&b);
+        let s = a.stats();
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.data_words, 5);
+        assert_eq!(s.ack_words, 1);
+        assert_eq!(a.in_flight(), 1, "absorb must not move in-flight messages");
     }
 
     #[test]

@@ -178,6 +178,22 @@ pub struct NetStats {
     pub faults: crate::fault::FaultStats,
 }
 
+impl NetStats {
+    /// Field-wise sum of another snapshot into this one. Every field is an
+    /// order-independent total, so folding per-shard network stats together
+    /// in any order reproduces the counters a single shared network would
+    /// have accumulated.
+    pub fn absorb(&mut self, other: &NetStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.words += other.words;
+        self.data_words += other.data_words;
+        self.ack_words += other.ack_words;
+        self.retx_words += other.retx_words;
+        self.faults.absorb(&other.faults);
+    }
+}
+
 /// Machine-wide view of a finished (or in-progress) run.
 #[derive(Debug, Clone, Default)]
 pub struct MachineStats {

@@ -30,7 +30,10 @@ impl Log2Hist {
     }
 
     /// Inclusive-exclusive value range `[lo, hi)` of a bucket (bucket 0 is
-    /// `[0, 1)`). The top bucket's `hi` saturates at `u64::MAX`.
+    /// `[0, 1)`). The top bucket's `hi` saturates at `u64::MAX`, which makes
+    /// its range *inclusive* of `u64::MAX` — `bucket_of(u64::MAX)` counts
+    /// the sample into bucket 64, so rendering it as exclusive would lie;
+    /// use [`Log2Hist::bucket_label`] for display.
     pub fn bucket_range(b: usize) -> (u64, u64) {
         if b == 0 {
             (0, 1)
@@ -39,6 +42,18 @@ impl Log2Hist {
                 1u64 << (b - 1),
                 1u64.checked_shl(b as u32).unwrap_or(u64::MAX),
             )
+        }
+    }
+
+    /// Human/JSON label for a bucket's value range: half-open `[lo,hi)` for
+    /// every bucket except the top one, which is the closed interval
+    /// `[2^63,u64::MAX]` because `u64::MAX` itself lands in it.
+    pub fn bucket_label(b: usize) -> String {
+        let (lo, hi) = Self::bucket_range(b);
+        if b == 64 {
+            format!("[{lo},{hi}]")
+        } else {
+            format!("[{lo},{hi})")
         }
     }
 
@@ -86,10 +101,22 @@ impl Log2Hist {
         }
         let mut parts = Vec::new();
         for (b, c) in self.nonzero() {
-            let (lo, hi) = Self::bucket_range(b);
-            parts.push(format!("[{lo},{hi}):{c}"));
+            parts.push(format!("{}:{c}", Self::bucket_label(b)));
         }
         parts.join(" ")
+    }
+
+    /// Fold another histogram into this one. Bucket counts, the sample
+    /// count, and the sum are plain sums and `max` is a max, so merging is
+    /// associative and commutative — per-shard histograms folded in any
+    /// order equal the histogram a single stream would have built.
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -128,6 +155,71 @@ mod tests {
             let (lo, hi) = Log2Hist::bucket_range(b);
             assert!(v >= lo, "{v} >= {lo}");
             assert!(v < hi || hi == u64::MAX, "{v} < {hi}");
+        }
+    }
+
+    #[test]
+    fn top_bucket_is_inclusive_of_u64_max() {
+        // Boundary triple around the top bucket: 2^63 − 1 is the last value
+        // of bucket 63; 2^63 and u64::MAX both land in bucket 64, whose
+        // printed range must therefore be *closed* at u64::MAX.
+        assert_eq!(Log2Hist::bucket_of((1 << 63) - 1), 63);
+        assert_eq!(Log2Hist::bucket_of(1 << 63), 64);
+        assert_eq!(Log2Hist::bucket_of(u64::MAX), 64);
+
+        let (lo, hi) = Log2Hist::bucket_range(64);
+        assert_eq!(lo, 1 << 63);
+        assert_eq!(hi, u64::MAX);
+        assert_eq!(
+            Log2Hist::bucket_label(64),
+            format!("[{},{}]", 1u64 << 63, u64::MAX),
+            "top bucket renders closed"
+        );
+        assert_eq!(
+            Log2Hist::bucket_label(63),
+            format!("[{},{})", 1u64 << 62, 1u64 << 63)
+        );
+
+        let mut h = Log2Hist::default();
+        h.add(u64::MAX);
+        h.add(1 << 63);
+        h.add((1 << 63) - 1);
+        let s = h.summary();
+        assert!(
+            s.contains(&format!("[{},{}]:2", 1u64 << 63, u64::MAX)),
+            "summary must place both top-bucket samples inside a closed range: {s}"
+        );
+        assert!(
+            !s.contains(&format!("{})", u64::MAX)),
+            "no exclusive u64::MAX bound: {s}"
+        );
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let samples = [0u64, 1, 1, 5, 16, 1 << 40, u64::MAX];
+        let mut whole = Log2Hist::default();
+        for &v in &samples {
+            whole.add(v);
+        }
+        let mut a = Log2Hist::default();
+        let mut b = Log2Hist::default();
+        for (i, &v) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                a.add(v)
+            } else {
+                b.add(v)
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for m in [&ab, &ba] {
+            assert_eq!(m.count(), whole.count());
+            assert_eq!(m.max(), whole.max());
+            assert_eq!(m.summary(), whole.summary());
+            assert!((m.mean() - whole.mean()).abs() < 1e-12);
         }
     }
 

@@ -7,7 +7,7 @@
 
 use hem::analysis::InterfaceSet;
 use hem::apps::{em3d, md, sor, sync};
-use hem::core::{ExecMode, NodeObjectState, Runtime, TieBreak, TieChoice};
+use hem::core::{ExecMode, NodeObjectState, Runtime, SchedImpl, TieBreak, TieChoice};
 use hem::ir::{BinOp, LocalityHint, MethodId, Program, ProgramBuilder, Value};
 use hem::machine::cost::CostModel;
 use hem::machine::stats::MachineStats;
@@ -331,6 +331,18 @@ pub fn micro_kernels() -> Vec<MicroKernel> {
 
 /// Run a micro kernel once under `(mode, tie)` with the sanitizer armed.
 pub fn run_micro(m: &MicroKernel, mode: ExecMode, tie: TieBreak) -> Outcome {
+    run_micro_sched(m, mode, tie, SchedImpl::EventIndex)
+}
+
+/// [`run_micro`] with an explicit scheduler implementation (the sharded
+/// executor only engages under `TieBreak::Det`; any other tie-break
+/// routes to the single-threaded exploring loop).
+pub fn run_micro_sched(
+    m: &MicroKernel,
+    mode: ExecMode,
+    tie: TieBreak,
+    sched: SchedImpl,
+) -> Outcome {
     let mut rt = Runtime::new(
         m.program.clone(),
         m.nodes,
@@ -344,6 +356,7 @@ pub fn run_micro(m: &MicroKernel, mode: ExecMode, tie: TieBreak) -> Outcome {
     }
     rt.enable_sanitizer();
     rt.set_tie_break(tie);
+    rt.sched_impl = sched;
     let root = rt.alloc_object_by_name(m.entry_class, NodeId(0));
     let args = (m.make_args)(&mut rt);
     let result = rt.call(root, m.entry, &args).unwrap();
@@ -355,12 +368,27 @@ pub fn run_micro(m: &MicroKernel, mode: ExecMode, tie: TieBreak) -> Outcome {
 /// Run an app kernel at conformance size under `(mode, set, tie)` with
 /// the sanitizer armed.
 pub fn run_app(kernel: &str, mode: ExecMode, set: InterfaceSet, tie: TieBreak) -> Outcome {
+    run_app_sched(kernel, mode, set, tie, SchedImpl::EventIndex)
+}
+
+/// [`run_app`] with an explicit scheduler implementation.
+pub fn run_app_sched(
+    kernel: &str,
+    mode: ExecMode,
+    set: InterfaceSet,
+    tie: TieBreak,
+    sched: SchedImpl,
+) -> Outcome {
+    let arm = |rt: &mut Runtime| {
+        rt.enable_sanitizer();
+        rt.set_tie_break(tie.clone());
+        rt.sched_impl = sched;
+    };
     let rt = match kernel {
         "sor" => {
             let ids = sor::build();
             let mut rt = Runtime::new(ids.program.clone(), 4, CostModel::cm5(), mode, set).unwrap();
-            rt.enable_sanitizer();
-            rt.set_tie_break(tie);
+            arm(&mut rt);
             let inst = sor::setup(
                 &mut rt,
                 &ids,
@@ -377,8 +405,7 @@ pub fn run_app(kernel: &str, mode: ExecMode, set: InterfaceSet, tie: TieBreak) -
             let ids = em3d::build(4);
             let g = em3d::generate(24, 4, 8, 0.4, 3);
             let mut rt = Runtime::new(ids.program.clone(), 8, CostModel::t3d(), mode, set).unwrap();
-            rt.enable_sanitizer();
-            rt.set_tie_break(tie);
+            arm(&mut rt);
             let inst = em3d::setup(&mut rt, &ids, &g);
             em3d::run(&mut rt, &inst, em3d::Style::Pull, 2).unwrap();
             rt
@@ -387,8 +414,7 @@ pub fn run_app(kernel: &str, mode: ExecMode, set: InterfaceSet, tie: TieBreak) -
             let ids = md::build();
             let sys = md::generate(60, 1.2, 8, md::Layout::Spatial, 5);
             let mut rt = Runtime::new(ids.program.clone(), 8, CostModel::cm5(), mode, set).unwrap();
-            rt.enable_sanitizer();
-            rt.set_tie_break(tie);
+            arm(&mut rt);
             let inst = md::setup(&mut rt, &ids, &sys);
             md::run_iteration(&mut rt, &inst).unwrap();
             rt
@@ -396,8 +422,7 @@ pub fn run_app(kernel: &str, mode: ExecMode, set: InterfaceSet, tie: TieBreak) -
         "sync" => {
             let ids = sync::build();
             let mut rt = Runtime::new(ids.program.clone(), 8, CostModel::cm5(), mode, set).unwrap();
-            rt.enable_sanitizer();
-            rt.set_tie_break(tie);
+            arm(&mut rt);
             let inst = sync::setup(&mut rt, &ids, 8);
             rt.call(inst.drivers[0], ids.fan, &[]).unwrap();
             sync::run_rendezvous(&mut rt, &inst).unwrap();

@@ -353,6 +353,79 @@ fn fault_matrix_semantics_invariant() {
     }
 }
 
+/// Regression: a wire-duplicated copy of a frame addressed to a stalled
+/// node must be deferred through `stalled_until` exactly like the
+/// original. The stall window opens at time 0, so *every* delivery into
+/// node 2 — original or duplicate — is deferred to at or past the
+/// window's end, and node 2 cannot handle any message before it: a
+/// handling earlier than `until` can only come from a copy that bypassed
+/// the stall fixpoint.
+#[test]
+fn duplicates_respect_stall_windows() {
+    use hem::core::trace::TraceEvent;
+    const UNTIL: u64 = 20_000;
+    for seed in seeds() {
+        let mut plan = FaultPlan::seeded(seed);
+        plan.dup_permille = 150;
+        plan.stalls = vec![NodeWindow {
+            node: NodeId(2),
+            from: 0,
+            until: UNTIL,
+        }];
+        let o = run_kernel("sor", ExecMode::Hybrid, SchedImpl::EventIndex, Some(&plan));
+        let label = format!("dup-stall/seed{seed}");
+        // The plan must actually exercise both fault mechanisms.
+        assert!(
+            o.stats.net.faults.duplicated > 0,
+            "{label}: plan duplicated nothing"
+        );
+        assert!(
+            o.stats.net.faults.stall_defers > 0,
+            "{label}: plan deferred nothing"
+        );
+        for rec in &o.trace {
+            if let TraceEvent::MsgHandled { node, from, .. } = rec.event {
+                assert!(
+                    node != NodeId(2) || rec.at >= UNTIL,
+                    "{label}: message from {from:?} handled at stalled node 2 \
+                     at {} — inside the stall window [0, {UNTIL})",
+                    rec.at
+                );
+            }
+        }
+        assert_conservation(&label, &o);
+    }
+}
+
+/// Sharded fault soak: the windowed multi-thread executor against the
+/// single-threaded event index under the grid's two nastiest plans (mixed
+/// loss + duplication + jitter; duplication + a long node stall) — every
+/// kernel, every pinned seed, threads ∈ {2, 4}, bit-identical
+/// everything. This is the fault-plan half of the `threads`-invariance
+/// contract (the fault-free half lives in `parallel_determinism.rs`).
+#[test]
+fn sharded_matches_event_index_under_fault_grid() {
+    for kernel in KERNELS {
+        for seed in seeds() {
+            let grid = fault_grid(seed);
+            for (pi, plan) in [(4, &grid[4]), (6, &grid[6])] {
+                let label = format!("{kernel}/seed{seed}/plan{pi}/sharded");
+                let base = run_kernel(kernel, ExecMode::Hybrid, SchedImpl::EventIndex, Some(plan));
+                for threads in [2usize, 4] {
+                    let sharded = run_kernel(
+                        kernel,
+                        ExecMode::Hybrid,
+                        SchedImpl::Sharded { threads },
+                        Some(plan),
+                    );
+                    assert_bit_identical(&format!("{label}/threads{threads}"), &base, &sharded);
+                }
+                assert_conservation(&label, &base);
+            }
+        }
+    }
+}
+
 /// Zero-fault transport sanity: with the transport on but an all-zero
 /// plan, nothing is lost, nothing retransmits, and the object state
 /// matches the raw (transport-off) framing.

@@ -28,7 +28,7 @@ use common::*;
 use hem::analysis::InterfaceSet;
 use hem::apps::{md, sor};
 use hem::core::explore::Explorer;
-use hem::core::{ExecMode, Runtime, TieBreak};
+use hem::core::{ExecMode, Runtime, SchedImpl, TieBreak};
 use hem::ir::Value;
 use hem::machine::cost::CostModel;
 use hem::machine::topology::ProcGrid;
@@ -256,6 +256,99 @@ fn replay_reproduces_a_sampled_schedule() {
         sampled.tie_choices, replayed.tie_choices,
         "replay took different decisions"
     );
+}
+
+/// The sharded executor under the deterministic tie-break: every micro
+/// kernel and app kernel run with `SchedImpl::Sharded` must be
+/// sanitizer-clean, bit-identical to the single-threaded event index
+/// (makespan, replay vector), and state-equivalent to the ParallelOnly
+/// reference. The shard workers carry their own sanitizer state (merged
+/// at the end) and their own copy of any seeded protocol mutant, so
+/// every mutant the single-threaded conformance run catches is caught
+/// here too — the mutant-kill CI job runs this binary under
+/// `--features mutants`.
+#[test]
+fn sharded_config_conforms() {
+    for m in micro_kernels() {
+        let base = run_micro_sched(&m, ExecMode::Hybrid, TieBreak::Det, SchedImpl::EventIndex);
+        assert_clean(&format!("{}/sharded-base", m.name), &base);
+        for threads in [2usize, 4] {
+            let label = format!("{}/sharded{threads}", m.name);
+            let o = run_micro_sched(
+                &m,
+                ExecMode::Hybrid,
+                TieBreak::Det,
+                SchedImpl::Sharded { threads },
+            );
+            assert_clean(&label, &o);
+            assert_eq!(o.result, base.result, "{label}: result");
+            assert_eq!(o.makespan, base.makespan, "{label}: makespan");
+            assert_state_close(&label, &o.objects, &base.objects);
+            // The §4.1 guard must engage under the sharded executor too.
+            if m.name == "deep-chain" {
+                assert!(
+                    o.stats.totals().ctx_alloc > 0,
+                    "{label}: deep chain never diverted through a heap context"
+                );
+            }
+        }
+    }
+    for kernel in APP_KERNELS {
+        let reference = run_app(
+            kernel,
+            ExecMode::ParallelOnly,
+            InterfaceSet::Full,
+            TieBreak::Det,
+        );
+        let base = run_app(kernel, ExecMode::Hybrid, InterfaceSet::Full, TieBreak::Det);
+        for threads in [2usize, 4] {
+            let label = format!("{kernel}/sharded{threads}");
+            let o = run_app_sched(
+                kernel,
+                ExecMode::Hybrid,
+                InterfaceSet::Full,
+                TieBreak::Det,
+                SchedImpl::Sharded { threads },
+            );
+            assert_clean(&label, &o);
+            assert_eq!(o.makespan, base.makespan, "{label}: makespan");
+            assert_eq!(o.objects, base.objects, "{label}: object state");
+            assert_state_close(&label, &o.objects, &reference.objects);
+        }
+    }
+}
+
+/// Exploration precedence: a non-deterministic tie-break routes to the
+/// single-threaded exploring loop *before* the scheduler implementation
+/// is consulted, so sampled schedules and recorded replay vectors behave
+/// identically whether the runtime is configured `EventIndex` or
+/// `Sharded` — a choice vector recorded under one config replays
+/// bit-identically under the other.
+#[test]
+fn replay_is_sched_impl_invariant() {
+    let sampled = run_app(
+        "sor",
+        ExecMode::Hybrid,
+        InterfaceSet::Full,
+        TieBreak::Seeded(0x5EED_5041_11E1),
+    );
+    assert_clean("sor/seeded-for-sharded-replay", &sampled);
+    for threads in [2usize, 4] {
+        let label = format!("sor/replay-under-sharded{threads}");
+        let replayed = run_app_sched(
+            "sor",
+            ExecMode::Hybrid,
+            InterfaceSet::Full,
+            TieBreak::Replay(sampled.tie_choices.clone()),
+            SchedImpl::Sharded { threads },
+        );
+        assert_eq!(sampled.makespan, replayed.makespan, "{label}: makespan");
+        assert_eq!(sampled.objects, replayed.objects, "{label}: state");
+        assert_eq!(
+            sampled.tie_choices, replayed.tie_choices,
+            "{label}: decisions"
+        );
+    }
 }
 
 /// The §4.1 depth guard engages on the deep chain: the run completes by
