@@ -14,6 +14,9 @@
 //!   communication styles, *pull*, *push* and *forward* (Table 6);
 //! * [`sync`] — the synchronization structures of Fig. 3 (RPC,
 //!   data-parallel, reactive, custom barrier);
+//! * [`service`] — an open-system front-end/back-end request mix driven
+//!   by seeded arrivals through `Runtime::run_until`, with driver-side
+//!   admission control;
 //! * [`layout`] — automatic data placement (the paper's stated future
 //!   work): a greedy edge-locality graph partitioner plus the ORB
 //!   re-export, with an EM3D auto-layout driver.
@@ -29,6 +32,7 @@ pub mod callintensive;
 pub mod em3d;
 pub mod layout;
 pub mod md;
+pub mod service;
 pub mod sor;
 pub mod sync;
 

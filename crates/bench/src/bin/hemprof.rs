@@ -1,8 +1,9 @@
 //! `hemprof` — profile an app kernel on the simulated machine.
 //!
-//! Runs one of the four paper kernels with tracing on and prints a
-//! Table-style rollup report; optionally exports a Perfetto timeline and
-//! the virtual-time critical path.
+//! Runs one of the four paper kernels (closed system, to quiescence) or
+//! the open-system service mix (`serve`, to a virtual-time horizon) with
+//! tracing on and prints a Table-style rollup report; optionally exports
+//! a Perfetto timeline and the virtual-time critical path.
 //!
 //! ```text
 //! hemprof <sor|md|em3d|fib> [options]
@@ -12,6 +13,20 @@
 //!   --seed S          generation seed (default 20260806)
 //!   --layout L        spatial|random (MD) / high|low locality (EM3D)
 //!   --style S         em3d style: pull|push|forward
+//!
+//! hemprof serve [options]
+//!   --p N             machine size (default 16)
+//!   --backends N      backend population (default 32)
+//!   --until H         virtual-time horizon (default 100000)
+//!   --warmup W        steady-state cutoff (default 10000)
+//!   --rate G          mean inter-arrival gap in cycles (default 500)
+//!   --arrival A       poisson|bursty|diurnal (default poisson)
+//!   --clients N       independent arrival streams (default 4)
+//!   --deadline D      shed when infeasible at arrival (default 0 = off)
+//!   --max-queue Q     shed when target queue >= Q (default 0 = off)
+//!   --seed S          arrival seed (default 20260806)
+//!
+//! common options
 //!   --mode M          hybrid|parallel (default hybrid)
 //!   --cost C          cm5|t3d (default cm5)
 //!   --threads N       host worker threads (sharded executor; default 1)
@@ -22,34 +37,82 @@
 //!   --events          dump the raw event log (small runs only)
 //! ```
 //!
-//! Example: `hemprof sor --p 64 --perfetto sor.json --critical-path`
+//! The rollup report streams through the observer hook, so it is exact
+//! even when `--ring` truncates the buffered trace; only `--events`,
+//! `--perfetto` and `--critical-path` read the (possibly truncated) ring.
+//!
+//! Example: `hemprof serve --p 32 --rate 200 --deadline 4000 --report json`
 
 use hem_bench::profile::{Kernel, ProfileConfig};
+use hem_bench::serve::ServeConfig;
 use hem_bench::Args;
-use hem_core::ExecMode;
+use hem_core::{ExecMode, Runtime};
+use hem_machine::arrival::ArrivalDist;
 use hem_machine::cost::CostModel;
+use hem_machine::Cycles;
 use hem_obs::{critpath, perfetto, Report, Rollup, SegClass, Timeline};
 
 fn usage() -> ! {
     eprintln!("usage: hemprof <sor|md|em3d|fib> [--p N] [--size N] [--iters N] [--seed S]");
     eprintln!("               [--layout spatial|random] [--style pull|push|forward]");
-    eprintln!("               [--mode hybrid|parallel] [--cost cm5|t3d] [--threads N] [--ring N]");
+    eprintln!("       hemprof serve [--p N] [--backends N] [--until H] [--warmup W] [--rate G]");
+    eprintln!("               [--arrival poisson|bursty|diurnal] [--clients N] [--deadline D]");
+    eprintln!("               [--max-queue Q] [--seed S]");
+    eprintln!("       common: [--mode hybrid|parallel] [--cost cm5|t3d] [--threads N] [--ring N]");
     eprintln!("               [--report table|json] [--perfetto FILE] [--critical-path]");
     eprintln!("               [--events]");
     std::process::exit(2);
 }
 
+fn parse_mode(args: &Args) -> ExecMode {
+    match args.get::<String>("--mode").as_deref() {
+        None | Some("hybrid") => ExecMode::Hybrid,
+        Some("parallel") | Some("parallel-only") => ExecMode::ParallelOnly,
+        Some(_) => usage(),
+    }
+}
+
+fn parse_cost(args: &Args) -> CostModel {
+    match args.get::<String>("--cost").as_deref() {
+        None | Some("cm5") => CostModel::cm5(),
+        Some("t3d") => CostModel::t3d(),
+        Some(_) => usage(),
+    }
+}
+
 fn main() {
     let args = Args::capture();
-    let kernel = match std::env::args().nth(1) {
-        Some(name) if !name.starts_with('-') => match Kernel::parse(&name) {
-            Some(k) => k,
-            None => {
-                eprintln!("hemprof: unknown kernel '{name}' (expected sor, md, em3d, or fib)");
-                std::process::exit(2);
-            }
-        },
+    let sub = match std::env::args().nth(1) {
+        Some(name) if !name.starts_with('-') => name,
         _ => usage(),
+    };
+
+    // Validate the perfetto destination before the (potentially long) run,
+    // so a typo'd path fails in milliseconds, not minutes.
+    let perfetto_path = args.get::<String>("--perfetto");
+    if let Some(path) = &perfetto_path {
+        if let Err(e) = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+        {
+            eprintln!("hemprof: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if sub == "serve" {
+        run_serve(&args, perfetto_path);
+        return;
+    }
+
+    let kernel = match Kernel::parse(&sub) {
+        Some(k) => k,
+        None => {
+            eprintln!("hemprof: unknown kernel '{sub}' (expected sor, md, em3d, fib, or serve)");
+            std::process::exit(2);
+        }
     };
 
     let mut cfg = ProfileConfig::new(kernel);
@@ -80,52 +143,116 @@ fn main() {
             _ => usage(),
         };
     }
-    if let Some(m) = args.get::<String>("--mode") {
-        cfg.mode = match m.as_str() {
-            "hybrid" => ExecMode::Hybrid,
-            "parallel" | "parallel-only" => ExecMode::ParallelOnly,
-            _ => usage(),
-        };
-    }
-    if let Some(c) = args.get::<String>("--cost") {
-        cfg.cost = match c.as_str() {
-            "cm5" => CostModel::cm5(),
-            "t3d" => CostModel::t3d(),
-            _ => usage(),
-        };
-    }
+    cfg.mode = parse_mode(&args);
+    cfg.cost = parse_cost(&args);
     cfg.ring = args.get("--ring");
     if let Some(t) = args.get("--threads") {
         cfg.threads = t;
     }
 
-    // Validate the perfetto destination before the (potentially long) run,
-    // so a typo'd path fails in milliseconds, not minutes.
-    let perfetto_path = args.get::<String>("--perfetto");
-    if let Some(path) = &perfetto_path {
-        if let Err(e) = std::fs::OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)
-        {
-            eprintln!("hemprof: cannot write {path}: {e}");
-            std::process::exit(1);
-        }
+    // The rollup observes the stream online — reports stay exact even
+    // when a bounded ring evicts records.
+    let mut rt = cfg.run_with_observer(Box::new(Rollup::new()));
+    let report = report_from(&mut rt, &cfg.title());
+    emit(&args, report, &mut rt, perfetto_path, None);
+}
+
+fn run_serve(args: &Args, perfetto_path: Option<String>) {
+    let mut cfg = ServeConfig::new();
+    if let Some(p) = args.get("--p") {
+        cfg.p = p;
+    }
+    if let Some(b) = args.get("--backends") {
+        cfg.backends = b;
+    }
+    if let Some(h) = args.get("--until") {
+        cfg.horizon = h;
+    }
+    if let Some(w) = args.get("--warmup") {
+        cfg.warmup = w;
+    }
+    let rate: f64 = args.get("--rate").unwrap_or(500.0);
+    if rate < 1.0 || rate.is_nan() {
+        eprintln!("hemprof: --rate must be >= 1 (mean inter-arrival gap in cycles)");
+        std::process::exit(2);
+    }
+    let arrival = args
+        .get::<String>("--arrival")
+        .unwrap_or_else(|| "poisson".into());
+    cfg.dist = match ArrivalDist::named(&arrival, rate) {
+        Some(d) => d,
+        None => usage(),
+    };
+    if let Some(c) = args.get("--clients") {
+        cfg.clients = c;
+    }
+    if let Some(d) = args.get("--deadline") {
+        cfg.deadline = d;
+    }
+    if let Some(q) = args.get("--max-queue") {
+        cfg.max_queue = q;
+    }
+    if let Some(s) = args.get("--seed") {
+        cfg.seed = s;
+    }
+    cfg.mode = parse_mode(args);
+    cfg.cost = parse_cost(args);
+    cfg.ring = args.get("--ring");
+    if let Some(t) = args.get("--threads") {
+        cfg.threads = t;
+    }
+    if cfg.warmup >= cfg.horizon {
+        eprintln!("hemprof: --warmup must be below --until");
+        std::process::exit(2);
     }
 
-    let mut rt = cfg.run();
-    let records = rt.take_trace();
-    let stats = rt.stats();
+    let (mut rt, out) = cfg.run();
+    let report = report_from(&mut rt, &cfg.title()).with_service(cfg.summary(&out));
+    emit(args, report, &mut rt, perfetto_path, Some(cfg.horizon));
+}
 
+/// Build the report from the *streamed* rollup (exact under ring
+/// truncation), not from the drained ring.
+fn report_from(rt: &mut Runtime, title: &str) -> Report {
+    let any: Box<dyn std::any::Any> = rt.take_observer().expect("rollup attached");
+    let rollup = any.downcast::<Rollup>().expect("a Rollup");
+    let stats = rt.stats();
+    Report::new(title, &rollup, &stats, rt.program(), rt.schemas())
+}
+
+/// Print the report, then serve the ring-dependent extras (`--events`,
+/// `--perfetto`, `--critical-path`). `horizon` clamps the critical path
+/// for horizon-bounded runs.
+fn emit(
+    args: &Args,
+    report: Report,
+    rt: &mut Runtime,
+    perfetto_path: Option<String>,
+    horizon: Option<Cycles>,
+) {
+    let stats = rt.stats();
     if stats.sched.dropped_events > 0 {
         eprintln!(
-            "hemprof: WARNING: the trace ring evicted {} records; every report \
-             below is computed from a TRUNCATED event stream (raise --ring or \
-             drop it for an unbounded trace)",
+            "hemprof: WARNING: the trace ring evicted {} records; the rollup \
+             report below streamed past the ring and is exact, but --events, \
+             --perfetto and --critical-path read a TRUNCATED event stream \
+             (raise --ring or drop it for an unbounded trace)",
             stats.sched.dropped_events
         );
     }
+
+    match args.get::<String>("--report").as_deref() {
+        None | Some("table") => print!("{}", report.text()),
+        Some("json") => println!("{}", report.json()),
+        Some(_) => usage(),
+    }
+
+    let need_records =
+        args.has("--events") || args.has("--critical-path") || perfetto_path.is_some();
+    if !need_records {
+        return;
+    }
+    let records = rt.take_trace();
 
     if args.has("--events") {
         for rec in &records {
@@ -136,14 +263,6 @@ fn main() {
             );
         }
         println!();
-    }
-
-    let rollup = Rollup::from_records(&records);
-    let report = Report::new(&cfg.title(), &rollup, &stats, rt.program(), rt.schemas());
-    match args.get::<String>("--report").as_deref() {
-        None | Some("table") => print!("{}", report.text()),
-        Some("json") => println!("{}", report.json()),
-        Some(_) => usage(),
     }
 
     let need_timeline = args.has("--critical-path") || perfetto_path.is_some();
@@ -165,11 +284,19 @@ fn main() {
     }
 
     if args.has("--critical-path") {
-        let cp = critpath::critical_path(&tl);
+        let cp = match horizon {
+            Some(h) => critpath::critical_path_until(&tl, h),
+            None => critpath::critical_path(&tl),
+        };
         println!(
-            "\ncritical path ({} segments, {} cycles == makespan):",
+            "\ncritical path ({} segments, {} cycles == {}):",
             cp.segments.len(),
-            cp.total
+            cp.total,
+            if horizon.is_some() {
+                "min(makespan, horizon)"
+            } else {
+                "makespan"
+            }
         );
         for cls in [
             SegClass::Compute,

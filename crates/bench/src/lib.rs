@@ -21,6 +21,7 @@
 pub mod micro;
 pub mod profile;
 pub mod report;
+pub mod serve;
 
 use hem_analysis::InterfaceSet;
 use hem_core::{ExecMode, Runtime};

@@ -27,13 +27,17 @@ pub enum Continuation {
     Root,
     /// Discard the reply (fire-and-forget invocations).
     Discard,
+    /// Deliver to the open-system completion log under this request id
+    /// (external client requests injected by `Runtime::inject_request`;
+    /// the reply time, minus the arrival time, is the request's latency).
+    Request(u64),
 }
 
 impl Continuation {
     /// Payload words a continuation occupies inside a message.
     pub fn words(&self) -> u64 {
         match self {
-            Continuation::Into(_) => 2,
+            Continuation::Into(_) | Continuation::Request(_) => 2,
             _ => 1,
         }
     }

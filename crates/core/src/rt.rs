@@ -316,6 +316,17 @@ pub struct Runtime {
     /// on every user-constructed runtime, including the sharded
     /// coordinator itself.
     pub(crate) shard: Option<Box<crate::shard::ShardCtx>>,
+    /// Sequence counter for externally injected requests (open-system
+    /// service mode). External arrivals order *after* wire traffic at the
+    /// same delivery cycle: their inbox sequence is `(1 << 63) | ext_seq`,
+    /// above any wire sequence (`(wire_seq << 20) | node`, which stays
+    /// below `2^63` until a single node sends `2^43` messages).
+    pub(crate) ext_seq: u64,
+    /// Completion log for [`Continuation::Request`] replies: request id →
+    /// serving node's clock at reply delivery. A `BTreeMap` so iteration
+    /// order is the id order, independent of completion order (and of
+    /// which shard worker logged it).
+    pub(crate) completions: std::collections::BTreeMap<u64, Cycles>,
 }
 
 impl Runtime {
@@ -380,6 +391,8 @@ impl Runtime {
             poll_floor: Cycles::MAX,
             san_step: Self::SAN_ROOT_STEP,
             shard: None,
+            ext_seq: 0,
+            completions: std::collections::BTreeMap::new(),
         })
     }
 
@@ -1313,6 +1326,22 @@ impl Runtime {
                     self.send_reply(node, cr.node, cr, v)
                 }
             }
+            Continuation::Request(req) => {
+                // Open-system completion: log the serving node's clock
+                // under the request id. The reply value itself is not
+                // retained — service-mode experiments measure sojourn
+                // time, not payloads.
+                let done = self.nodes[node].time;
+                self.completions.insert(req, done);
+                self.emit(
+                    node,
+                    crate::trace::TraceEvent::RequestDone {
+                        node: NodeId(node as u32),
+                        req,
+                    },
+                );
+                Ok(())
+            }
         }
     }
 
@@ -1591,6 +1620,85 @@ impl Runtime {
         }
     }
 
+    // ================= open-system service mode =================
+
+    /// Inject an external client request: a root invocation of `method`
+    /// on `obj` whose message arrives at the target node at virtual time
+    /// `at`, delivering its reply into the completion log under `req`
+    /// (drain with [`Self::take_completed_requests`]).
+    ///
+    /// External arrivals enter through the node's inbox like any other
+    /// message — one `MsgHandled` and one handler charge each — but they
+    /// bypass the interconnect and the fault plan: they model clients at
+    /// the machine's front door, not inter-node traffic. At the same
+    /// delivery cycle they order after all wire messages (their inbox
+    /// sequence sits above the wire-sequence space) and among themselves
+    /// in injection order, so the schedule stays a pure function of the
+    /// arrival schedule regardless of scheduler implementation.
+    ///
+    /// Only call between runs (never from inside a dispatched event);
+    /// the typical open-loop driver alternates `run_until(next_arrival)`
+    /// with `inject_request(next_arrival, ..)`.
+    pub fn inject_request(
+        &mut self,
+        at: Cycles,
+        req: u64,
+        obj: ObjRef,
+        method: MethodId,
+        args: &[Value],
+    ) {
+        debug_assert!(self.shard.is_none(), "inject_request inside a shard worker");
+        self.flush_record(crate::trace::TraceRecord {
+            at,
+            event: crate::trace::TraceEvent::RequestArrived {
+                node: obj.node,
+                req,
+            },
+        });
+        let seq = (1u64 << 63) | self.ext_seq;
+        self.ext_seq += 1;
+        let d = obj.node.idx();
+        self.nodes[d].inbox.push(InboxEntry {
+            deliver: at,
+            seq,
+            src: obj.node,
+            msg: Packet::Raw(Msg::Invoke {
+                obj: obj.index,
+                method,
+                args: args.to_vec(),
+                cont: Continuation::Request(req),
+                forwarded: false,
+            }),
+        });
+        let t = self.nodes[d].time.max(at);
+        self.sched_note(t, 0, d);
+    }
+
+    /// Record that the admission controller shed request `req` bound for
+    /// `node` at time `at` (it never entered the machine). Trace-only:
+    /// machine state is untouched.
+    pub fn note_request_shed(&mut self, at: Cycles, node: NodeId, req: u64) {
+        self.flush_record(crate::trace::TraceRecord {
+            at,
+            event: crate::trace::TraceEvent::RequestShed { node, req },
+        });
+    }
+
+    /// The admission controller's congestion signal: everything queued on
+    /// a node — undelivered inbox messages, ready contexts, and granted
+    /// lock invocations.
+    pub fn queue_depth(&self, node: NodeId) -> usize {
+        let n = &self.nodes[node.idx()];
+        n.inbox.len() + n.ready.len() + n.granted.len()
+    }
+
+    /// Drain the completion log: `(request id, completion time)` pairs in
+    /// request-id order, where the completion time is the serving node's
+    /// clock when the request's reply was delivered.
+    pub fn take_completed_requests(&mut self) -> Vec<(u64, Cycles)> {
+        std::mem::take(&mut self.completions).into_iter().collect()
+    }
+
     // ================= event loop =================
 
     /// Root invocation: run `method` on `obj` with `args` to quiescence and
@@ -1625,13 +1733,33 @@ impl Runtime {
     /// tie-break is a specification both implementations satisfy
     /// bit-identically (see [`SchedImpl`]).
     pub fn run_to_quiescence(&mut self) -> Result<(), Trap> {
+        self.run_until(Cycles::MAX)
+    }
+
+    /// Drive the machine until every candidate event is at or past
+    /// `horizon` (exclusive: an event whose selected time is exactly
+    /// `horizon` is *not* dispatched), then return with the machine
+    /// **resumable** — a later `run_until` with a larger horizon, or
+    /// [`Self::run_to_quiescence`], continues exactly where this left
+    /// off. Work injected between calls (e.g. [`Self::inject_request`])
+    /// is picked up on the next call.
+    ///
+    /// The event selected is always the global minimum `(time, kind,
+    /// node)` candidate, exactly as under [`Self::run_to_quiescence`]
+    /// (which is this with `horizon = Cycles::MAX`), so a horizon-bounded
+    /// run is a *prefix* of the unbounded run: traces, stats, clocks, and
+    /// rollups are bit-identical across all [`SchedImpl`]s at every
+    /// thread count for the same horizon. Note that node clocks may
+    /// stand past `horizon` afterwards — a step *starting* before the
+    /// horizon charges all of its work.
+    pub fn run_until(&mut self, horizon: Cycles) -> Result<(), Trap> {
         if !matches!(self.tie_break, TieBreak::Det) {
-            return self.run_explore();
+            return self.run_explore(horizon);
         }
         match self.sched_impl {
-            SchedImpl::EventIndex => self.run_event_index(),
-            SchedImpl::LinearScan => self.run_linear_scan(),
-            SchedImpl::Sharded { threads } => self.run_sharded(threads),
+            SchedImpl::EventIndex => self.run_event_index(horizon),
+            SchedImpl::LinearScan => self.run_linear_scan(horizon),
+            SchedImpl::Sharded { threads } => self.run_sharded(threads, horizon),
         }
     }
 
@@ -1642,7 +1770,7 @@ impl Runtime {
     /// which to dispatch, logging each non-forced decision. Choice 0 in
     /// canonical `(kind, node)` order is the deterministic selection, so
     /// an empty replay vector reproduces the default schedule.
-    fn run_explore(&mut self) -> Result<(), Trap> {
+    fn run_explore(&mut self, horizon: Cycles) -> Result<(), Trap> {
         let mut cands: Vec<(Cycles, u8, u32)> = Vec::new();
         loop {
             cands.clear();
@@ -1661,6 +1789,9 @@ impl Runtime {
             let Some(min_t) = cands.iter().map(|c| c.0).min() else {
                 return Ok(());
             };
+            if min_t >= horizon {
+                return Ok(());
+            }
             cands.retain(|c| c.0 == min_t);
             cands.sort_unstable_by_key(|c| (c.1, c.2));
             let arity = cands.len() as u32;
@@ -1789,8 +1920,20 @@ impl Runtime {
     /// entry at or below its true key, and the first entry that validates
     /// exactly equal to its node's recomputed candidate is the global
     /// minimum: the same event the linear scan selects.
-    pub(crate) fn run_event_index(&mut self) -> Result<(), Trap> {
-        while let Some(e) = self.sched.pop() {
+    pub(crate) fn run_event_index(&mut self, horizon: Cycles) -> Result<(), Trap> {
+        loop {
+            // Heap entries are lower bounds on their nodes' true
+            // candidate keys, and every actionable node keeps one in the
+            // heap — so a minimum at or past the horizon means the whole
+            // machine is. Stop *before* popping: the intact index (plus
+            // re-keys pushed below for stale pops past the horizon) is
+            // what makes the run resumable.
+            match self.sched.peek() {
+                None => break,
+                Some(e) if e.time >= horizon => return Ok(()),
+                Some(_) => {}
+            }
+            let e = self.sched.pop().expect("peeked entry");
             let i = e.node as usize;
             // A node's entries pop in key order, so the first pop carries
             // the tracked minimum; consuming it clears the suppression
@@ -1823,7 +1966,7 @@ impl Runtime {
     }
 
     /// Reference dispatch: re-scan every node per event, O(P) per event.
-    fn run_linear_scan(&mut self) -> Result<(), Trap> {
+    fn run_linear_scan(&mut self, horizon: Cycles) -> Result<(), Trap> {
         loop {
             // Select the earliest actionable (time, kind, node).
             let mut best: Option<(Cycles, u8, usize)> = None;
@@ -1838,6 +1981,9 @@ impl Runtime {
             let Some((t, kind, i)) = best else {
                 return Ok(());
             };
+            if t >= horizon {
+                return Ok(());
+            }
             self.dispatch_event(t, kind, i)?;
         }
     }

@@ -153,11 +153,12 @@ fn run_window(rt: &mut Runtime, end: Cycles) -> Result<(), Trap> {
 }
 
 impl Runtime {
-    /// Drive the machine to quiescence with the sharded executor. Falls
+    /// Drive the machine until every candidate is at or past `horizon`
+    /// (`Cycles::MAX` = quiescence) with the sharded executor. Falls
     /// back to the plain event index when fewer than two shards are
     /// possible or the cost model has zero wire latency (no lookahead —
     /// every window would be empty).
-    pub(crate) fn run_sharded(&mut self, threads: usize) -> Result<(), Trap> {
+    pub(crate) fn run_sharded(&mut self, threads: usize, horizon: Cycles) -> Result<(), Trap> {
         let p = self.nodes.len();
         let threads = threads.min(p);
         let wire = self.cost.min_wire_latency();
@@ -171,15 +172,17 @@ impl Runtime {
         lookahead =
             lookahead.saturating_add(self.net.plan().map_or(0, |plan| plan.min_extra_latency()));
         if threads <= 1 || lookahead == 0 {
-            return self.run_sharded_fallback();
+            return self.run_sharded_fallback(horizon);
         }
-        self.run_sharded_windows(threads, lookahead)
+        self.run_sharded_windows(threads, lookahead, horizon)
     }
 
     /// Zero-lookahead / single-shard path: run the plain event index,
     /// then zero the heap diagnostics so `MachineStats` is identical to
-    /// what the windowed path reports at higher thread counts.
-    fn run_sharded_fallback(&mut self) -> Result<(), Trap> {
+    /// what the windowed path reports at higher thread counts. Reseeds
+    /// the index from scratch and clears it afterwards, so repeated
+    /// horizon-bounded calls compose.
+    fn run_sharded_fallback(&mut self, horizon: Cycles) -> Result<(), Trap> {
         let saved = self.sched_impl;
         self.sched_impl = SchedImpl::EventIndex;
         for i in 0..self.nodes.len() {
@@ -188,7 +191,7 @@ impl Runtime {
                 self.sched_note(t, k, i);
             }
         }
-        let r = self.run_event_index();
+        let r = self.run_event_index(horizon);
         self.sched_impl = saved;
         self.sched.clear();
         for n in &mut self.nodes {
@@ -248,6 +251,8 @@ impl Runtime {
             retx_cap: self.retx_cap,
             poll_floor: Cycles::MAX,
             san_step: Self::SAN_ROOT_STEP,
+            ext_seq: 0,
+            completions: std::collections::BTreeMap::new(),
             shard: Some(Box::new(ShardCtx {
                 owns: owner.iter().map(|&o| o == s).collect(),
                 capture: Vec::new(),
@@ -259,7 +264,12 @@ impl Runtime {
     }
 
     /// The windowed coordinator loop (see the [module docs](self)).
-    fn run_sharded_windows(&mut self, threads: usize, lookahead: Cycles) -> Result<(), Trap> {
+    fn run_sharded_windows(
+        &mut self,
+        threads: usize,
+        lookahead: Cycles,
+        horizon: Cycles,
+    ) -> Result<(), Trap> {
         let p = self.nodes.len();
         // Contiguous balanced partition: shard s owns [s·p/T, (s+1)·p/T).
         let mut owner = vec![0usize; p];
@@ -313,7 +323,18 @@ impl Runtime {
                 let Some(wkey) = wkey else {
                     break; // quiescent
                 };
-                let end = wkey.0.saturating_add(lookahead).min(timer_bound);
+                if wkey.0 >= horizon {
+                    break; // every candidate is at or past the horizon
+                }
+                // Capping the window at the horizon keeps horizon-bounded
+                // runs an exact event-set prefix of unbounded ones; the
+                // serial-step branch below stays unreachable from the cap
+                // because `wkey.0 < horizon` here.
+                let end = wkey
+                    .0
+                    .saturating_add(lookahead)
+                    .min(timer_bound)
+                    .min(horizon);
                 if end <= wkey.0 {
                     // Serial step: the next event is (or ties with) a
                     // retransmission timer; run it with full-machine
@@ -386,6 +407,12 @@ impl Runtime {
                     self.sched_stats.events_dispatched += wk.sched_stats.events_dispatched;
                     if wk.result.is_some() {
                         self.result = wk.result.take();
+                    }
+                    if !wk.completions.is_empty() {
+                        // Request ids are unique, so folding worker logs
+                        // into the id-ordered coordinator map is
+                        // insertion-order independent.
+                        self.completions.append(&mut wk.completions);
                     }
                     let sh = wk.shard.as_mut().expect("shard ctx");
                     for (d, entry) in sh.outbox.drain(..) {

@@ -209,6 +209,35 @@ pub enum TraceEvent {
         /// Dispatching node.
         node: NodeId,
     },
+    /// An external client request arrived at the machine (open-system
+    /// service mode; see [`crate::rt::Runtime::inject_request`]). Emitted by the
+    /// open-loop driver at the request's *arrival* time, which may be
+    /// ahead of or behind the target node's clock — this is an offered-
+    /// load marker, not on-node work.
+    RequestArrived {
+        /// Target node (where the request's root invocation lands).
+        node: NodeId,
+        /// Request id (unique per run).
+        req: u64,
+    },
+    /// An external request's reply was delivered; the record's time is
+    /// the serving node's clock at delivery, so `done.at − arrived.at`
+    /// is the request's sojourn (latency) in cycles.
+    RequestDone {
+        /// Node that delivered the reply.
+        node: NodeId,
+        /// Request id.
+        req: u64,
+    },
+    /// The admission controller refused an external request (queue-depth
+    /// or deadline-infeasibility shedding) — it never entered the
+    /// machine.
+    RequestShed {
+        /// Target node the request would have landed on.
+        node: NodeId,
+        /// Request id.
+        req: u64,
+    },
 }
 
 /// A timestamped event.

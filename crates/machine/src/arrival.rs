@@ -1,0 +1,292 @@
+//! Seeded open-system arrival processes.
+//!
+//! A closed-system run drives the machine with one root call and waits
+//! for quiescence; an *open* system is driven continuously by external
+//! clients. This module generates those client request streams as a pure
+//! function of `(seed, client, k)`: the `k`-th arrival of a client is
+//! fully determined by the seed, independent of anything the simulated
+//! machine does — the offered load never bends to the service rate,
+//! which is exactly what makes an open-system (capacity) experiment
+//! different from a closed-system (batch) one.
+//!
+//! Three inter-arrival shapes are provided:
+//!
+//! * [`ArrivalDist::Poisson`] — memoryless gaps at a constant mean;
+//! * [`ArrivalDist::Bursty`] — on/off modulation: `burst_len` closely
+//!   spaced arrivals, then a long idle gap (same long-run mean);
+//! * [`ArrivalDist::Diurnal`] — the mean gap swept by a triangle wave of
+//!   the given period (a daily load curve, compressed).
+//!
+//! Exponential sampling uses [`crate::fmath::ln`] — a deterministic
+//! polynomial `ln`, not the platform libm — so arrival times are
+//! bit-identical across hosts. [`OpenLoop`] merges the per-client
+//! streams into one deterministic `(time, client)`-ordered schedule.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::fmath;
+use crate::Cycles;
+
+/// SplitMix64-style hash of `(seed, client, k, salt)`; the sole source
+/// of randomness for arrival gaps and per-request choices.
+fn roll(seed: u64, client: u32, k: u64, salt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add((client as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(k.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(salt.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const SALT_GAP: u64 = 0x11;
+const SALT_MIX: u64 = 0x12;
+
+/// Uniform in `(0, 1]` from a hash (never 0, so `ln` is safe).
+fn u01(r: u64) -> f64 {
+    ((r >> 11) + 1) as f64 / (1u64 << 53) as f64
+}
+
+/// Exponential sample with the given mean, in whole cycles, at least 1
+/// (arrivals must advance virtual time for the stream to terminate at
+/// any horizon).
+fn exp_gap(mean: f64, r: u64) -> Cycles {
+    let g = -mean * fmath::ln(u01(r));
+    (g as Cycles).max(1)
+}
+
+/// Inter-arrival shape of one client's request stream. All means are in
+/// virtual cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalDist {
+    /// Memoryless (Poisson) arrivals: gaps are iid exponential with mean
+    /// `mean_gap` cycles, i.e. rate `1/mean_gap` requests per cycle.
+    Poisson {
+        /// Mean inter-arrival gap in cycles.
+        mean_gap: f64,
+    },
+    /// On/off bursts: within a burst of `burst_len` requests, gaps are
+    /// exponential with mean `mean_gap/4`; each burst is preceded by an
+    /// exponential idle gap sized so the long-run mean gap stays
+    /// `mean_gap`.
+    Bursty {
+        /// Long-run mean inter-arrival gap in cycles.
+        mean_gap: f64,
+        /// Requests per burst (min 1).
+        burst_len: u32,
+    },
+    /// Diurnal load curve: the mean gap is swept between `mean_gap/2`
+    /// (peak) and `3·mean_gap/2` (trough) by a triangle wave with the
+    /// given period, evaluated at the previous arrival's time.
+    Diurnal {
+        /// Midpoint mean inter-arrival gap in cycles.
+        mean_gap: f64,
+        /// Triangle-wave period in cycles (min 1).
+        period: Cycles,
+    },
+}
+
+impl ArrivalDist {
+    /// Parse a `hemprof serve --arrival` name against a mean gap.
+    pub fn named(name: &str, mean_gap: f64) -> Option<ArrivalDist> {
+        match name {
+            "poisson" => Some(ArrivalDist::Poisson { mean_gap }),
+            "bursty" => Some(ArrivalDist::Bursty {
+                mean_gap,
+                burst_len: 8,
+            }),
+            "diurnal" => Some(ArrivalDist::Diurnal {
+                mean_gap,
+                period: (mean_gap * 64.0) as Cycles + 1,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The gap between a client's `k-1`-th and `k`-th arrivals (`k = 0`
+    /// gaps from time 0). Pure in `(seed, client, k, prev)`; `prev` (the
+    /// previous arrival time) only matters to [`ArrivalDist::Diurnal`].
+    fn gap(&self, seed: u64, client: u32, k: u64, prev: Cycles) -> Cycles {
+        let r = roll(seed, client, k, SALT_GAP);
+        match *self {
+            ArrivalDist::Poisson { mean_gap } => exp_gap(mean_gap, r),
+            ArrivalDist::Bursty {
+                mean_gap,
+                burst_len,
+            } => {
+                let b = burst_len.max(1) as u64;
+                if k.is_multiple_of(b) {
+                    // Idle gap: the burst's whole budget minus what the
+                    // in-burst gaps spend on average.
+                    let idle = mean_gap * (b as f64 - (b - 1) as f64 / 4.0);
+                    exp_gap(idle, r)
+                } else {
+                    exp_gap(mean_gap / 4.0, r)
+                }
+            }
+            ArrivalDist::Diurnal { mean_gap, period } => {
+                let period = period.max(1);
+                let phase = (prev % period) as f64 / period as f64;
+                // Triangle in [0,1]: 0 at phase 0.5, 1 at phase 0/1.
+                let tri = 2.0 * (phase - 0.5).abs();
+                exp_gap(mean_gap * (0.5 + tri), r)
+            }
+        }
+    }
+}
+
+/// One scheduled request arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival time in virtual cycles.
+    pub at: Cycles,
+    /// Originating client.
+    pub client: u32,
+    /// Per-client request ordinal (0-based).
+    pub k: u64,
+    /// Request-local hash — a pure function of `(seed, client, k)` for
+    /// downstream choices (target object, request kind) that must not
+    /// depend on machine state.
+    pub key: u64,
+}
+
+/// Deterministic merge of `clients` independent arrival streams into one
+/// `(time, client)`-ordered schedule. The stream is infinite; callers
+/// stop at their horizon.
+pub struct OpenLoop {
+    dist: ArrivalDist,
+    seed: u64,
+    /// Min-heap of each client's next arrival, keyed `(time, client)`.
+    heads: BinaryHeap<Reverse<(Cycles, u32, u64)>>,
+}
+
+impl OpenLoop {
+    /// Build the merged schedule for `clients` clients.
+    pub fn new(dist: ArrivalDist, clients: u32, seed: u64) -> OpenLoop {
+        let mut heads = BinaryHeap::with_capacity(clients as usize);
+        for c in 0..clients {
+            let t = dist.gap(seed, c, 0, 0);
+            heads.push(Reverse((t, c, 0)));
+        }
+        OpenLoop { dist, seed, heads }
+    }
+}
+
+impl Iterator for OpenLoop {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        let Reverse((at, client, k)) = self.heads.pop()?;
+        let next = at + self.dist.gap(self.seed, client, k + 1, at);
+        self.heads.push(Reverse((next, client, k + 1)));
+        Some(Arrival {
+            at,
+            client,
+            k,
+            key: roll(self.seed, client, k, SALT_MIX),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn take_until(dist: ArrivalDist, clients: u32, seed: u64, horizon: Cycles) -> Vec<Arrival> {
+        OpenLoop::new(dist, clients, seed)
+            .take_while(|a| a.at < horizon)
+            .collect()
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_the_seed() {
+        let d = ArrivalDist::Poisson { mean_gap: 500.0 };
+        let a = take_until(d, 4, 42, 100_000);
+        let b = take_until(d, 4, 42, 100_000);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = take_until(d, 4, 43, 100_000);
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn merged_stream_is_time_ordered_and_strictly_monotone_per_client() {
+        for dist in [
+            ArrivalDist::Poisson { mean_gap: 300.0 },
+            ArrivalDist::Bursty {
+                mean_gap: 300.0,
+                burst_len: 5,
+            },
+            ArrivalDist::Diurnal {
+                mean_gap: 300.0,
+                period: 10_000,
+            },
+        ] {
+            let arr = take_until(dist, 3, 7, 200_000);
+            assert!(arr.len() > 50, "{dist:?} produced {}", arr.len());
+            for w in arr.windows(2) {
+                assert!(
+                    (w[0].at, w[0].client) <= (w[1].at, w[1].client),
+                    "{dist:?}: merge order"
+                );
+            }
+            for c in 0..3 {
+                let mine: Vec<_> = arr.iter().filter(|a| a.client == c).collect();
+                for w in mine.windows(2) {
+                    assert!(w[0].at < w[1].at, "{dist:?}: client gaps >= 1");
+                    assert_eq!(w[0].k + 1, w[1].k, "{dist:?}: ordinals dense");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_long_run_rate_is_near_nominal() {
+        let mean = 400.0;
+        let horizon = 4_000_000;
+        let arr = take_until(ArrivalDist::Poisson { mean_gap: mean }, 1, 1, horizon);
+        let got = horizon as f64 / arr.len() as f64;
+        assert!(
+            (got - mean).abs() < mean * 0.15,
+            "empirical mean gap {got} vs nominal {mean}"
+        );
+    }
+
+    #[test]
+    fn bursty_keeps_the_long_run_mean() {
+        let mean = 400.0;
+        let horizon = 4_000_000;
+        let arr = take_until(
+            ArrivalDist::Bursty {
+                mean_gap: mean,
+                burst_len: 8,
+            },
+            1,
+            1,
+            horizon,
+        );
+        let got = horizon as f64 / arr.len() as f64;
+        assert!(
+            (got - mean).abs() < mean * 0.25,
+            "empirical mean gap {got} vs nominal {mean}"
+        );
+    }
+
+    #[test]
+    fn named_parses_the_cli_shapes() {
+        assert!(matches!(
+            ArrivalDist::named("poisson", 100.0),
+            Some(ArrivalDist::Poisson { .. })
+        ));
+        assert!(matches!(
+            ArrivalDist::named("bursty", 100.0),
+            Some(ArrivalDist::Bursty { .. })
+        ));
+        assert!(matches!(
+            ArrivalDist::named("diurnal", 100.0),
+            Some(ArrivalDist::Diurnal { .. })
+        ));
+        assert_eq!(ArrivalDist::named("uniform", 100.0), None);
+    }
+}

@@ -1,0 +1,151 @@
+//! Deterministic floating-point kernels.
+//!
+//! The platform `libm` transcendentals (`f64::ln`, `f64::exp2`, …) are
+//! *not* pinned by IEEE 754 — different libms round the last bit
+//! differently, which would make any simulation quantity derived from
+//! them host-dependent. The basic operations `+ - * /`, comparisons,
+//! `floor`, and bit-level conversions *are* exactly specified, so these
+//! kernels build `ln`/`log2`/`exp2` from fixed-length polynomial series
+//! over basic operations only: the same bits on every host.
+//!
+//! Accuracy is ~1 ulp over the ranges the simulator uses (mantissas in
+//! `[1,2)` for `ln`, exponents within `±1100` for `exp2`) — far beyond
+//! what arrival-gap sampling and histogram interpolation need. What
+//! matters here is *bit-stability*, not last-bit correctness.
+
+/// ln 2 (the std constant is an exact compile-time literal — using it
+/// keeps every host on the same bits).
+pub use std::f64::consts::LN_2;
+
+/// `2^n` for integer `n`, by exponent-field construction (exact).
+fn pow2i(n: i32) -> f64 {
+    if n >= 1024 {
+        f64::INFINITY
+    } else if n >= -1022 {
+        f64::from_bits(((n + 1023) as u64) << 52)
+    } else if n >= -1074 {
+        // Subnormal range: one mantissa bit set.
+        f64::from_bits(1u64 << (n + 1074))
+    } else {
+        0.0
+    }
+}
+
+/// Natural logarithm of a finite positive `x`, deterministic across hosts.
+///
+/// Decomposes `x = m · 2^e` with `m ∈ [√2/2, √2)` by bit manipulation,
+/// then evaluates the atanh series `ln m = 2·Σ t^(2k+1)/(2k+1)` with
+/// `t = (m−1)/(m+1)` (so `|t| < 0.1716`) over a fixed 13 terms.
+pub fn ln(x: f64) -> f64 {
+    assert!(x > 0.0 && x.is_finite(), "ln domain: {x}");
+    let bits = x.to_bits();
+    let e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    if e == -1023 {
+        // Subnormal: rescale exactly and recurse once.
+        return ln(x * pow2i(64)) - 64.0 * LN_2;
+    }
+    let mut m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    let mut e = e as f64;
+    if m > std::f64::consts::SQRT_2 {
+        m *= 0.5;
+        e += 1.0;
+    }
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    let mut term = t;
+    let mut sum = 0.0;
+    for k in 0..13u32 {
+        sum += term / (2 * k + 1) as f64;
+        term *= t2;
+    }
+    2.0 * sum + e * LN_2
+}
+
+/// Base-2 logarithm of a finite positive `x`, deterministic across hosts.
+pub fn log2(x: f64) -> f64 {
+    ln(x) / LN_2
+}
+
+/// `2^y` for finite `y`, deterministic across hosts: split `y` into an
+/// integer part (exact exponent construction) and a fraction `f ∈ [0,1)`
+/// evaluated as `e^(f·ln2)` by a fixed 20-term Taylor series.
+pub fn exp2(y: f64) -> f64 {
+    assert!(y.is_finite(), "exp2 domain: {y}");
+    if y >= 1025.0 {
+        return f64::INFINITY;
+    }
+    if y < -1075.0 {
+        return 0.0;
+    }
+    let n = y.floor();
+    let z = (y - n) * LN_2; // [0, ln 2)
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for k in 1..=20u32 {
+        term *= z / k as f64;
+        sum += term;
+    }
+    sum * pow2i(n as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_matches_libm_closely() {
+        for x in [
+            1e-9,
+            0.1,
+            0.5,
+            0.999,
+            1.0,
+            1.5,
+            2.0,
+            std::f64::consts::E,
+            10.0,
+            1e6,
+            1e18,
+        ] {
+            let got = ln(x);
+            let want = x.ln();
+            assert!(
+                (got - want).abs() <= 4.0 * f64::EPSILON * want.abs().max(1.0),
+                "ln({x}) = {got}, libm {want}"
+            );
+        }
+        assert_eq!(ln(1.0), 0.0);
+    }
+
+    #[test]
+    fn exp2_matches_libm_closely() {
+        for y in [-60.25, -1.5, -0.1, 0.0, 0.5, 1.0, 3.75, 52.9, 63.01] {
+            let got = exp2(y);
+            let want = y.exp2();
+            assert!(
+                (got - want).abs() <= 8.0 * f64::EPSILON * want.abs(),
+                "exp2({y}) = {got}, libm {want}"
+            );
+        }
+        assert_eq!(exp2(0.0), 1.0);
+        assert_eq!(exp2(10.0), 1024.0);
+    }
+
+    #[test]
+    fn log2_roundtrips_powers() {
+        for b in 0..64u32 {
+            let x = (1u64 << b) as f64;
+            assert!((log2(x) - b as f64).abs() < 1e-12, "log2(2^{b})");
+            assert_eq!(exp2(b as f64), x);
+        }
+    }
+
+    #[test]
+    fn integer_pow2_is_exact() {
+        assert_eq!(pow2i(0), 1.0);
+        assert_eq!(pow2i(-1), 0.5);
+        assert_eq!(pow2i(63), (1u64 << 63) as f64);
+        assert_eq!(pow2i(1024), f64::INFINITY);
+        assert_eq!(pow2i(-1080), 0.0);
+    }
+}

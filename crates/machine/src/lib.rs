@@ -22,7 +22,10 @@
 //!   paper's tables are derived from (heap contexts allocated, fallbacks,
 //!   stack invocations, messages, …),
 //! * [`topology`] — processor grids and the data-layout helpers used by the
-//!   evaluation kernels (block-cyclic maps, orthogonal recursive bisection).
+//!   evaluation kernels (block-cyclic maps, orthogonal recursive bisection),
+//! * [`arrival`] — seeded open-system arrival processes (Poisson / bursty /
+//!   diurnal client streams, a pure function of `(seed, client, k)`), built
+//!   on the host-independent float kernels in [`fmath`].
 //!
 //! Determinism is load-bearing: every experiment in the paper reproduction
 //! is a pure function of (program, layout, cost model, seed), which is what
@@ -30,8 +33,10 @@
 
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod cost;
 pub mod fault;
+pub mod fmath;
 pub mod net;
 pub mod stats;
 pub mod topology;

@@ -115,19 +115,38 @@ fn any_suspended(tl: &Timeline, n: u32, a: Cycles, b: Cycles) -> bool {
 /// Extract the critical path of a timeline. Returns an empty path for an
 /// empty timeline.
 pub fn critical_path(tl: &Timeline) -> CriticalPath {
-    let makespan = tl.makespan;
+    critical_path_until(tl, tl.makespan)
+}
+
+/// Extract the critical path of the prefix `[0, horizon]` of a timeline —
+/// the right call for horizon-bounded (`run_until`) traces, where steps
+/// may straddle the horizon. Segments are clamped at the horizon, so the
+/// tiling invariant becomes `total == min(makespan, horizon)`.
+pub fn critical_path_until(tl: &Timeline, horizon: Cycles) -> CriticalPath {
+    let end = tl.makespan.min(horizon);
     let mut segments: Vec<Segment> = Vec::new();
-    if makespan == 0 || tl.n_nodes == 0 {
+    if end == 0 || tl.n_nodes == 0 {
         return CriticalPath::default();
     }
-    let mut node = tl
-        .node_end
-        .iter()
-        .enumerate()
-        .max_by_key(|&(i, &t)| (t, std::cmp::Reverse(i)))
-        .map(|(i, _)| i as u32)
-        .unwrap_or(0);
-    let mut time = makespan;
+    // Start from the node last *active* within the horizon — judged from
+    // its steps, not its (possibly horizon-straddling) clock, so a node
+    // whose only activity lies past the horizon can't win. Ties pick the
+    // lowest index, matching the unbounded rule.
+    let mut node = 0u32;
+    let mut best: Cycles = 0;
+    for (i, steps) in tl.steps.iter().enumerate() {
+        let act = steps
+            .iter()
+            .rev()
+            .find(|s| s.start < end)
+            .map(|s| s.end.min(end))
+            .unwrap_or(0);
+        if act > best {
+            best = act;
+            node = i as u32;
+        }
+    }
+    let mut time = end;
 
     // Every iteration emits at least one segment ending at `time` and
     // strictly decreases `time`, so the walk terminates; the cap is pure
@@ -452,6 +471,34 @@ mod tests {
         assert_eq!(b.blocked, 25);
         assert_eq!(b.compute, 17);
         assert_eq!(b.total(), 42);
+    }
+
+    #[test]
+    fn horizon_clamps_segments_and_keeps_the_tiling_invariant() {
+        let tl = two_node_tl();
+        // Horizon inside n1's dispatch step [15, 20]: the straddling step
+        // is clamped, and the path tiles [0, 17] exactly.
+        let cp = critical_path_until(&tl, 17);
+        assert_eq!(cp.total, 17, "total == min(makespan, horizon)");
+        assert_eq!(cp.segments[0].start, 0);
+        for w in cp.segments.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        let last = cp.segments.last().unwrap();
+        assert_eq!((last.class, last.end), (SegClass::Dispatch, 17));
+
+        // Horizon in the network gap: the walk starts from the last node
+        // active before it (n0, whose step ended at 10).
+        let cp = critical_path_until(&tl, 12);
+        assert_eq!(cp.total, 12);
+        assert_eq!(cp.segments.last().unwrap().node, 0);
+
+        // Horizon past the makespan degenerates to the full path.
+        let cp = critical_path_until(&tl, 10_000);
+        assert_eq!(cp.total, tl.makespan);
+
+        // Zero horizon: empty path.
+        assert_eq!(critical_path_until(&tl, 0).total, 0);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Power-of-two bucketed histograms over virtual-cycle durations.
 
+use hem_machine::fmath;
+
 /// A log₂-bucket histogram: bucket `b` counts samples `v` with
 /// `2^(b-1) <= v < 2^b` (bucket 0 counts the zeros). 65 buckets cover the
 /// whole `u64` range, so insertion never saturates or clamps.
@@ -82,6 +84,65 @@ impl Log2Hist {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The `p`-quantile (`p ∈ [0,1]`, clamped) under the nearest-rank
+    /// rule, with geometric-midpoint interpolation inside a bucket.
+    ///
+    /// The histogram only knows each sample's bucket, so within bucket
+    /// `b` the `j`-th of `c` samples is placed at the geometric position
+    /// `lo · (hi/lo)^((2j−1)/2c)` — the log₂-space analogue of the usual
+    /// midpoint placement, matching the bucketing's own geometry. `hi`
+    /// is the bucket's last representable value, clamped by the observed
+    /// maximum; for the closed top bucket `[2^63, u64::MAX]` that makes
+    /// the interpolation exact-ranged rather than overflowing.
+    ///
+    /// Exact (interpolation-free) answers:
+    /// * empty histogram → 0;
+    /// * single sample → that sample (its value is `sum`);
+    /// * rank `count` (so any `p` high enough, including `p = 1.0`) →
+    ///   [`Log2Hist::max`];
+    /// * rank inside bucket 0 → 0 (zeros are exactly representable).
+    ///
+    /// The interpolation uses the host-independent [`hem_machine::fmath`]
+    /// kernels, so quantiles are bit-identical across platforms.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if self.count == 1 {
+            return self.sum as u64;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // Nearest rank: the smallest r (1-based) with r ≥ p·count.
+        let r = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if r == self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (b, c) in self.nonzero() {
+            if seen + c >= r {
+                return Self::interpolate(b, r - seen, c, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Geometric placement of the `j`-th (1-based) of `c` samples inside
+    /// bucket `b`, clamped to the bucket ∩ `[0, max]`.
+    fn interpolate(b: usize, j: u64, c: u64, max: u64) -> u64 {
+        if b == 0 {
+            return 0;
+        }
+        let lo = 1u64 << (b - 1);
+        let hi = if b == 64 { max } else { (1u64 << b) - 1 }.min(max);
+        if hi <= lo {
+            return lo;
+        }
+        let f = (2 * j - 1) as f64 / (2 * c) as f64;
+        let v = lo as f64 * fmath::exp2(f * fmath::log2(hi as f64 / lo as f64));
+        (v as u64).clamp(lo, hi)
     }
 
     /// Non-empty buckets, lowest first: `(bucket_index, count)`.
@@ -221,6 +282,97 @@ mod tests {
             assert_eq!(m.summary(), whole.summary());
             assert!((m.mean() - whole.mean()).abs() < 1e-12);
         }
+    }
+
+    /// Brute-force nearest-rank quantile over the raw samples.
+    fn brute_quantile(samples: &[u64], p: f64) -> u64 {
+        let mut s = samples.to_vec();
+        s.sort_unstable();
+        let r = ((p.clamp(0.0, 1.0) * s.len() as f64).ceil() as usize).clamp(1, s.len());
+        s[r - 1]
+    }
+
+    #[test]
+    fn quantile_exact_cases() {
+        let h = Log2Hist::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+
+        let mut h = Log2Hist::default();
+        h.add(37);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(p), 37, "single sample is exact at p={p}");
+        }
+
+        let mut h = Log2Hist::default();
+        for v in [0, 0, 0, 900] {
+            h.add(v);
+        }
+        assert_eq!(h.quantile(0.5), 0, "zeros bucket is exact");
+        assert_eq!(h.quantile(1.0), 900, "p=1 returns the exact max");
+    }
+
+    #[test]
+    fn quantile_is_exact_ranged_at_the_closed_top_bucket() {
+        let mut h = Log2Hist::default();
+        h.add(1 << 63);
+        h.add(u64::MAX - 5);
+        h.add(u64::MAX);
+        // All three land in the closed top bucket; every quantile must
+        // stay at or above 2^63 (no overflow, no clamp to 0).
+        for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let q = h.quantile(p);
+            assert!(q >= 1 << 63, "p={p}: {q}");
+        }
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bucket_consistent_with_brute_force() {
+        // A spread of magnitudes with repeats — enough shape to make an
+        // interpolation bug visible.
+        let mut samples = Vec::new();
+        for i in 0u64..200 {
+            samples.push((i * i * 37 + 3) % 50_000);
+        }
+        samples.push(0);
+        samples.push(1 << 40);
+        let mut h = Log2Hist::default();
+        for &v in &samples {
+            h.add(v);
+        }
+        let mut prev = 0u64;
+        for i in 0..=100 {
+            let p = i as f64 / 100.0;
+            let q = h.quantile(p);
+            assert!(q >= prev, "monotone at p={p}: {q} < {prev}");
+            prev = q;
+            // The histogram only knows buckets, so the contract is: the
+            // interpolated quantile lands in the same log₂ bucket as the
+            // brute-force sorted-sample nearest-rank quantile.
+            let want = brute_quantile(&samples, p);
+            assert_eq!(
+                Log2Hist::bucket_of(q),
+                Log2Hist::bucket_of(want),
+                "p={p}: quantile {q} vs brute {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_interpolates_geometrically_within_a_bucket() {
+        // 3 samples in bucket [1024, 2048): interpolated positions must
+        // spread geometrically, strictly inside the bucket.
+        let mut h = Log2Hist::default();
+        for v in [1100, 1500, 1900] {
+            h.add(v);
+        }
+        let q1 = h.quantile(1.0 / 3.0);
+        let q2 = h.quantile(2.0 / 3.0);
+        let q3 = h.quantile(1.0);
+        assert!((1024..2048).contains(&q1));
+        assert!((1024..2048).contains(&q2));
+        assert!(q1 < q2, "distinct in-bucket ranks interpolate apart");
+        assert_eq!(q3, 1900, "top rank is the exact max");
     }
 
     #[test]

@@ -29,10 +29,12 @@ pub mod perfetto;
 pub mod report;
 pub mod rollup;
 
-pub use critpath::{critical_path, node_breakdowns, CriticalPath, NodeBreakdown, SegClass};
+pub use critpath::{
+    critical_path, critical_path_until, node_breakdowns, CriticalPath, NodeBreakdown, SegClass,
+};
 pub use hist::Log2Hist;
 pub use model::Timeline;
-pub use report::Report;
+pub use report::{Report, ServiceSummary};
 pub use rollup::Rollup;
 
 use hem_core::TraceEvent;
@@ -55,7 +57,10 @@ pub fn event_node(e: &TraceEvent) -> u32 {
         | TraceEvent::DupSuppressed { node, .. }
         | TraceEvent::CtxFreed { node, .. }
         | TraceEvent::EventStart { node, .. }
-        | TraceEvent::EventEnd { node } => node.0,
+        | TraceEvent::EventEnd { node }
+        | TraceEvent::RequestArrived { node, .. }
+        | TraceEvent::RequestDone { node, .. }
+        | TraceEvent::RequestShed { node, .. } => node.0,
         TraceEvent::MsgSent { from, .. }
         | TraceEvent::MsgDropped { from, .. }
         | TraceEvent::MsgDuplicated { from, .. } => from.0,
@@ -137,5 +142,14 @@ pub fn describe(e: &TraceEvent, program: &hem_ir::Program) -> String {
             format!("n{} step start [{}]", node.0, k)
         }
         TraceEvent::EventEnd { node } => format!("n{} step end", node.0),
+        TraceEvent::RequestArrived { node, req } => {
+            format!("n{} request {req} arrived", node.0)
+        }
+        TraceEvent::RequestDone { node, req } => {
+            format!("n{} request {req} done", node.0)
+        }
+        TraceEvent::RequestShed { node, req } => {
+            format!("n{} request {req} SHED", node.0)
+        }
     }
 }

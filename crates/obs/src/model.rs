@@ -105,6 +105,25 @@ pub struct Flow {
     pub words: u64,
 }
 
+/// An external request's sojourn through the machine (open-system mode):
+/// arrival (offered-load stamp) to completion on the serving node. Shed
+/// requests get a zero-length span flagged `shed`.
+#[derive(Debug, Clone, Copy)]
+pub struct ReqSpan {
+    /// Request id.
+    pub req: u64,
+    /// Target node.
+    pub node: u32,
+    /// Arrival time (wall stamp of the arrival process — may be ahead of
+    /// the node's clock).
+    pub start: Cycles,
+    /// Completion time on the serving node (`None`: still in flight at
+    /// the horizon).
+    pub end: Option<Cycles>,
+    /// True when admission control refused the request.
+    pub shed: bool,
+}
+
 /// An interval during which a node had at least one suspended context.
 #[derive(Debug, Clone, Copy)]
 pub struct SuspendSpan {
@@ -130,6 +149,9 @@ pub struct Timeline {
     /// Per-node suspend intervals, in start order (may overlap when
     /// several contexts are suspended at once).
     pub suspends: Vec<Vec<SuspendSpan>>,
+    /// External request spans, in arrival order (empty for closed-system
+    /// runs).
+    pub requests: Vec<ReqSpan>,
     /// Per-node clock at the last record.
     pub node_end: Vec<Cycles>,
     /// Largest node clock seen.
@@ -159,6 +181,8 @@ struct Builder {
     pending: HashMap<(u32, u32, usize), VecDeque<(Cycles, u64)>>,
     suspends: Vec<Vec<SuspendSpan>>,
     open_susp: HashMap<(u32, u32), usize>,
+    requests: Vec<ReqSpan>,
+    open_req: HashMap<u64, usize>,
     node_end: Vec<Cycles>,
 }
 
@@ -174,6 +198,8 @@ impl Builder {
             pending: HashMap::new(),
             suspends: vec![Vec::new(); n_nodes],
             open_susp: HashMap::new(),
+            requests: Vec::new(),
+            open_req: HashMap::new(),
             node_end: vec![0; n_nodes],
         }
     }
@@ -220,6 +246,36 @@ impl Builder {
         let node = crate::event_node(&rec.event);
         self.grow(node);
         let ni = node as usize;
+
+        // Arrival-process stamps are *offered load*, not node activity:
+        // the arrival time can be ahead of the target node's clock, so
+        // they must neither advance `node_end` nor open a root step.
+        match rec.event {
+            TraceEvent::RequestArrived { node, req } => {
+                let idx = self.requests.len();
+                self.requests.push(ReqSpan {
+                    req,
+                    node: node.0,
+                    start: rec.at,
+                    end: None,
+                    shed: false,
+                });
+                self.open_req.insert(req, idx);
+                return;
+            }
+            TraceEvent::RequestShed { node, req } => {
+                self.requests.push(ReqSpan {
+                    req,
+                    node: node.0,
+                    start: rec.at,
+                    end: Some(rec.at),
+                    shed: true,
+                });
+                return;
+            }
+            _ => {}
+        }
+
         self.node_end[ni] = self.node_end[ni].max(rec.at);
 
         match rec.event {
@@ -339,6 +395,12 @@ impl Builder {
                     self.suspends[ni][idx].end = Some(rec.at);
                 }
             }
+            TraceEvent::RequestDone { req, .. } => {
+                self.touch_activity(node, rec.at);
+                if let Some(idx) = self.open_req.remove(&req) {
+                    self.requests[idx].end = Some(rec.at);
+                }
+            }
             _ => {
                 self.touch_activity(node, rec.at);
             }
@@ -372,6 +434,7 @@ impl Builder {
             ctx_spans: self.ctx_spans,
             flows: self.flows,
             suspends: self.suspends,
+            requests: self.requests,
             node_end: self.node_end,
             makespan,
         }
@@ -571,6 +634,39 @@ mod tests {
         // both queues drain.
         assert_eq!(tl.flows.len(), 1);
         assert_eq!(tl.flows[0].handled_at, 45);
+    }
+
+    #[test]
+    fn request_spans_pair_up_without_phantom_steps() {
+        let n = NodeId(0);
+        let recs = vec![
+            // Arrival stamped ahead of the node clock: must not move
+            // makespan or open a root step.
+            rec(100, TraceEvent::RequestArrived { node: n, req: 7 }),
+            rec(120, TraceEvent::RequestShed { node: n, req: 8 }),
+            rec(
+                105,
+                TraceEvent::EventStart {
+                    node: n,
+                    kind: KIND_MSG,
+                },
+            ),
+            rec(110, TraceEvent::RequestDone { node: n, req: 7 }),
+            rec(110, TraceEvent::EventEnd { node: n }),
+        ];
+        let tl = Timeline::build(&recs, 1);
+        assert_eq!(tl.steps[0].len(), 1);
+        assert_eq!(tl.makespan, 110);
+        assert_eq!(tl.requests.len(), 2);
+        assert_eq!(
+            (
+                tl.requests[0].start,
+                tl.requests[0].end,
+                tl.requests[0].shed
+            ),
+            (100, Some(110), false)
+        );
+        assert!(tl.requests[1].shed);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use hem_core::TraceRecord;
 /// Track ids within a node's process.
 const TID_SCHED: u32 = 0;
 const TID_CTX: u32 = 1;
+const TID_REQ: u32 = 2;
 
 struct W {
     out: String,
@@ -83,6 +84,12 @@ pub fn to_json(records: &[TraceRecord], tl: &Timeline, program: &Program) -> Str
             "\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{n},\"tid\":{TID_CTX},\
              \"args\":{{\"name\":\"contexts\"}}"
         ));
+        if !tl.requests.is_empty() {
+            w.event(format_args!(
+                "\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{n},\"tid\":{TID_REQ},\
+                 \"args\":{{\"name\":\"requests\"}}"
+            ));
+        }
     }
 
     // Scheduler steps as complete slices.
@@ -120,6 +127,32 @@ pub fn to_json(records: &[TraceRecord], tl: &Timeline, program: &Program) -> Str
             "\"ph\":\"e\",\"cat\":\"ctx\",\"name\":\"{name}\",\"id\":{i},\
              \"pid\":{},\"tid\":{TID_CTX},\"ts\":{end}",
             c.node
+        ));
+    }
+
+    // External request sojourns (open-system runs) as async spans on the
+    // target node's "requests" track; shed requests are instants. Ids are
+    // unique within `cat` "req", so they never collide with ctx spans.
+    for (i, r) in tl.requests.iter().enumerate() {
+        if r.shed {
+            w.event(format_args!(
+                "\"ph\":\"i\",\"s\":\"t\",\"cat\":\"req\",\"name\":\"shed req{}\",\
+                 \"pid\":{},\"tid\":{TID_REQ},\"ts\":{}",
+                r.req, r.node, r.start
+            ));
+            continue;
+        }
+        let name = format!("req{}", r.req);
+        w.event(format_args!(
+            "\"ph\":\"b\",\"cat\":\"req\",\"name\":\"{name}\",\"id\":{i},\
+             \"pid\":{},\"tid\":{TID_REQ},\"ts\":{}",
+            r.node, r.start
+        ));
+        let end = r.end.unwrap_or(tl.makespan).max(r.start);
+        w.event(format_args!(
+            "\"ph\":\"e\",\"cat\":\"req\",\"name\":\"{name}\",\"id\":{i},\
+             \"pid\":{},\"tid\":{TID_REQ},\"ts\":{end}",
+            r.node
         ));
     }
 
@@ -256,6 +289,13 @@ mod tests {
         assert_eq!(ph("b"), 1, "ctx span begin");
         assert_eq!(ph("e"), 1, "ctx span end");
         assert!(ph("M") >= 6, "naming metadata per node");
+        // No open-system records: no "requests" track metadata.
+        assert!(
+            !events
+                .iter()
+                .any(|e| { e.get("cat").and_then(|v| v.as_str()) == Some("req") }),
+            "closed-system trace has no request events"
+        );
         // Every node has at least one slice.
         for n in 0..2 {
             assert!(
@@ -266,5 +306,58 @@ mod tests {
                 "node {n} has a slice"
             );
         }
+    }
+
+    #[test]
+    fn request_spans_export_on_their_own_track() {
+        let n = NodeId(0);
+        let recs = vec![
+            TraceRecord {
+                at: 10,
+                event: TraceEvent::RequestArrived { node: n, req: 1 },
+            },
+            TraceRecord {
+                at: 12,
+                event: TraceEvent::RequestShed { node: n, req: 2 },
+            },
+            TraceRecord {
+                at: 11,
+                event: TraceEvent::EventStart { node: n, kind: 0 },
+            },
+            TraceRecord {
+                at: 30,
+                event: TraceEvent::RequestDone { node: n, req: 1 },
+            },
+            TraceRecord {
+                at: 30,
+                event: TraceEvent::EventEnd { node: n },
+            },
+        ];
+        let tl = Timeline::build(&recs, 1);
+        let program = program_with_one_method();
+        let out = to_json(&recs, &tl, &program);
+        let doc = Json::parse(&out).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let req = |p: &str| {
+            events
+                .iter()
+                .filter(|e| {
+                    e.get("cat").and_then(|v| v.as_str()) == Some("req")
+                        && e.get("ph").and_then(|v| v.as_str()) == Some(p)
+                })
+                .count()
+        };
+        assert_eq!(req("b"), 1, "one request span begin");
+        assert_eq!(req("e"), 1, "one request span end");
+        assert_eq!(req("i"), 1, "shed instant");
+        assert!(
+            events.iter().any(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|v| v.as_str())
+                    == Some("requests")
+            }),
+            "requests track named"
+        );
     }
 }

@@ -13,8 +13,41 @@ use hem_analysis::SchemaMap;
 use hem_ir::{MethodId, Program};
 use hem_machine::stats::MachineStats;
 
+use crate::hist::Log2Hist;
 use crate::json::escape;
 use crate::rollup::{MethodCell, Rollup};
+
+/// Steady-state summary of an open-system (`hemprof serve`) run: what the
+/// arrival process offered, what admission control did with it, and the
+/// post-warm-up latency distribution.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceSummary {
+    /// Requests the arrival process generated inside the horizon.
+    pub offered: u64,
+    /// Requests injected into the machine.
+    pub admitted: u64,
+    /// Requests shed because the target's queue was over the cap.
+    pub shed_queue: u64,
+    /// Requests shed because the deadline was already infeasible.
+    pub shed_deadline: u64,
+    /// Admitted requests that completed before the horizon.
+    pub completed: u64,
+    /// Admitted requests still in flight at the horizon.
+    pub pending: u64,
+    /// Completions whose sojourn exceeded the deadline (0 when no
+    /// deadline was set).
+    pub missed_deadline: u64,
+    /// Completions discarded by warm-up trimming (arrival < warmup).
+    pub trimmed: u64,
+    /// Virtual-time horizon of the run.
+    pub horizon: u64,
+    /// Warm-up cutoff: completions of requests arriving before it are
+    /// excluded from `latency`.
+    pub warmup: u64,
+    /// Steady-state sojourn times (arrival → reply) of the kept
+    /// completions.
+    pub latency: Log2Hist,
+}
 
 /// One method's row.
 #[derive(Debug, Clone)]
@@ -49,10 +82,16 @@ pub struct Report {
     pub residency: String,
     /// Residency mean (cycles).
     pub residency_mean: f64,
+    /// Residency p50/p95/p99 (cycles).
+    pub residency_q: [u64; 3],
     /// Touch-latency histogram summary.
     pub touch: String,
     /// Touch-latency mean (cycles).
     pub touch_mean: f64,
+    /// Touch-latency p50/p95/p99 (cycles).
+    pub touch_q: [u64; 3],
+    /// Open-system section (set via [`Report::with_service`]).
+    pub service: Option<ServiceSummary>,
     /// Makespan in cycles.
     pub makespan: u64,
     /// Node count.
@@ -102,13 +141,22 @@ impl Report {
             conts: rollup.total_conts(),
             residency: rollup.residency.summary(),
             residency_mean: rollup.residency.mean(),
+            residency_q: quantiles(&rollup.residency),
             touch: rollup.touch_latency.summary(),
             touch_mean: rollup.touch_latency.mean(),
+            touch_q: quantiles(&rollup.touch_latency),
+            service: None,
             makespan: stats.makespan(),
             nodes: stats.per_node.len(),
             dropped_events: stats.sched.dropped_events,
             per_link,
         }
+    }
+
+    /// Attach the open-system service section.
+    pub fn with_service(mut self, s: ServiceSummary) -> Report {
+        self.service = Some(s);
+        self
     }
 
     /// Render the text report.
@@ -184,14 +232,55 @@ impl Report {
         let _ = writeln!(o);
         let _ = writeln!(
             o,
-            "ctx residency (cycles, log2 buckets, mean {:.1}):\n  {}",
-            self.residency_mean, self.residency
+            "ctx residency (cycles, log2 buckets, mean {:.1}, p50/p95/p99 {}/{}/{}):\n  {}",
+            self.residency_mean,
+            self.residency_q[0],
+            self.residency_q[1],
+            self.residency_q[2],
+            self.residency
         );
         let _ = writeln!(
             o,
-            "touch latency (cycles, log2 buckets, mean {:.1}):\n  {}",
-            self.touch_mean, self.touch
+            "touch latency (cycles, log2 buckets, mean {:.1}, p50/p95/p99 {}/{}/{}):\n  {}",
+            self.touch_mean, self.touch_q[0], self.touch_q[1], self.touch_q[2], self.touch
         );
+        if let Some(s) = &self.service {
+            let q = quantiles(&s.latency);
+            let _ = writeln!(o);
+            let _ = writeln!(
+                o,
+                "service (open system, horizon {}, warm-up {}):",
+                s.horizon, s.warmup
+            );
+            let _ = writeln!(
+                o,
+                "  offered {}  admitted {}  shed {} (queue {}, deadline {})",
+                s.offered,
+                s.admitted,
+                s.shed_queue + s.shed_deadline,
+                s.shed_queue,
+                s.shed_deadline
+            );
+            let _ = writeln!(
+                o,
+                "  completed {}  pending-at-horizon {}  missed-deadline {}  warm-up-trimmed {}",
+                s.completed, s.pending, s.missed_deadline, s.trimmed
+            );
+            let _ = writeln!(
+                o,
+                "  latency (cycles, {} steady-state samples, mean {:.1}):",
+                s.latency.count(),
+                s.latency.mean()
+            );
+            let _ = writeln!(
+                o,
+                "    p50 {}  p95 {}  p99 {}  max {}",
+                q[0],
+                q[1],
+                q[2],
+                s.latency.max()
+            );
+        }
         o
     }
 
@@ -200,11 +289,13 @@ impl Report {
         let mut o = String::new();
         let _ = write!(
             o,
-            "{{\"title\":\"{}\",\"nodes\":{},\"makespan\":{},\"dropped_events\":{},",
+            "{{\"title\":\"{}\",\"nodes\":{},\"makespan\":{},\"dropped_events\":{},\
+             \"truncated\":{},",
             escape(&self.title),
             self.nodes,
             self.makespan,
-            self.dropped_events
+            self.dropped_events,
+            self.dropped_events > 0
         );
         let _ = write!(o, "\"methods\":[");
         for (i, r) in self.rows.iter().enumerate() {
@@ -250,11 +341,50 @@ impl Report {
         }
         let _ = write!(
             o,
-            "],\"conts_created\":{},\"residency_mean\":{:.6},\"touch_latency_mean\":{:.6}}}",
+            "],\"conts_created\":{},\"residency_mean\":{:.6},\"touch_latency_mean\":{:.6}",
             self.conts, self.residency_mean, self.touch_mean
         );
+        let _ = write!(
+            o,
+            ",\"residency\":{},\"touch_latency\":{}",
+            quantile_obj(self.residency_q),
+            quantile_obj(self.touch_q)
+        );
+        if let Some(s) = &self.service {
+            let q = quantiles(&s.latency);
+            let _ = write!(
+                o,
+                ",\"service\":{{\"horizon\":{},\"warmup\":{},\"offered\":{},\"admitted\":{},\
+                 \"shed_queue\":{},\"shed_deadline\":{},\"completed\":{},\"pending\":{},\
+                 \"missed_deadline\":{},\"trimmed\":{},\"samples\":{},\"latency_mean\":{:.6},\
+                 \"latency_max\":{},\"latency\":{}}}",
+                s.horizon,
+                s.warmup,
+                s.offered,
+                s.admitted,
+                s.shed_queue,
+                s.shed_deadline,
+                s.completed,
+                s.pending,
+                s.missed_deadline,
+                s.trimmed,
+                s.latency.count(),
+                s.latency.mean(),
+                s.latency.max(),
+                quantile_obj(q)
+            );
+        }
+        o.push('}');
         o
     }
+}
+
+fn quantiles(h: &Log2Hist) -> [u64; 3] {
+    [h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)]
+}
+
+fn quantile_obj(q: [u64; 3]) -> String {
+    format!("{{\"p50\":{},\"p95\":{},\"p99\":{}}}", q[0], q[1], q[2])
 }
 
 #[cfg(test)]
@@ -335,5 +465,59 @@ mod tests {
         s.sched.dropped_events = 7;
         let rep = Report::new("toy", &r, &s, &p, &sm);
         assert!(rep.text().contains("TRUNCATED TRACE: 7"));
+        // The JSON side carries the same marker.
+        let doc = Json::parse(&rep.json()).expect("valid json");
+        assert_eq!(doc.get("truncated").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("dropped_events").unwrap().as_num(), Some(7.0));
+    }
+
+    #[test]
+    fn json_carries_quantiles_and_untruncated_flag() {
+        let (r, s, p, sm) = toy();
+        let rep = Report::new("toy", &r, &s, &p, &sm);
+        let doc = Json::parse(&rep.json()).expect("valid json");
+        assert_eq!(doc.get("truncated").unwrap().as_bool(), Some(false));
+        for key in ["residency", "touch_latency"] {
+            let q = doc.get(key).unwrap();
+            for p in ["p50", "p95", "p99"] {
+                assert!(q.get(p).unwrap().as_num().is_some(), "{key}.{p}");
+            }
+        }
+        assert!(doc.get("service").is_none(), "closed system: no section");
+    }
+
+    #[test]
+    fn service_section_renders_in_text_and_json() {
+        let (r, s, p, sm) = toy();
+        let mut latency = Log2Hist::default();
+        for v in [10, 20, 40, 80, 160] {
+            latency.add(v);
+        }
+        let rep = Report::new("toy", &r, &s, &p, &sm).with_service(ServiceSummary {
+            offered: 10,
+            admitted: 8,
+            shed_queue: 1,
+            shed_deadline: 1,
+            completed: 5,
+            pending: 3,
+            missed_deadline: 2,
+            trimmed: 1,
+            horizon: 10_000,
+            warmup: 1_000,
+            latency,
+        });
+        let text = rep.text();
+        assert!(text.contains("service (open system, horizon 10000, warm-up 1000)"));
+        assert!(text.contains("offered 10  admitted 8  shed 2 (queue 1, deadline 1)"));
+        assert!(text.contains("p50"));
+        let doc = Json::parse(&rep.json()).expect("valid json");
+        let svc = doc.get("service").unwrap();
+        assert_eq!(svc.get("offered").unwrap().as_num(), Some(10.0));
+        assert_eq!(svc.get("samples").unwrap().as_num(), Some(5.0));
+        let q = svc.get("latency").unwrap();
+        let p50 = q.get("p50").unwrap().as_num().unwrap();
+        let p99 = q.get("p99").unwrap().as_num().unwrap();
+        assert!(p50 > 0.0 && p99 >= p50);
+        assert_eq!(svc.get("latency_max").unwrap().as_num(), Some(160.0));
     }
 }

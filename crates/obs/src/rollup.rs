@@ -326,6 +326,19 @@ pub struct Rollup {
     pub records: u64,
     /// Virtual time of the last record observed (max over nodes' stamps).
     pub last_at: Cycles,
+    /// External requests offered (open-system mode): `RequestArrived`
+    /// records, i.e. arrivals that passed admission.
+    pub requests_arrived: u64,
+    /// External requests completed (reply reached the completion log).
+    pub requests_completed: u64,
+    /// External requests refused by admission control.
+    pub requests_shed: u64,
+    /// Request sojourn time (arrival → reply), in virtual cycles.
+    pub request_latency: Log2Hist,
+    /// Arrival stamp of each in-flight request, by request id. Unlike
+    /// contexts, request ids are globally unique and never reused, so a
+    /// map (not a per-node slab) is the right store.
+    req_open: BTreeMap<u64, Cycles>,
     /// Allocation time of each open context (contexts are slab indices,
     /// dense and reused per node).
     open_ctx: SpanStore,
@@ -423,6 +436,17 @@ impl Rollup {
             TraceEvent::Retransmit { .. } => self.retransmits += 1,
             TraceEvent::DupSuppressed { .. } => self.dups_suppressed += 1,
             TraceEvent::MsgDropped { .. } => self.msgs_dropped += 1,
+            TraceEvent::RequestArrived { req, .. } => {
+                self.requests_arrived += 1;
+                self.req_open.insert(req, rec.at);
+            }
+            TraceEvent::RequestDone { req, .. } => {
+                self.requests_completed += 1;
+                if let Some(t0) = self.req_open.remove(&req) {
+                    self.request_latency.add(rec.at.saturating_sub(t0));
+                }
+            }
+            TraceEvent::RequestShed { .. } => self.requests_shed += 1,
             TraceEvent::MsgDuplicated { .. }
             | TraceEvent::EventStart { .. }
             | TraceEvent::EventEnd { .. } => {}
@@ -571,6 +595,17 @@ impl Rollup {
         }
         self.residency.merge(&other.residency);
         self.touch_latency.merge(&other.touch_latency);
+        self.requests_arrived += other.requests_arrived;
+        self.requests_completed += other.requests_completed;
+        self.requests_shed += other.requests_shed;
+        self.request_latency.merge(&other.request_latency);
+        // Request pairing is per-stream: a request whose arrival and
+        // completion were observed by *different* rollups contributes no
+        // latency sample (the runtime's own observer hook always sees the
+        // full merged stream, so this only affects offline splits).
+        for (req, t0) in &other.req_open {
+            self.req_open.entry(*req).or_insert(*t0);
+        }
         self.suspends += other.suspends;
         self.lock_deferrals += other.lock_deferrals;
         self.retransmits += other.retransmits;
@@ -586,6 +621,12 @@ impl Rollup {
     /// — e.g. the root shell of a run that trapped.
     pub fn open_contexts(&self) -> usize {
         self.open_ctx.open()
+    }
+
+    /// Requests still in flight (arrived but not completed) when
+    /// observation ended — pending work at the horizon of a bounded run.
+    pub fn requests_in_flight(&self) -> usize {
+        self.req_open.len()
     }
 
     /// Total lazily-materialized continuations.
