@@ -28,8 +28,9 @@
 //!
 //! common options
 //!   --mode M          hybrid|parallel (default hybrid)
-//!   --cost C          cm5|t3d (default cm5)
+//!   --cost C          cm5|t3d|unit (default cm5)
 //!   --threads N       host worker threads (sharded executor; default 1)
+//!   --speculative     optimistic (Time-Warp) executor for --threads > 1
 //!   --ring N          bound the trace ring to N records
 //!   --report F        table|json (default table)
 //!   --perfetto FILE   write a Perfetto trace_event JSON timeline
@@ -58,7 +59,8 @@ fn usage() -> ! {
     eprintln!("       hemprof serve [--p N] [--backends N] [--until H] [--warmup W] [--rate G]");
     eprintln!("               [--arrival poisson|bursty|diurnal] [--clients N] [--deadline D]");
     eprintln!("               [--max-queue Q] [--seed S]");
-    eprintln!("       common: [--mode hybrid|parallel] [--cost cm5|t3d] [--threads N] [--ring N]");
+    eprintln!("       common: [--mode hybrid|parallel] [--cost cm5|t3d|unit] [--threads N]");
+    eprintln!("               [--speculative] [--ring N]");
     eprintln!("               [--report table|json] [--perfetto FILE] [--critical-path]");
     eprintln!("               [--events]");
     std::process::exit(2);
@@ -76,6 +78,10 @@ fn parse_cost(args: &Args) -> CostModel {
     match args.get::<String>("--cost").as_deref() {
         None | Some("cm5") => CostModel::cm5(),
         Some("t3d") => CostModel::t3d(),
+        // Every charge 1 cycle: the zero-lookahead regime, where the
+        // conservative sharded executor serializes and only the
+        // speculative one can form multi-event windows.
+        Some("unit") => CostModel::unit(),
         Some(_) => usage(),
     }
 }
@@ -149,12 +155,17 @@ fn main() {
     if let Some(t) = args.get("--threads") {
         cfg.threads = t;
     }
+    cfg.speculative = args.has("--speculative");
 
     // The rollup observes the stream online — reports stay exact even
     // when a bounded ring evicts records.
     let mut rt = cfg.run_with_observer(Box::new(Rollup::new()));
-    let report = report_from(&mut rt, &cfg.title());
-    emit(&args, report, &mut rt, perfetto_path, None);
+    let spec = spec_summary(&rt, cfg.speculative, cfg.threads);
+    let mut report = report_from(&mut rt, &cfg.title());
+    if let Some(s) = &spec {
+        report = report.with_speculative(s.clone());
+    }
+    emit(&args, report, &mut rt, perfetto_path, None, spec);
 }
 
 fn run_serve(args: &Args, perfetto_path: Option<String>) {
@@ -201,14 +212,45 @@ fn run_serve(args: &Args, perfetto_path: Option<String>) {
     if let Some(t) = args.get("--threads") {
         cfg.threads = t;
     }
+    cfg.speculative = args.has("--speculative");
     if cfg.warmup >= cfg.horizon {
         eprintln!("hemprof: --warmup must be below --until");
         std::process::exit(2);
     }
 
     let (mut rt, out) = cfg.run();
-    let report = report_from(&mut rt, &cfg.title()).with_service(cfg.summary(&out));
-    emit(args, report, &mut rt, perfetto_path, Some(cfg.horizon));
+    let spec = spec_summary(&rt, cfg.speculative, cfg.threads);
+    let mut report = report_from(&mut rt, &cfg.title()).with_service(cfg.summary(&out));
+    if let Some(s) = &spec {
+        report = report.with_speculative(s.clone());
+    }
+    emit(
+        args,
+        report,
+        &mut rt,
+        perfetto_path,
+        Some(cfg.horizon),
+        spec,
+    );
+}
+
+/// Host-side speculation diagnostics for the report and the Perfetto
+/// counter track. `None` when the run wasn't speculative (the simulated
+/// stats are executor-invariant, so there is nothing to add).
+fn spec_summary(rt: &Runtime, speculative: bool, threads: usize) -> Option<hem_obs::SpecSummary> {
+    if !speculative || threads <= 1 {
+        return None;
+    }
+    let s = rt.spec_stats();
+    Some(hem_obs::SpecSummary {
+        threads,
+        windows: s.windows,
+        serial_steps: s.serial_steps,
+        rollbacks: s.rollbacks,
+        anti_messages: s.anti_messages,
+        ckpt_nodes: s.ckpt_nodes,
+        max_window: s.max_window,
+    })
 }
 
 /// Build the report from the *streamed* rollup (exact under ring
@@ -229,6 +271,7 @@ fn emit(
     rt: &mut Runtime,
     perfetto_path: Option<String>,
     horizon: Option<Cycles>,
+    spec: Option<hem_obs::SpecSummary>,
 ) {
     let stats = rt.stats();
     if stats.sched.dropped_events > 0 {
@@ -272,7 +315,7 @@ fn emit(
     let tl = Timeline::build(&records, stats.per_node.len());
 
     if let Some(path) = perfetto_path {
-        let json = perfetto::to_json(&records, &tl, rt.program());
+        let json = perfetto::to_json_with_spec(&records, &tl, rt.program(), spec.as_ref());
         std::fs::write(&path, &json).unwrap_or_else(|e| {
             eprintln!("hemprof: cannot write {path}: {e}");
             std::process::exit(1);

@@ -91,6 +91,12 @@ pub struct ProfileConfig {
     /// runs the single-threaded event index. Every thread count yields a
     /// bit-identical trace and report.
     pub threads: usize,
+    /// Use the optimistic (Time-Warp) executor instead of the
+    /// conservative sharded one when `threads > 1` — checkpoints,
+    /// speculative windows past the lookahead bound, rollback on
+    /// stragglers. Still bit-identical; the speculation diagnostics land
+    /// in the report's speculative section.
+    pub speculative: bool,
 }
 
 impl ProfileConfig {
@@ -108,6 +114,7 @@ impl ProfileConfig {
             cost: CostModel::cm5(),
             ring: None,
             threads: 1,
+            speculative: false,
         }
     }
 
@@ -221,8 +228,14 @@ impl ProfileConfig {
 
     fn arm(&self, rt: &mut Runtime, obs: Option<Box<dyn hem_core::Observer>>) {
         if self.threads > 1 {
-            rt.sched_impl = hem_core::SchedImpl::Sharded {
-                threads: self.threads,
+            rt.sched_impl = if self.speculative {
+                hem_core::SchedImpl::Speculative {
+                    threads: self.threads,
+                }
+            } else {
+                hem_core::SchedImpl::Sharded {
+                    threads: self.threads,
+                }
             };
         }
         match self.ring {

@@ -43,6 +43,9 @@ pub struct ServeConfig {
     /// Host worker threads (sharded executor above 1); every thread count
     /// yields a bit-identical trace and summary.
     pub threads: usize,
+    /// Use the optimistic (Time-Warp) executor instead of the
+    /// conservative sharded one when `threads > 1`; still bit-identical.
+    pub speculative: bool,
     /// Bound the trace to a ring of this many records (`None`:
     /// unbounded). The rollup-backed report does not depend on ring
     /// completeness — it streams through the observer hook.
@@ -67,6 +70,7 @@ impl ServeConfig {
             mode: ExecMode::Hybrid,
             cost: CostModel::cm5(),
             threads: 1,
+            speculative: false,
             ring: None,
         }
     }
@@ -95,8 +99,14 @@ impl ServeConfig {
             InterfaceSet::Full,
         );
         if self.threads > 1 {
-            rt.sched_impl = hem_core::SchedImpl::Sharded {
-                threads: self.threads,
+            rt.sched_impl = if self.speculative {
+                hem_core::SchedImpl::Speculative {
+                    threads: self.threads,
+                }
+            } else {
+                hem_core::SchedImpl::Sharded {
+                    threads: self.threads,
+                }
             };
         }
         match self.ring {

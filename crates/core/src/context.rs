@@ -124,8 +124,11 @@ pub struct Context {
     pub cont_consumed: bool,
 }
 
-/// Per-node context table: slab with free list and generations.
-#[derive(Debug, Default)]
+/// Per-node context table: slab with free list and generations. `Clone`
+/// (used by the speculative executor's node checkpoints) captures the
+/// slab, free list, and generation counters exactly, so a restored table
+/// re-allocates the same indices and generations on re-execution.
+#[derive(Debug, Default, Clone)]
 pub struct CtxTable {
     entries: Vec<Context>,
     free: Vec<u32>,

@@ -182,16 +182,26 @@ pub enum Mutant {
     /// chains keep recursing on the host stack past `max_seq_depth`
     /// instead of diverting through a heap context.
     SkipDepthGuard,
+    /// Keep a node's speculatively advanced wire-sequence counter across a
+    /// Time-Warp rollback instead of restoring the checkpointed value
+    /// (rollback bookkeeping bug, see `crate::timewarp`). Re-sent
+    /// messages then carry fresh sequence numbers, so fault fates and
+    /// same-cycle delivery tie-breaks are re-drawn differently from the
+    /// cancelled attempt — invisible under every non-speculative
+    /// scheduler (no rollbacks happen), caught only by diffing the
+    /// speculative path against `SchedImpl::EventIndex`.
+    SkipWireSeqRestore,
 }
 
 impl Mutant {
     /// Every mutant, for smoke-check loops.
-    pub const ALL: [Mutant; 5] = [
+    pub const ALL: [Mutant; 6] = [
         Mutant::EagerWake,
         Mutant::DoubleRootReply,
         Mutant::ShellSlotZero,
         Mutant::DropJoinDecrement,
         Mutant::SkipDepthGuard,
+        Mutant::SkipWireSeqRestore,
     ];
 
     /// The `HEM_MUTANT` spelling of this mutant.
@@ -202,6 +212,7 @@ impl Mutant {
             Mutant::ShellSlotZero => "shell-slot-zero",
             Mutant::DropJoinDecrement => "drop-join-decrement",
             Mutant::SkipDepthGuard => "skip-depth-guard",
+            Mutant::SkipWireSeqRestore => "skip-wire-seq-restore",
         }
     }
 

@@ -81,6 +81,7 @@ pub mod rt;
 pub mod sanitize;
 pub mod seq;
 pub mod shard;
+pub mod timewarp;
 pub mod trace;
 pub mod wrapper;
 
@@ -91,6 +92,7 @@ pub use explore::{Explorer, Mutant, TieBreak, TieChoice};
 pub use object::Object;
 pub use rt::{NodeObjectState, Runtime, SchedImpl};
 pub use sanitize::Sanitizer;
+pub use timewarp::SpecStats;
 pub use trace::{MsgCause, Observer, Trace, TraceEvent, TraceRecord};
 
 pub use hem_analysis::{InterfaceSet, Schema, SchemaMap};

@@ -74,17 +74,40 @@ pub(crate) struct ShardCtx {
     /// `owns[i]` — does this shard own global node `i`?
     pub owns: Vec<bool>,
     /// Records emitted this window, each under its dispatching event's
-    /// key. Appended in dispatch order, so the buffer is key-sorted.
-    pub capture: Vec<(EventKey, TraceRecord)>,
+    /// key and shard-local dispatch ordinal. Appended in dispatch order;
+    /// under conservative windows the buffer is also key-sorted, while
+    /// the speculative executor's zero-lookahead windows may interleave
+    /// keys non-monotonically (a dispatched event can create a
+    /// smaller-key candidate via a zero-latency send) — the ordinal
+    /// preserves the true shard-local order either way.
+    pub capture: Vec<(EventKey, u32, TraceRecord)>,
     /// Packets addressed to nodes of other shards, parked for the
     /// coordinator to route at the window barrier.
     pub outbox: Vec<(u32, InboxEntry)>,
     /// Key of the event currently being dispatched (capture tag; also
     /// identifies the trapping event when a dispatch returns an error).
     pub cur: EventKey,
+    /// Shard-local dispatch ordinal of the current event (monotone per
+    /// worker; distinguishes back-to-back events that share a key).
+    pub ord: u32,
     /// Capture records at all? Mirrors "trace buffer enabled or observer
     /// attached" on the coordinator.
     pub record: bool,
+    /// Copy-on-dirty window checkpoint, armed only by the speculative
+    /// executor (see [`crate::timewarp`]); `None` under conservative
+    /// sharded execution, where `Runtime::tw_save` is a no-op.
+    pub ckpt: Option<crate::timewarp::TwCkpt>,
+    /// Event keys in shard-local dispatch order, logged only while a
+    /// checkpoint is armed: the speculative commit merge's master order
+    /// (available even when tracing is off, unlike `capture`).
+    pub dispatched: Vec<EventKey>,
+    /// Earliest retransmission-timer deadline armed during the current
+    /// speculative window (`Cycles::MAX` when none). Conservative
+    /// windows cannot outrun `retx_base`, so a mid-window timer is never
+    /// due in-window there; optimistic windows can, and workers never
+    /// fire timers — validation treats a deadline below the window edge
+    /// exactly like a straggler.
+    pub min_timer: Cycles,
 }
 
 /// Spin iterations before parking on a blocking channel receive. Windows
@@ -103,7 +126,7 @@ fn spin_budget() -> u32 {
     })
 }
 
-fn recv_spin<T>(rx: &Receiver<T>) -> T {
+pub(crate) fn recv_spin<T>(rx: &Receiver<T>) -> T {
     for _ in 0..spin_budget() {
         match rx.try_recv() {
             Ok(v) => return v,
@@ -119,7 +142,7 @@ fn recv_spin<T>(rx: &Receiver<T>) -> T {
 /// `Runtime::run_event_index` (pop, lazy re-validation, dispatch,
 /// re-arm), except that candidates at or past the window edge are left
 /// for the next window's reseeding instead of being re-keyed.
-fn run_window(rt: &mut Runtime, end: Cycles) -> Result<(), Trap> {
+pub(crate) fn run_window(rt: &mut Runtime, end: Cycles) -> Result<(), Trap> {
     while rt.sched.peek().is_some_and(|e| e.time < end) {
         let e = rt.sched.pop().expect("peeked entry");
         let i = e.node as usize;
@@ -138,10 +161,27 @@ fn run_window(rt: &mut Runtime, end: Cycles) -> Result<(), Trap> {
         if t >= end {
             continue;
         }
-        debug_assert!(
-            kind != 2,
-            "retransmission timer fired inside a window (lookahead bound violated)"
-        );
+        if kind == 2 {
+            // A retransmission timer came due inside the window. Under
+            // conservative windows this is impossible (`end` never
+            // outruns `retx_base`); under a speculative window it means
+            // a timer armed mid-window — already recorded in
+            // `min_timer`, so validation is guaranteed to roll this
+            // attempt back below the deadline. Timer handlers need
+            // full-machine visibility, so don't fire it: stop the shard
+            // early and let the rollback discard everything.
+            if rt.shard.as_ref().is_some_and(|sh| sh.ckpt.is_some()) {
+                debug_assert!(
+                    rt.shard.as_ref().is_some_and(|sh| sh.min_timer < end),
+                    "in-window timer not recorded for validation"
+                );
+                break;
+            }
+            debug_assert!(
+                false,
+                "retransmission timer fired inside a window (lookahead bound violated)"
+            );
+        }
         rt.dispatch_event(t, kind, i)?;
         if let Some((t, kind)) = rt.node_candidate(i) {
             if t < end {
@@ -182,7 +222,7 @@ impl Runtime {
     /// what the windowed path reports at higher thread counts. Reseeds
     /// the index from scratch and clears it afterwards, so repeated
     /// horizon-bounded calls compose.
-    fn run_sharded_fallback(&mut self, horizon: Cycles) -> Result<(), Trap> {
+    pub(crate) fn run_sharded_fallback(&mut self, horizon: Cycles) -> Result<(), Trap> {
         let saved = self.sched_impl;
         self.sched_impl = SchedImpl::EventIndex;
         for i in 0..self.nodes.len() {
@@ -207,7 +247,7 @@ impl Runtime {
     /// node present so global indexing works, but only owned nodes ever
     /// hold state during a window) sharing the program and fault plan,
     /// with tracing redirected into the shard capture.
-    fn make_worker(&self, s: usize, owner: &[usize], record: bool) -> Runtime {
+    pub(crate) fn make_worker(&self, s: usize, owner: &[usize], record: bool) -> Runtime {
         let mut net = Network::new();
         net.set_plan(self.net.plan().cloned());
         Runtime {
@@ -253,12 +293,17 @@ impl Runtime {
             san_step: Self::SAN_ROOT_STEP,
             ext_seq: 0,
             completions: std::collections::BTreeMap::new(),
+            spec: crate::timewarp::SpecStats::default(),
             shard: Some(Box::new(ShardCtx {
                 owns: owner.iter().map(|&o| o == s).collect(),
                 capture: Vec::new(),
                 outbox: Vec::new(),
                 cur: (0, 0, 0),
+                ord: 0,
                 record,
+                ckpt: None,
+                dispatched: Vec::new(),
+                min_timer: Cycles::MAX,
             })),
         }
     }
@@ -304,7 +349,7 @@ impl Runtime {
             }
             drop(res_tx);
 
-            let mut merged: Vec<(EventKey, TraceRecord)> = Vec::new();
+            let mut merged: Vec<(EventKey, u32, TraceRecord)> = Vec::new();
             'windows: loop {
                 // All nodes live in `self` here. Find W and the timer bound.
                 let mut wkey: Option<EventKey> = None;
@@ -421,12 +466,16 @@ impl Runtime {
                     merged.append(&mut sh.capture);
                 }
                 // Stable sort of key-sorted shard runs == deterministic
-                // merge; keys are unique, so the order is total.
-                merged.sort_by_key(|(k, _)| *k);
+                // merge; keys are unique per event and the ordinal orders
+                // records within one, so the order is total. (Conservative
+                // windows dispatch in non-decreasing key order per shard —
+                // only the speculative executor needs the general
+                // heads-merge; see `crate::timewarp`.)
+                merged.sort_by_key(|(k, o, _)| (*k, *o));
                 if let Some(&(trap_key, _)) = fails.iter().min_by_key(|(k, _)| *k) {
                     // Keep only what a single-threaded run would have
                     // emitted before (and during) the trapping event.
-                    for (k, rec) in merged.drain(..) {
+                    for (k, _, rec) in merged.drain(..) {
                         if k <= trap_key {
                             self.flush_record(rec);
                         }
@@ -438,7 +487,7 @@ impl Runtime {
                     outcome = Err((key, trap));
                     break 'windows;
                 }
-                for (_, rec) in merged.drain(..) {
+                for (_, _, rec) in merged.drain(..) {
                     self.flush_record(rec);
                 }
             }

@@ -1,0 +1,858 @@
+//! Optimistic (Time-Warp) execution at window granularity, for the
+//! zero-lookahead regime.
+//!
+//! [`SchedImpl::Speculative`] keeps the sharded executor's structure —
+//! contiguous node shards, one OS worker per shard, windowed advance, a
+//! deterministic commit at each barrier — but drops the conservative
+//! premise that a window may only extend as far as the lookahead
+//! guarantees no cross-shard message can land. Instead each window
+//! *speculates*:
+//!
+//! 1. **Checkpoint.** Every worker arms a copy-on-dirty checkpoint: the
+//!    first time a window dispatch (or an intra-shard delivery) touches
+//!    a node, the node is cloned whole — objects, contexts, inbox,
+//!    transport maps, and the wire-sequence counter (see
+//!    [`crate::rt::Node`]'s `Clone`). Untouched nodes cost nothing.
+//! 2. **Optimistic advance.** Shards run the ordinary in-window dispatch
+//!    loop ([`crate::shard::run_window`]) to a window edge `end = W + δ`
+//!    with `δ` well past the conservative lookahead (adaptively sized,
+//!    see below), parking cross-shard sends in their outboxes exactly as
+//!    the conservative executor does.
+//! 3. **Validate.** At the barrier the coordinator scans every outbox: a
+//!    packet due *inside* the window (`deliver < end`) is a
+//!    **straggler** — its destination shard just ran the window without
+//!    it, so the optimistic run is invalid.
+//! 4. **Rollback + anti-messages.** On any straggler, *all* shards roll
+//!    back: checkpointed nodes are moved back in place, parked outbox
+//!    packets are discarded (each one an **anti-message** — the send
+//!    never happened; the per-node wire-sequence counters rewind with
+//!    the node snapshots, so a re-send re-draws the *same* sequence
+//!    number and hence the same [`hem_machine::fault::FaultPlan`] fate,
+//!    which is a pure function of `(seed, seq, src, dest)`), worker
+//!    network counters are reset to their window-edge snapshot
+//!    ([`hem_machine::net::Network::restore_counters`]), sanitizer state
+//!    rewinds, and the trace capture of the cancelled attempt is
+//!    dropped. The window re-runs with `end` shrunk to the earliest
+//!    straggler's delivery time `d_min` — and that second attempt is
+//!    provably clean (below). When `d_min == W` (a zero-latency message
+//!    delivered exactly at the window base) the shrunken window would be
+//!    empty, so the coordinator serially steps the global-minimum event
+//!    and opens a fresh window.
+//! 5. **Commit.** A validated window's shards were causally independent
+//!    after the fact — exactly the conservative invariant, established
+//!    by checking rather than by bounding — so the union of their runs
+//!    is the serial run's event set for `[W, end)`, and per-shard state,
+//!    counters, and captures fold into the coordinator as under
+//!    [`SchedImpl::Sharded`].
+//!
+//! **Why the retry is clean.** Shard-local dispatch consumes no foreign
+//! input inside a window (stragglers are precisely the foreign input
+//! that *should* have arrived), so re-running a shard from its restored
+//! checkpoint replays attempt 1 exactly, truncated at the smaller window
+//! edge `d_min`. Its sends are therefore a subset of attempt 1's sends —
+//! and every packet attempt 1 produced was due at or after `d_min`
+//! (non-stragglers were due ≥ `end` > `d_min`; `d_min` is the minimum
+//! over stragglers). A subset of packets all due ≥ `d_min` contains no
+//! straggler for a window ending at `d_min`: attempt 2 validates.
+//!
+//! **Why the commit is the serial run.** Induction over the serial
+//! schedule restricted to `[W, end)`: the serial run's next event always
+//! belongs to some shard, its inputs are that shard's own state plus
+//! messages validated to be due ≥ `end`, and shard-local dispatch uses
+//! the identical selection rule — so each shard's in-window sequence *is*
+//! the serial schedule's projection onto that shard, and makespan,
+//! counters, final state, and fault fates are bit-identical to
+//! [`SchedImpl::EventIndex`].
+//!
+//! **The commit merge is a heads-merge, not a sort.** Under zero
+//! lookahead a dispatched event can *create* a smaller-key candidate —
+//! dispatching `(t, local-work, n)` may send a zero-latency message that
+//! becomes `(t, message, n')` with `message < local-work` in the kind
+//! order — so neither the serial dispatch order nor a shard's capture
+//! buffer is key-sorted, and the conservative executor's global
+//! sort-by-key would interleave records wrongly. The serial order is
+//! instead reconstructed by repeatedly taking, among the shards' *next
+//! undispatched* events, the one with the minimum key (equal keys across
+//! shards are impossible — the node id is part of the key and nodes are
+//! partitioned). In conservative windows per-shard dispatch keys are
+//! non-decreasing and the heads-merge degenerates to exactly that sort.
+//!
+//! **Windows never cross timers.** `end` is capped at the earliest
+//! retransmission-timer candidate, as under the conservative executor:
+//! timer handlers inspect *remote* inboxes (`frame_in_flight`), which no
+//! windowed worker may do. Timers are handled by coordinator serial
+//! steps with full-machine visibility.
+//!
+//! **Adaptive window.** `δ` starts at 8× the conservative lookahead
+//! (floored at 8 cycles when the lookahead is zero — the regime this
+//! executor exists for), halves on every rollback (floor 1), and doubles
+//! after four consecutive clean windows (capped at 64× the base). The
+//! adaptation is driven only by rollback outcomes, which may differ
+//! across thread counts — harmless, because *every* validated window
+//! commits a serial-order prefix regardless of where its edges fall.
+//!
+//! **Diagnostics.** Rollback/anti-message/checkpoint counts accumulate
+//! in [`SpecStats`] (see [`crate::Runtime::spec_stats`]), deliberately
+//! outside `MachineStats`: like the event-index heap diagnostics, they
+//! depend on the thread count, and `MachineStats` is bit-identical
+//! across executors by contract.
+
+use crate::error::Trap;
+use crate::explore::Mutant;
+use crate::rt::{Node, Runtime};
+use crate::shard::{recv_spin, run_window, EventKey};
+use crate::trace::TraceRecord;
+use hem_machine::stats::NetStats;
+use hem_machine::Cycles;
+use std::sync::mpsc::{channel, Sender};
+
+/// A worker's armed window checkpoint: copy-on-dirty node snapshots plus
+/// the window-edge values of the worker-global state a rollback must
+/// rewind (network counters, sanitizer state, task-token counter).
+pub(crate) struct TwCkpt {
+    /// `saved[i]` — node `i` as it stood at the window edge, populated
+    /// lazily by [`Runtime::tw_save`] the first time the window touches
+    /// the node. Only this worker's owned nodes ever appear.
+    pub saved: Vec<Option<Box<Node>>>,
+    /// The worker network's counter snapshot at the window edge.
+    pub net: NetStats,
+    /// The worker sanitizer's snapshot, when one is attached.
+    pub san: Option<crate::sanitize::SanSnapshot>,
+    /// Task-token counter at the window edge, so a re-run draws
+    /// identical tokens.
+    pub next_task: u64,
+}
+
+/// Speculation diagnostics for [`crate::SchedImpl::Speculative`] runs;
+/// all zero under every other scheduler (including the `threads <= 1`
+/// fallback). Accumulates across `run_until` calls. Thread-count
+/// *dependent* by nature — rollback patterns change with the partition —
+/// which is why these live outside `MachineStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecStats {
+    /// Speculative windows committed (validated clean).
+    pub windows: u64,
+    /// Events the coordinator stepped serially (timer due, or a
+    /// straggler landing exactly on the window base).
+    pub serial_steps: u64,
+    /// Windows rolled back on straggler detection.
+    pub rollbacks: u64,
+    /// Speculatively sent cross-shard packets cancelled by rollbacks.
+    pub anti_messages: u64,
+    /// Copy-on-dirty node snapshots taken.
+    pub ckpt_nodes: u64,
+    /// Widest committed window, in cycles.
+    pub max_window: Cycles,
+}
+
+impl Runtime {
+    /// Speculation diagnostics accumulated by
+    /// [`crate::SchedImpl::Speculative`] runs on this runtime (zeros
+    /// under every other scheduler). Unlike [`Self::stats`], these are
+    /// *not* bit-identical across thread counts — they describe how much
+    /// speculating the executor did, not what the machine computed.
+    pub fn spec_stats(&self) -> SpecStats {
+        self.spec
+    }
+
+    /// Copy-on-dirty checkpoint hook: called before the first mutation
+    /// of node `i` in a speculative window (at dispatch, and at
+    /// intra-shard message delivery — cross-node state only ever changes
+    /// through those two paths). No-op unless this runtime is a shard
+    /// worker with an armed checkpoint.
+    #[inline]
+    pub(crate) fn tw_save(&mut self, i: usize) {
+        let Some(sh) = self.shard.as_deref_mut() else {
+            return;
+        };
+        let Some(ck) = sh.ckpt.as_mut() else {
+            return;
+        };
+        if ck.saved[i].is_none() {
+            ck.saved[i] = Some(Box::new(self.nodes[i].clone()));
+            self.spec.ckpt_nodes += 1;
+        }
+    }
+
+    /// Drive the machine until every candidate is at or past `horizon`
+    /// with the optimistic executor. Falls back to the plain event index
+    /// only for degenerate thread counts — a zero-lookahead cost model
+    /// runs speculatively (that regime is the point; the conservative
+    /// executor serializes there).
+    pub(crate) fn run_speculative(&mut self, threads: usize, horizon: Cycles) -> Result<(), Trap> {
+        let p = self.nodes.len();
+        let threads = threads.min(p);
+        if threads <= 1 {
+            return self.run_sharded_fallback(horizon);
+        }
+        let wire = self.cost.min_wire_latency();
+        let mut lookahead = if self.reliable {
+            wire.min(self.retx_base)
+        } else {
+            wire
+        };
+        lookahead =
+            lookahead.saturating_add(self.net.plan().map_or(0, |plan| plan.min_extra_latency()));
+        // Base window scale: the conservative lookahead when there is
+        // one, a small constant when there is none.
+        let base = lookahead.max(1);
+        self.run_timewarp_windows(threads, base, horizon)
+    }
+
+    /// The optimistic coordinator loop (see the [module docs](self)).
+    fn run_timewarp_windows(
+        &mut self,
+        threads: usize,
+        base: Cycles,
+        horizon: Cycles,
+    ) -> Result<(), Trap> {
+        let p = self.nodes.len();
+        let mut owner = vec![0usize; p];
+        for (s, chunk) in (0..threads).map(|s| (s, (s * p / threads, (s + 1) * p / threads))) {
+            for o in &mut owner[chunk.0..chunk.1] {
+                *o = s;
+            }
+        }
+        let record = self.trace_buf.enabled() || self.observer.is_some();
+        let mut workers: Vec<Option<Runtime>> = (0..threads)
+            .map(|s| Some(self.make_worker(s, &owner, record)))
+            .collect();
+
+        let mut delta = base.saturating_mul(8);
+        let delta_cap = base.saturating_mul(64);
+        let mut clean_streak = 0u32;
+
+        let mut outcome: Result<(), (EventKey, Trap)> = Ok(());
+        std::thread::scope(|scope| {
+            type Job = (Runtime, Cycles);
+            type Done = (usize, Runtime, Result<(), Trap>);
+            let mut job_tx: Vec<Sender<Job>> = Vec::with_capacity(threads - 1);
+            let (res_tx, res_rx) = channel::<Done>();
+            for s in 1..threads {
+                let (tx, rx) = channel::<Job>();
+                job_tx.push(tx);
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((mut rt, end)) = rx.recv() {
+                        let r = run_window(&mut rt, end);
+                        if res_tx.send((s, rt, r)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+
+            'windows: loop {
+                // All nodes live in `self` here. Find W and the timer
+                // bound, exactly as the conservative executor does.
+                let mut wkey: Option<EventKey> = None;
+                let mut timer_bound = Cycles::MAX;
+                for i in 0..p {
+                    if let Some((t, k)) = self.node_candidate(i) {
+                        let key = (t, k, i as u32);
+                        if wkey.is_none_or(|b| key < b) {
+                            wkey = Some(key);
+                        }
+                    }
+                    if let Some(t2) = self.node_timer_candidate(i) {
+                        timer_bound = timer_bound.min(t2);
+                    }
+                }
+                let Some(wkey) = wkey else {
+                    break; // quiescent
+                };
+                if wkey.0 >= horizon {
+                    break;
+                }
+                let mut end = wkey.0.saturating_add(delta).min(timer_bound).min(horizon);
+                if end <= wkey.0 {
+                    // A retransmission timer is (or ties with) the next
+                    // event: never speculate past it — its handler
+                    // inspects remote inboxes. Exact serial semantics.
+                    self.spec.serial_steps += 1;
+                    if let Err(trap) = self.dispatch_event(wkey.0, wkey.1, wkey.2 as usize) {
+                        outcome = Err((wkey, trap));
+                        break 'windows;
+                    }
+                    continue;
+                }
+
+                // Optimistic attempts at [wkey.0, end): validate, shrink
+                // on stragglers. Terminates — `end` strictly decreases,
+                // and the retry at `d_min` is provably clean (module
+                // docs), so in practice this loop runs at most twice.
+                loop {
+                    // Hand-out, with checkpoints armed.
+                    let mut active = vec![false; threads];
+                    for (s, slot) in workers.iter_mut().enumerate() {
+                        let wk = slot.as_mut().expect("worker at barrier");
+                        wk.sched.clear();
+                        wk.sched_stats.events_dispatched = 0;
+                        let ck = TwCkpt {
+                            saved: (0..p).map(|_| None).collect(),
+                            net: wk.net.stats(),
+                            san: wk.sanitizer.as_deref().map(|s| s.snapshot()),
+                            next_task: wk.next_task,
+                        };
+                        let sh = wk.shard.as_mut().expect("shard ctx");
+                        sh.ckpt = Some(ck);
+                        sh.min_timer = Cycles::MAX;
+                        for (i, &own) in owner.iter().enumerate() {
+                            if own != s {
+                                continue;
+                            }
+                            std::mem::swap(&mut self.nodes[i], &mut wk.nodes[i]);
+                            wk.nodes[i].sched_noted = None;
+                            if let Some((t, k)) = wk.node_candidate(i) {
+                                if t < end {
+                                    wk.sched_note(t, k, i);
+                                    active[s] = true;
+                                }
+                            }
+                        }
+                    }
+                    for s in 1..threads {
+                        if active[s] {
+                            let wk = workers[s].take().expect("worker at barrier");
+                            job_tx[s - 1].send((wk, end)).expect("worker thread died");
+                        }
+                    }
+                    let mut fails: Vec<(EventKey, Trap)> = Vec::new();
+                    if active[0] {
+                        let wk = workers[0].as_mut().expect("inline shard");
+                        if let Err(trap) = run_window(wk, end) {
+                            fails.push((wk.shard.as_ref().expect("shard ctx").cur, trap));
+                        }
+                    }
+                    let jobs_out = (1..threads).filter(|&s| active[s]).count();
+                    for _ in 0..jobs_out {
+                        let (s, wk, r) = recv_spin(&res_rx);
+                        if let Err(trap) = r {
+                            fails.push((wk.shard.as_ref().expect("shard ctx").cur, trap));
+                        }
+                        workers[s] = Some(wk);
+                    }
+
+                    // Barrier, pass 1: every node back into the
+                    // coordinator (restores below target `self.nodes`).
+                    for (s, slot) in workers.iter_mut().enumerate() {
+                        let wk = slot.as_mut().expect("worker at barrier");
+                        for (i, &own) in owner.iter().enumerate() {
+                            if own == s {
+                                std::mem::swap(&mut self.nodes[i], &mut wk.nodes[i]);
+                            }
+                        }
+                    }
+
+                    // Validate: a parked cross-shard packet due inside
+                    // the window is a straggler, and so is a
+                    // retransmission timer armed mid-window with a
+                    // deadline inside it (workers never fire timers;
+                    // the serial run would). `d_min` is the earliest
+                    // either anywhere.
+                    let mut d_min: Option<Cycles> = None;
+                    for slot in workers.iter() {
+                        let wk = slot.as_ref().expect("worker at barrier");
+                        let sh = wk.shard.as_ref().expect("shard ctx");
+                        for (_, entry) in &sh.outbox {
+                            if entry.deliver < end && d_min.is_none_or(|m| entry.deliver < m) {
+                                d_min = Some(entry.deliver);
+                            }
+                        }
+                        if sh.min_timer < end && d_min.is_none_or(|m| sh.min_timer < m) {
+                            d_min = Some(sh.min_timer);
+                        }
+                    }
+
+                    let Some(d_min) = d_min else {
+                        // Clean window: commit.
+                        self.spec.windows += 1;
+                        self.spec.max_window = self.spec.max_window.max(end - wkey.0);
+                        clean_streak += 1;
+                        if clean_streak >= 4 {
+                            clean_streak = 0;
+                            delta = delta.saturating_mul(2).min(delta_cap);
+                        }
+                        let mut captures: Vec<Vec<(EventKey, u32, TraceRecord)>> =
+                            Vec::with_capacity(threads);
+                        let mut dispatched: Vec<Vec<EventKey>> = Vec::with_capacity(threads);
+                        for slot in workers.iter_mut() {
+                            let wk = slot.as_mut().expect("worker at barrier");
+                            self.sched_stats.events_dispatched += wk.sched_stats.events_dispatched;
+                            if wk.result.is_some() {
+                                self.result = wk.result.take();
+                            }
+                            if !wk.completions.is_empty() {
+                                self.completions.append(&mut wk.completions);
+                            }
+                            let sh = wk.shard.as_mut().expect("shard ctx");
+                            sh.ckpt = None;
+                            for (d, entry) in sh.outbox.drain(..) {
+                                self.nodes[d as usize].inbox.push(entry);
+                            }
+                            captures.push(std::mem::take(&mut sh.capture));
+                            dispatched.push(std::mem::take(&mut sh.dispatched));
+                        }
+                        // Heads-merge (module docs): replay events in
+                        // serial order — always the minimum key among the
+                        // shards' next-undispatched events — flushing each
+                        // event's records as it commits, and stopping at
+                        // the serial-first trap if any shard trapped.
+                        let fail_keys: Vec<EventKey> = fails.iter().map(|(k, _)| *k).collect();
+                        let mut ev_cur = vec![0usize; threads];
+                        let mut rec_cur = vec![0usize; threads];
+                        let mut trap_key: Option<EventKey> = None;
+                        loop {
+                            let mut head: Option<(EventKey, usize)> = None;
+                            for (s, d) in dispatched.iter().enumerate() {
+                                if let Some(&k) = d.get(ev_cur[s]) {
+                                    if head.is_none_or(|(hk, _)| k < hk) {
+                                        head = Some((k, s));
+                                    }
+                                }
+                            }
+                            let Some((k, s)) = head else {
+                                break;
+                            };
+                            ev_cur[s] += 1;
+                            // This event's records sit at the shard's
+                            // record cursor: same key, same ordinal (the
+                            // ordinal splits back-to-back events that
+                            // share a key).
+                            if let Some(&(k0, o0, _)) = captures[s].get(rec_cur[s]) {
+                                if k0 == k {
+                                    while let Some(&(k2, o2, rec)) = captures[s].get(rec_cur[s]) {
+                                        if (k2, o2) != (k0, o0) {
+                                            break;
+                                        }
+                                        self.flush_record(rec);
+                                        rec_cur[s] += 1;
+                                    }
+                                }
+                            }
+                            if fail_keys.contains(&k) {
+                                trap_key = Some(k);
+                                break;
+                            }
+                        }
+                        if let Some(tk) = trap_key {
+                            let (_, trap) = fails
+                                .into_iter()
+                                .find(|(k, _)| *k == tk)
+                                .expect("trap for merged key");
+                            outcome = Err((tk, trap));
+                            break 'windows;
+                        } else if let Some((key, trap)) = fails.into_iter().min_by_key(|(k, _)| *k)
+                        {
+                            // Defensive: a trapping dispatch always logs
+                            // its key, so the merge should have found it.
+                            outcome = Err((key, trap));
+                            break 'windows;
+                        }
+                        break; // next window
+                    };
+
+                    // Straggler: roll every shard back to the window
+                    // edge and cancel the attempt. Traps found by the
+                    // cancelled attempt are speculative state — if real,
+                    // the retry re-encounters them (its run is a prefix
+                    // of the cancelled one).
+                    self.spec.rollbacks += 1;
+                    clean_streak = 0;
+                    delta = (delta / 2).max(1);
+                    fails.clear();
+                    let keep_wseq = self.mutant_is(Mutant::SkipWireSeqRestore);
+                    for slot in workers.iter_mut() {
+                        let wk = slot.as_mut().expect("worker at barrier");
+                        let sh = wk.shard.as_mut().expect("shard ctx");
+                        self.spec.anti_messages += sh.outbox.len() as u64;
+                        sh.outbox.clear();
+                        sh.capture.clear();
+                        sh.dispatched.clear();
+                        let ck = sh.ckpt.take().expect("armed checkpoint");
+                        for (i, saved) in ck.saved.into_iter().enumerate() {
+                            if let Some(saved) = saved {
+                                let wseq = self.nodes[i].wire_seq;
+                                self.nodes[i] = *saved;
+                                if keep_wseq {
+                                    // Mutation site (`skip-wire-seq-restore`):
+                                    // keep the speculatively advanced
+                                    // counter, so re-sends draw fresh
+                                    // sequence numbers and re-roll their
+                                    // fault fates.
+                                    self.nodes[i].wire_seq = wseq;
+                                }
+                            }
+                        }
+                        wk.net.restore_counters(&ck.net);
+                        if let (Some(sn), Some(snap)) =
+                            (wk.sanitizer.as_deref_mut(), ck.san.as_ref())
+                        {
+                            sn.rollback(snap);
+                        }
+                        wk.next_task = ck.next_task;
+                        wk.result = None;
+                        wk.completions.clear();
+                    }
+                    if d_min <= wkey.0 {
+                        // The straggler lands exactly on the window base:
+                        // the shrunken window would be empty. Step the
+                        // global-minimum event serially (the rollback put
+                        // the machine back at the window edge, so `wkey`
+                        // is still the minimum) and open a fresh window.
+                        self.spec.serial_steps += 1;
+                        if let Err(trap) = self.dispatch_event(wkey.0, wkey.1, wkey.2 as usize) {
+                            outcome = Err((wkey, trap));
+                            break 'windows;
+                        }
+                        break; // next window
+                    }
+                    end = d_min; // retry, shrunken — provably clean
+                }
+            }
+            drop(job_tx); // workers exit; scope joins them
+        });
+
+        // Fold worker-side global state back into the coordinator.
+        for slot in &mut workers {
+            let wk = slot.as_mut().expect("worker after run");
+            self.net.absorb_counters(&wk.net);
+            self.spec.ckpt_nodes += wk.spec.ckpt_nodes;
+            if let (Some(main_s), Some(wk_s)) =
+                (self.sanitizer.as_deref_mut(), wk.sanitizer.as_deref_mut())
+            {
+                main_s.absorb(wk_s);
+            }
+        }
+        for n in &mut self.nodes {
+            n.sched_noted = None;
+        }
+        outcome.map_err(|(_, trap)| trap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Packet;
+    use crate::rt::{InboxEntry, SchedImpl};
+    use crate::trace::Observer;
+    use crate::{ExecMode, InterfaceSet};
+    use hem_ir::{BinOp, MethodId, ObjRef, ProgramBuilder, Value};
+    use hem_machine::cost::CostModel;
+    use hem_machine::fault::FaultPlan;
+    use hem_machine::net::{Network, WireClass};
+    use hem_machine::NodeId;
+    use proptest::prelude::*;
+
+    /// Same bounce-ring as the sharded executor's tests: every hop is
+    /// cross-node traffic, so speculation, stragglers, and rollbacks all
+    /// get exercised.
+    fn ring_runtime(p: u32, cost: CostModel) -> (Runtime, ObjRef, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C", false);
+        let peer = pb.field(c, "peer");
+        let bounce = pb.declare(c, "bounce", 1);
+        pb.define(bounce, |mb| {
+            let n = mb.arg(0);
+            let done = mb.binl(BinOp::Lt, n, 1);
+            mb.if_else(
+                done,
+                |mb| mb.reply(n),
+                |mb| {
+                    let pr = mb.get_field(peer);
+                    let n1 = mb.binl(BinOp::Sub, n, 1);
+                    let s = mb.invoke_into(pr, bounce, &[n1.into()]);
+                    let v = mb.touch_get(s);
+                    let r = mb.binl(BinOp::Add, v, n);
+                    mb.reply(r);
+                },
+            );
+        });
+        let mut rt = Runtime::new(pb.finish(), p, cost, ExecMode::Hybrid, InterfaceSet::Full)
+            .expect("valid ring program");
+        let objs: Vec<ObjRef> = (0..p)
+            .map(|i| rt.alloc_object_by_name("C", NodeId(i)))
+            .collect();
+        for (i, &o) in objs.iter().enumerate() {
+            rt.set_field(o, peer, Value::Obj(objs[(i + 1) % objs.len()]));
+        }
+        (rt, objs[0], bounce)
+    }
+
+    struct Collect(Vec<TraceRecord>);
+    impl Observer for Collect {
+        fn on_record(&mut self, rec: &TraceRecord) {
+            self.0.push(*rec);
+        }
+    }
+
+    struct Outcome {
+        result: Option<Value>,
+        makespan: Cycles,
+        trace: Vec<TraceRecord>,
+        observed: Vec<TraceRecord>,
+        stats: hem_machine::stats::MachineStats,
+        spec: SpecStats,
+    }
+
+    fn run_ring(sched: SchedImpl, cost: CostModel, faults: Option<FaultPlan>) -> Outcome {
+        let (mut rt, root, bounce) = ring_runtime(4, cost);
+        rt.sched_impl = sched;
+        rt.enable_trace();
+        rt.attach_observer(Box::new(Collect(Vec::new())));
+        if let Some(plan) = faults {
+            rt.set_fault_plan(plan);
+        }
+        let result = rt.call(root, bounce, &[Value::Int(25)]).expect("ring runs");
+        let obs = rt.take_observer().expect("observer attached");
+        let observed = (obs as Box<dyn std::any::Any>)
+            .downcast::<Collect>()
+            .expect("collect observer")
+            .0;
+        Outcome {
+            result,
+            makespan: rt.makespan(),
+            trace: rt.take_trace(),
+            observed,
+            stats: rt.stats(),
+            spec: rt.spec_stats(),
+        }
+    }
+
+    fn assert_bit_identical(a: &Outcome, b: &Outcome, what: &str) {
+        assert_eq!(a.result, b.result, "{what}: result");
+        assert_eq!(a.makespan, b.makespan, "{what}: makespan");
+        if let Some(i) = (0..a.trace.len().min(b.trace.len())).find(|&i| a.trace[i] != b.trace[i]) {
+            panic!(
+                "{what}: traces diverge at record {i}:\n  a: {:?}\n  b: {:?}",
+                a.trace[i], b.trace[i]
+            );
+        }
+        assert_eq!(a.trace.len(), b.trace.len(), "{what}: trace length");
+        assert_eq!(a.observed, b.observed, "{what}: observer stream");
+        assert_eq!(a.stats.node_time, b.stats.node_time, "{what}: clocks");
+        assert_eq!(a.stats.per_node, b.stats.per_node, "{what}: counters");
+        assert_eq!(a.stats.net, b.stats.net, "{what}: net stats");
+        assert_eq!(
+            a.stats.sched.events_dispatched, b.stats.sched.events_dispatched,
+            "{what}: dispatch count"
+        );
+    }
+
+    #[test]
+    fn speculative_matches_event_index_on_a_ring() {
+        let base = run_ring(SchedImpl::EventIndex, CostModel::cm5(), None);
+        assert_eq!(base.result, Some(Value::Int(325)), "25+24+...+1");
+        for threads in [2, 3, 4, 7] {
+            let spec = run_ring(SchedImpl::Speculative { threads }, CostModel::cm5(), None);
+            assert_bit_identical(&base, &spec, &format!("threads={threads}"));
+            assert_eq!(spec.stats.sched.heap_pushes, 0, "heap stats read 0");
+            assert_eq!(spec.stats.sched.max_heap_depth, 0);
+            assert!(
+                spec.spec.windows + spec.spec.serial_steps > 0,
+                "threads={threads}: the speculative path actually ran"
+            );
+        }
+    }
+
+    #[test]
+    fn speculative_matches_event_index_under_faults() {
+        let plan = FaultPlan::seeded(7);
+        let base = run_ring(SchedImpl::EventIndex, CostModel::cm5(), Some(plan.clone()));
+        for threads in [2, 4] {
+            let spec = run_ring(
+                SchedImpl::Speculative { threads },
+                CostModel::cm5(),
+                Some(plan.clone()),
+            );
+            assert_bit_identical(&base, &spec, &format!("faulty threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn speculative_runs_the_zero_lookahead_regime() {
+        // Unit cost: zero wire latency, zero lookahead. The conservative
+        // sharded executor must serialize here; the speculative one keeps
+        // windowing — and must still be bit-identical.
+        let base = run_ring(SchedImpl::EventIndex, CostModel::unit(), None);
+        for threads in [2, 4] {
+            let spec = run_ring(SchedImpl::Speculative { threads }, CostModel::unit(), None);
+            assert_bit_identical(&base, &spec, &format!("unit-cost threads={threads}"));
+            assert!(
+                spec.spec.windows > 0,
+                "threads={threads}: zero lookahead must not fall back to serial"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_thread_counts_fall_back() {
+        let base = run_ring(SchedImpl::EventIndex, CostModel::cm5(), None);
+        for threads in [0, 1] {
+            let spec = run_ring(SchedImpl::Speculative { threads }, CostModel::cm5(), None);
+            assert_bit_identical(&base, &spec, &format!("cm5 threads={threads}"));
+            assert_eq!(
+                spec.spec,
+                SpecStats::default(),
+                "fallback must not speculate"
+            );
+        }
+        // More threads than nodes clamps to the node count and still runs
+        // speculatively.
+        let spec = run_ring(
+            SchedImpl::Speculative { threads: 64 },
+            CostModel::cm5(),
+            None,
+        );
+        assert_bit_identical(&base, &spec, "threads=64 > p=4");
+    }
+
+    #[test]
+    fn speculative_ring_truncation_counts_match() {
+        let run = |sched: SchedImpl| {
+            let (mut rt, root, bounce) = ring_runtime(4, CostModel::cm5());
+            rt.sched_impl = sched;
+            rt.enable_trace_ring(16);
+            rt.call(root, bounce, &[Value::Int(25)]).expect("ring runs");
+            (rt.trace_dropped_total(), rt.take_trace())
+        };
+        let (base_dropped, base_tail) = run(SchedImpl::EventIndex);
+        assert!(base_dropped > 0, "ring must truncate for the test to bite");
+        for threads in [2, 4] {
+            let (dropped, tail) = run(SchedImpl::Speculative { threads });
+            assert_eq!(dropped, base_dropped, "threads={threads}: evictions");
+            assert_eq!(tail, base_tail, "threads={threads}: ring tail");
+        }
+    }
+
+    /// Everything a rollback must restore on a node, in comparable form.
+    type NodeFingerprint = (
+        Vec<(u32, Vec<Value>, Vec<Vec<Value>>)>,
+        Vec<(Cycles, u64, u32, String)>,
+        u64,
+        Cycles,
+        String,
+    );
+
+    fn fingerprint(n: &Node) -> NodeFingerprint {
+        let mut inbox: Vec<(Cycles, u64, u32, String)> = n
+            .inbox
+            .iter()
+            .map(|e| (e.deliver, e.seq, e.src.0, format!("{:?}", e.msg)))
+            .collect();
+        inbox.sort();
+        (
+            n.objects
+                .iter()
+                .map(|o| (o.class.0, o.scalars.clone(), o.arrays.clone()))
+                .collect(),
+            inbox,
+            n.wire_seq,
+            n.time,
+            format!("{:?} {:?} {:?}", n.tx_next, n.rx_floor, n.rx_seen),
+        )
+    }
+
+    /// One random mutation against node 0 — the kinds of writes a
+    /// speculative window performs.
+    fn apply_op(rt: &mut Runtime, op: (u8, u64)) {
+        let (kind, x) = op;
+        let n = &mut rt.nodes[0];
+        match kind % 4 {
+            0 => {
+                if let Some(o) = n.objects.first_mut() {
+                    if let Some(s) = o.scalars.first_mut() {
+                        *s = Value::Int(x as i64);
+                    }
+                }
+            }
+            1 => n.inbox.push(InboxEntry {
+                deliver: x % 1000,
+                seq: x,
+                src: NodeId(1),
+                msg: Packet::Ack { seq: x },
+            }),
+            2 => {
+                n.inbox.pop();
+            }
+            _ => {
+                n.wire_seq = n.wire_seq.wrapping_add(1 + x % 3);
+                n.time = n.time.max(x % 500);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Random checkpoint point, random speculative mutations, rollback:
+        /// the node fingerprint (object state, inbox, wire seq, clock,
+        /// transport maps) round-trips exactly — the snapshot aliases
+        /// nothing with the live node.
+        #[test]
+        fn node_snapshot_restore_round_trips(
+            pre in proptest::collection::vec((0u8..4, 0u64..10_000), 0..24),
+            post in proptest::collection::vec((0u8..4, 0u64..10_000), 1..24),
+        ) {
+            let (mut rt, _, _) = ring_runtime(2, CostModel::cm5());
+            for op in pre {
+                apply_op(&mut rt, op);
+            }
+            let at_ckpt = fingerprint(&rt.nodes[0]);
+            // Checkpoint exactly as tw_save does.
+            let saved = Box::new(rt.nodes[0].clone());
+            for op in post {
+                apply_op(&mut rt, op);
+            }
+            // Rollback exactly as the straggler path does.
+            rt.nodes[0] = *saved;
+            prop_assert_eq!(fingerprint(&rt.nodes[0]), at_ckpt);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Interleaved speculate/rollback cycles against the network: after
+        /// each `restore_counters` the full `NetStats` word — data, ack,
+        /// retx, faults — is exactly the window-edge snapshot, with and
+        /// without a fault plan rolling fates.
+        #[test]
+        fn net_counter_rollback_is_exact(
+            seed in 0u64..1_000,
+            rounds in proptest::collection::vec(
+                proptest::collection::vec((0u64..1 << 20, 0u8..3, 1u64..64), 1..12),
+                1..6,
+            ),
+        ) {
+            let mut net: Network<Packet> = Network::new();
+            if seed % 2 == 1 {
+                net.set_plan(Some(FaultPlan::seeded(seed)));
+            }
+            let mut at = 0;
+            for sends in rounds {
+                let snap = net.stats();
+                for (seq, class, words) in sends {
+                    at += 1;
+                    let class = match class {
+                        0 => WireClass::Data,
+                        1 => WireClass::Ack,
+                        _ => WireClass::Retx,
+                    };
+                    net.send_tagged(
+                        seq,
+                        NodeId(0),
+                        NodeId(1),
+                        at,
+                        words,
+                        class,
+                        Packet::Ack { seq },
+                    );
+                }
+                // Anti-messages: the attempt is cancelled wholesale.
+                net.restore_counters(&snap);
+                prop_assert_eq!(net.stats(), snap);
+            }
+        }
+    }
+}

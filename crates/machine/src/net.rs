@@ -354,6 +354,22 @@ impl<M> Network<M> {
         self.retx_words += other.retx_words;
         self.faults.absorb(&other.faults);
     }
+
+    /// Reset the traffic and fault counters to a previously captured
+    /// [`Self::stats`] snapshot — the anti-message half of the speculative
+    /// executor's rollback: traffic a cancelled window accounted for is
+    /// un-accounted wholesale, so a clean re-run re-draws identical
+    /// numbers. Delivery state is untouched (callers drain the in-flight
+    /// heap within each injection, so it is empty between events).
+    pub fn restore_counters(&mut self, snap: &crate::stats::NetStats) {
+        self.sent = snap.sent;
+        self.delivered = snap.delivered;
+        self.words = snap.words;
+        self.data_words = snap.data_words;
+        self.ack_words = snap.ack_words;
+        self.retx_words = snap.retx_words;
+        self.faults = snap.faults;
+    }
 }
 
 #[cfg(test)]

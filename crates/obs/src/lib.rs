@@ -34,7 +34,7 @@ pub use critpath::{
 };
 pub use hist::Log2Hist;
 pub use model::Timeline;
-pub use report::{Report, ServiceSummary};
+pub use report::{Report, ServiceSummary, SpecSummary};
 pub use rollup::Rollup;
 
 use hem_core::TraceEvent;

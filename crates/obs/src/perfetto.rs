@@ -68,7 +68,44 @@ fn esc(s: &str) -> String {
 /// Serialize a timeline (plus the raw records, for instants) to a
 /// Perfetto-loadable JSON string.
 pub fn to_json(records: &[TraceRecord], tl: &Timeline, program: &Program) -> String {
+    to_json_with_spec(records, tl, program, None)
+}
+
+/// [`to_json`], optionally with a speculative-executor diagnostics track:
+/// a synthetic "speculation" process whose counter (`C`) events carry the
+/// run's committed-window / rollback / anti-message totals, so a
+/// `hemprof --speculative --perfetto` capture shows how much optimism the
+/// host execution spent next to what the simulated machine did.
+pub fn to_json_with_spec(
+    records: &[TraceRecord],
+    tl: &Timeline,
+    program: &Program,
+    spec: Option<&crate::SpecSummary>,
+) -> String {
     let mut w = W::new();
+
+    if let Some(s) = spec {
+        // One process above the node pids; counters are totals stamped at
+        // the end of the run (the executor validates at window barriers,
+        // so there is no meaningful per-cycle series to plot).
+        let pid = tl.n_nodes;
+        let at = tl.makespan;
+        w.event(format_args!(
+            "\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"speculation ({} threads)\"}}",
+            s.threads
+        ));
+        w.event(format_args!(
+            "\"ph\":\"C\",\"cat\":\"spec\",\"name\":\"windows\",\"pid\":{pid},\"tid\":0,\
+             \"ts\":{at},\"args\":{{\"committed\":{},\"rolled_back\":{},\"serial_steps\":{}}}",
+            s.windows, s.rollbacks, s.serial_steps
+        ));
+        w.event(format_args!(
+            "\"ph\":\"C\",\"cat\":\"spec\",\"name\":\"rollback cost\",\"pid\":{pid},\"tid\":0,\
+             \"ts\":{at},\"args\":{{\"anti_messages\":{},\"ckpt_nodes\":{}}}",
+            s.anti_messages, s.ckpt_nodes
+        ));
+    }
 
     // Process/thread naming metadata.
     for n in 0..tl.n_nodes {
@@ -218,6 +255,57 @@ mod tests {
         let m = pb.declare(c, "m", 0);
         pb.define(m, |mb| mb.reply(0));
         pb.finish()
+    }
+
+    #[test]
+    fn spec_counter_track_is_optional_and_parses() {
+        let a = NodeId(0);
+        let recs = vec![
+            TraceRecord {
+                at: 0,
+                event: TraceEvent::EventStart { node: a, kind: 1 },
+            },
+            TraceRecord {
+                at: 6,
+                event: TraceEvent::EventEnd { node: a },
+            },
+        ];
+        let tl = Timeline::build(&recs, 2);
+        let program = program_with_one_method();
+        // Without a summary the output is unchanged: no counter events.
+        let plain = Json::parse(&to_json(&recs, &tl, &program)).expect("valid JSON");
+        let count_c = |doc: &Json| {
+            doc.get("traceEvents")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("C"))
+                .count()
+        };
+        assert_eq!(count_c(&plain), 0);
+        let spec = crate::SpecSummary {
+            threads: 4,
+            windows: 12,
+            serial_steps: 3,
+            rollbacks: 5,
+            anti_messages: 9,
+            ckpt_nodes: 40,
+            max_window: 64,
+        };
+        let out = to_json_with_spec(&recs, &tl, &program, Some(&spec));
+        let doc = Json::parse(&out).expect("valid JSON");
+        assert_eq!(count_c(&doc), 2, "windows + rollback-cost counters");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let windows = events
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("windows"))
+            .expect("windows counter");
+        let args = windows.get("args").unwrap();
+        assert_eq!(args.get("committed").unwrap().as_num(), Some(12.0));
+        assert_eq!(args.get("rolled_back").unwrap().as_num(), Some(5.0));
+        // The counter track lives on its own pid above the node pids.
+        assert_eq!(windows.get("pid").unwrap().as_num(), Some(2.0));
     }
 
     #[test]

@@ -49,6 +49,42 @@ pub struct ServiceSummary {
     pub latency: Log2Hist,
 }
 
+/// Summary of what the optimistic (Time-Warp) executor did during a
+/// `--speculative` run: committed windows, rollbacks, cancelled traffic.
+/// These are host-execution diagnostics — they vary with the thread
+/// count and say nothing about the simulated machine, whose stats stay
+/// bit-identical across executors.
+#[derive(Debug, Clone, Default)]
+pub struct SpecSummary {
+    /// Host worker threads the run used.
+    pub threads: usize,
+    /// Speculative windows committed (validated clean).
+    pub windows: u64,
+    /// Events stepped serially by the coordinator (timers, or
+    /// stragglers landing on the window base).
+    pub serial_steps: u64,
+    /// Windows rolled back on straggler detection.
+    pub rollbacks: u64,
+    /// Speculatively sent cross-shard packets cancelled by rollbacks.
+    pub anti_messages: u64,
+    /// Copy-on-dirty node snapshots taken.
+    pub ckpt_nodes: u64,
+    /// Widest committed window, in cycles.
+    pub max_window: u64,
+}
+
+impl SpecSummary {
+    /// Fraction of window attempts that rolled back.
+    pub fn rollback_rate(&self) -> f64 {
+        let attempts = self.windows + self.rollbacks;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.rollbacks as f64 / attempts as f64
+        }
+    }
+}
+
 /// One method's row.
 #[derive(Debug, Clone)]
 pub struct MethodRow {
@@ -92,6 +128,8 @@ pub struct Report {
     pub touch_q: [u64; 3],
     /// Open-system section (set via [`Report::with_service`]).
     pub service: Option<ServiceSummary>,
+    /// Speculative-executor section (set via [`Report::with_speculative`]).
+    pub speculative: Option<SpecSummary>,
     /// Makespan in cycles.
     pub makespan: u64,
     /// Node count.
@@ -146,6 +184,7 @@ impl Report {
             touch_mean: rollup.touch_latency.mean(),
             touch_q: quantiles(&rollup.touch_latency),
             service: None,
+            speculative: None,
             makespan: stats.makespan(),
             nodes: stats.per_node.len(),
             dropped_events: stats.sched.dropped_events,
@@ -156,6 +195,12 @@ impl Report {
     /// Attach the open-system service section.
     pub fn with_service(mut self, s: ServiceSummary) -> Report {
         self.service = Some(s);
+        self
+    }
+
+    /// Attach the speculative-executor diagnostics section.
+    pub fn with_speculative(mut self, s: SpecSummary) -> Report {
+        self.speculative = Some(s);
         self
     }
 
@@ -281,6 +326,28 @@ impl Report {
                 s.latency.max()
             );
         }
+        if let Some(s) = &self.speculative {
+            let _ = writeln!(o);
+            let _ = writeln!(
+                o,
+                "speculative executor ({} threads, host diagnostics — simulated stats are \
+                 executor-invariant):",
+                s.threads
+            );
+            let _ = writeln!(
+                o,
+                "  windows {}  serial-steps {}  rollbacks {} ({:.1}% of attempts)",
+                s.windows,
+                s.serial_steps,
+                s.rollbacks,
+                100.0 * s.rollback_rate()
+            );
+            let _ = writeln!(
+                o,
+                "  anti-messages {}  checkpointed-nodes {}  max-window {} cycles",
+                s.anti_messages, s.ckpt_nodes, s.max_window
+            );
+        }
         o
     }
 
@@ -372,6 +439,22 @@ impl Report {
                 s.latency.mean(),
                 s.latency.max(),
                 quantile_obj(q)
+            );
+        }
+        if let Some(s) = &self.speculative {
+            let _ = write!(
+                o,
+                ",\"speculative\":{{\"threads\":{},\"windows\":{},\"serial_steps\":{},\
+                 \"rollbacks\":{},\"rollback_rate\":{:.6},\"anti_messages\":{},\
+                 \"ckpt_nodes\":{},\"max_window\":{}}}",
+                s.threads,
+                s.windows,
+                s.serial_steps,
+                s.rollbacks,
+                s.rollback_rate(),
+                s.anti_messages,
+                s.ckpt_nodes,
+                s.max_window
             );
         }
         o.push('}');
@@ -519,5 +602,36 @@ mod tests {
         let p99 = q.get("p99").unwrap().as_num().unwrap();
         assert!(p50 > 0.0 && p99 >= p50);
         assert_eq!(svc.get("latency_max").unwrap().as_num(), Some(160.0));
+    }
+
+    #[test]
+    fn speculative_section_renders_in_text_and_json() {
+        let (r, s, p, sm) = toy();
+        let base = Report::new("toy", &r, &s, &p, &sm);
+        assert!(
+            !base.text().contains("speculative executor"),
+            "no section unless attached"
+        );
+        let rep = Report::new("toy", &r, &s, &p, &sm).with_speculative(SpecSummary {
+            threads: 4,
+            windows: 30,
+            serial_steps: 5,
+            rollbacks: 10,
+            anti_messages: 17,
+            ckpt_nodes: 240,
+            max_window: 64,
+        });
+        let text = rep.text();
+        assert!(text.contains("speculative executor (4 threads"));
+        assert!(text.contains("windows 30  serial-steps 5  rollbacks 10 (25.0% of attempts)"));
+        assert!(text.contains("anti-messages 17  checkpointed-nodes 240  max-window 64 cycles"));
+        let doc = Json::parse(&rep.json()).expect("valid json");
+        let sp = doc.get("speculative").unwrap();
+        assert_eq!(sp.get("windows").unwrap().as_num(), Some(30.0));
+        assert_eq!(sp.get("rollbacks").unwrap().as_num(), Some(10.0));
+        assert_eq!(sp.get("rollback_rate").unwrap().as_num(), Some(0.25));
+        assert_eq!(sp.get("anti_messages").unwrap().as_num(), Some(17.0));
+        let base_doc = Json::parse(&Report::new("toy", &r, &s, &p, &sm).json()).unwrap();
+        assert!(base_doc.get("speculative").is_none());
     }
 }
