@@ -54,6 +54,12 @@ impl CallGraph {
                 let (callee, kind, hint) = match ins {
                     Instr::Invoke { method, hint, .. } => (*method, CallKind::Invoke, *hint),
                     Instr::Forward { method, hint, .. } => (*method, CallKind::Forward, *hint),
+                    // Collective legs run the member method on whatever node
+                    // hosts each member: an Invoke-like edge with unknown
+                    // locality. (Barriers run no method — no edge.)
+                    Instr::Multicast { method, .. } | Instr::Reduce { method, .. } => {
+                        (*method, CallKind::Invoke, LocalityHint::Unknown)
+                    }
                     _ => continue,
                 };
                 callees[mi].push(CallSite {

@@ -91,6 +91,17 @@ impl FlowFacts {
         may_block: &[bool],
         requires_cont: &[bool],
     ) -> bool {
+        // A barrier's slot resolves only after wire round trips to every
+        // member node, so touching it can never complete on the stack.
+        // (Multicast/Reduce are covered by their Unknown-hint call edges.)
+        if program
+            .method(m)
+            .body
+            .iter()
+            .any(|i| matches!(i, Instr::Barrier { .. }))
+        {
+            return true;
+        }
         graph.sites(m).iter().any(|s| {
             // Forwards never block the forwarder itself: the method
             // completes, and any fallout (shell contexts) is absorbed by

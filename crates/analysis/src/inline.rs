@@ -39,7 +39,12 @@ pub fn mark_inlinable(program: &mut Program, policy: InlinePolicy) -> usize {
         let leaf = !m.body.iter().any(|ins| {
             matches!(
                 ins,
-                Instr::Invoke { .. } | Instr::Forward { .. } | Instr::StoreCont { .. }
+                Instr::Invoke { .. }
+                    | Instr::Forward { .. }
+                    | Instr::StoreCont { .. }
+                    | Instr::Multicast { .. }
+                    | Instr::Reduce { .. }
+                    | Instr::Barrier { .. }
             )
         });
         if leaf

@@ -373,16 +373,11 @@ pub fn build() -> MdProgram {
     // ---- Main ----
     let main = pb.class("Main", false);
     let m_workers = pb.array_field(main, "workers");
+    // Phase fan-out: one acked multicast over the workers.
     let fan = |pb: &mut ProgramBuilder, name: &str, m: MethodId| {
         pb.method(main, name, 0, |mb| {
-            let n = mb.arr_len(m_workers);
-            let join = mb.slot();
-            mb.join_init(join, n);
-            mb.for_range(0i64, n, |mb, k| {
-                let w = mb.get_elem(m_workers, k);
-                mb.invoke(Some(join), w, m, &[], LocalityHint::Unknown);
-            });
-            mb.touch(&[join]);
+            let s = mb.multicast_into(m_workers, m, &[]);
+            mb.touch(&[s]);
             mb.reply_nil();
         })
     };

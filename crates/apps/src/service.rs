@@ -13,7 +13,7 @@
 //! parameters reproduce the same trace on every executor.
 
 use hem_core::{Runtime, Trap};
-use hem_ir::{BinOp, FieldId, LocalityHint, MethodId, ObjRef, Program, ProgramBuilder, Value};
+use hem_ir::{BinOp, FieldId, MethodId, ObjRef, Program, ProgramBuilder, Value};
 use hem_machine::arrival::{ArrivalDist, OpenLoop};
 use hem_machine::{Cycles, NodeId};
 
@@ -24,7 +24,7 @@ pub struct ServiceProgram {
     pub program: Program,
     /// `Frontend.lookup(i)`: RPC `get` to backend `i mod len`.
     pub lookup: MethodId,
-    /// `Frontend.fanout()`: join a `bump(1)` over every backend.
+    /// `Frontend.fanout()`: acked multicast of `bump(1)` to every backend.
     pub fanout: MethodId,
     /// `Frontend.compute(n)`: `n` iterations of local field arithmetic.
     pub compute: MethodId,
@@ -74,16 +74,10 @@ pub fn build() -> ServiceProgram {
         mb.reply(v);
     });
 
-    // Data-parallel kind: bump every backend, join all replies.
+    // Data-parallel kind: bump every backend with one acked multicast.
     let fanout = pb.method(frontend, "fanout", 0, |mb| {
-        let n = mb.arr_len(backends);
-        let join = mb.slot();
-        mb.join_init(join, n);
-        mb.for_range(0i64, n, |mb, k| {
-            let b = mb.get_elem(backends, k);
-            mb.invoke(Some(join), b, bump, &[1i64.into()], LocalityHint::Unknown);
-        });
-        mb.touch(&[join]);
+        let s = mb.multicast_into(backends, bump, &[1i64.into()]);
+        mb.touch(&[s]);
         mb.reply_nil();
     });
 

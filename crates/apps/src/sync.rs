@@ -10,9 +10,7 @@
 //! hierarchy.
 
 use hem_core::{Runtime, Trap};
-use hem_ir::{
-    BinOp, FieldId, LocalityHint, MethodId, ObjRef, Program, ProgramBuilder, UnOp, Value,
-};
+use hem_ir::{BinOp, FieldId, MethodId, ObjRef, Program, ProgramBuilder, UnOp, Value};
 use hem_machine::NodeId;
 
 /// Program + handles for the four structures.
@@ -28,6 +26,11 @@ pub struct SyncProgram {
     pub scatter: MethodId,
     /// Custom: `Driver.rendezvous()` → all drivers meet at a barrier.
     pub rendezvous: MethodId,
+    /// Modeled reduction: `Driver.sum_all()` → fold `read` over cells.
+    pub sum_all: MethodId,
+    /// Modeled barrier: `Driver.quiesce()` → barrier over the cells'
+    /// hosting nodes.
+    pub quiesce: MethodId,
     /// `Cell.read`.
     pub read: MethodId,
     /// `Cell.bump`.
@@ -105,27 +108,17 @@ pub fn build() -> SyncProgram {
         mb.reply(v);
     });
 
-    // Data-parallel: bump every cell, join all replies at one touch.
+    // Data-parallel: bump every cell with one acked multicast.
     let fan = pb.method(driver, "fan", 0, |mb| {
-        let n = mb.arr_len(cells);
-        let join = mb.slot();
-        mb.join_init(join, n);
-        mb.for_range(0i64, n, |mb, k| {
-            let c = mb.get_elem(cells, k);
-            mb.invoke(Some(join), c, bump, &[1i64.into()], LocalityHint::Unknown);
-        });
-        mb.touch(&[join]);
+        let s = mb.multicast_into(cells, bump, &[1i64.into()]);
+        mb.touch(&[s]);
         mb.reply_nil();
     });
 
-    // Reactive: fire-and-forget — no futures, no replies; effects become
-    // visible at quiescence.
+    // Reactive: a fire-and-forget multicast — no futures, no replies;
+    // effects become visible at quiescence.
     let scatter = pb.method(driver, "scatter", 0, |mb| {
-        let n = mb.arr_len(cells);
-        mb.for_range(0i64, n, |mb, k| {
-            let c = mb.get_elem(cells, k);
-            mb.invoke(None, c, bump, &[10i64.into()], LocalityHint::Unknown);
-        });
+        mb.multicast(None, cells, bump, &[10i64.into()]);
         mb.reply_nil();
     });
 
@@ -137,12 +130,28 @@ pub fn build() -> SyncProgram {
         mb.reply(v);
     });
 
+    // Modeled reduction: fold every cell's value up the fan-in tree.
+    let sum_all = pb.method(driver, "sum_all", 0, |mb| {
+        let s = mb.reduce(cells, read, &[], BinOp::Add);
+        let v = mb.touch_get(s);
+        mb.reply(v);
+    });
+
+    // Modeled barrier: resolve once every cell-hosting node has arrived.
+    let quiesce = pb.method(driver, "quiesce", 0, |mb| {
+        let s = mb.barrier(cells);
+        mb.touch(&[s]);
+        mb.reply_nil();
+    });
+
     SyncProgram {
         program: pb.finish(),
         rpc,
         fan,
         scatter,
         rendezvous,
+        sum_all,
+        quiesce,
         read,
         bump,
         value,
@@ -286,6 +295,29 @@ mod tests {
             0,
             "reactive: zero replies"
         );
+    }
+
+    #[test]
+    fn reduce_sums_all_cells() {
+        let (mut rt, inst) = world(2);
+        for (k, c) in inst.cell_refs.iter().enumerate() {
+            rt.set_field(*c, inst.ids.value, Value::Int(k as i64 + 1));
+        }
+        let r = rt.call(inst.drivers[0], inst.ids.sum_all, &[]).unwrap();
+        let n = inst.cell_refs.len() as i64;
+        assert_eq!(r, Some(Value::Int(n * (n + 1) / 2)));
+        let t = rt.stats().totals();
+        assert!(t.coll_contribs > 0, "reduction folded contributions");
+    }
+
+    #[test]
+    fn modeled_barrier_resolves() {
+        let (mut rt, inst) = world(3);
+        let r = rt.call(inst.drivers[0], inst.ids.quiesce, &[]).unwrap();
+        assert_eq!(r, Some(Value::Nil));
+        let t = rt.stats().totals();
+        assert_eq!(t.coll_initiated, 1);
+        assert_eq!(t.replies_sent, 0, "barrier legs are not replies");
     }
 
     #[test]

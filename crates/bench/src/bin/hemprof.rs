@@ -14,6 +14,11 @@
 //!   --layout L        spatial|random (MD) / high|low locality (EM3D)
 //!   --style S         em3d style: pull|push|forward
 //!
+//! hemprof diff A.json B.json
+//!   compare two `--report json` rollups: signed per-cause traffic
+//!   deltas (requests/replies/acks/retransmits/multicasts/reduces/
+//!   barriers), total wire words, and makespan
+//!
 //! hemprof serve [options]
 //!   --p N             machine size (default 16)
 //!   --backends N      backend population (default 32)
@@ -51,11 +56,13 @@ use hem_core::{ExecMode, Runtime};
 use hem_machine::arrival::ArrivalDist;
 use hem_machine::cost::CostModel;
 use hem_machine::Cycles;
+use hem_obs::json::Json;
 use hem_obs::{critpath, perfetto, Report, Rollup, SegClass, Timeline};
 
 fn usage() -> ! {
     eprintln!("usage: hemprof <sor|md|em3d|fib> [--p N] [--size N] [--iters N] [--seed S]");
     eprintln!("               [--layout spatial|random] [--style pull|push|forward]");
+    eprintln!("       hemprof diff A.json B.json    (two `--report json` rollups)");
     eprintln!("       hemprof serve [--p N] [--backends N] [--until H] [--warmup W] [--rate G]");
     eprintln!("               [--arrival poisson|bursty|diurnal] [--clients N] [--deadline D]");
     eprintln!("               [--max-queue Q] [--seed S]");
@@ -106,6 +113,10 @@ fn main() {
             eprintln!("hemprof: cannot write {path}: {e}");
             std::process::exit(1);
         }
+    }
+
+    if sub == "diff" {
+        run_diff();
     }
 
     if sub == "serve" {
@@ -166,6 +177,106 @@ fn main() {
         report = report.with_speculative(s.clone());
     }
     emit(&args, report, &mut rt, perfetto_path, None, spec);
+}
+
+/// `hemprof diff A.json B.json` — compare two rollup JSON reports
+/// (produced with `--report json`) and print signed per-cause traffic
+/// deltas, total wire words, and the makespan change.
+fn run_diff() -> ! {
+    let a_path = std::env::args().nth(2).unwrap_or_else(|| usage());
+    let b_path = std::env::args().nth(3).unwrap_or_else(|| usage());
+    let a = load_rollup(&a_path);
+    let b = load_rollup(&b_path);
+    let title = |d: &Json| {
+        d.get("title")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    println!("rollup diff: {} -> {}", title(&a), title(&b));
+    println!("  A: {a_path}");
+    println!("  B: {b_path}");
+    println!();
+
+    let makespan = |d: &Json| d.get("makespan").and_then(Json::as_num).unwrap_or(0.0) as u64;
+    let (ma, mb) = (makespan(&a), makespan(&b));
+    println!("{:<14} {:>12} -> {:>12}  {}", "makespan", ma, mb, delta(ma, mb));
+    println!();
+
+    const CAUSES: [&str; 7] = [
+        "requests",
+        "replies",
+        "acks",
+        "retransmits",
+        "multicasts",
+        "reduces",
+        "barriers",
+    ];
+    let cell = |d: &Json, cause: &str, key: &str| -> u64 {
+        d.get("traffic")
+            .and_then(|t| t.get(cause))
+            .and_then(|c| c.get(key))
+            .and_then(Json::as_num)
+            .unwrap_or(0.0) as u64
+    };
+    if a.get("traffic").is_none() || b.get("traffic").is_none() {
+        eprintln!(
+            "hemprof: inputs lack a \"traffic\" object — expected the output of \
+             `hemprof <kernel> --report json`"
+        );
+        std::process::exit(1);
+    }
+
+    println!("traffic (messages):");
+    let (mut tma, mut tmb, mut twa, mut twb) = (0u64, 0u64, 0u64, 0u64);
+    for cause in CAUSES {
+        let (xa, xb) = (cell(&a, cause, "msgs"), cell(&b, cause, "msgs"));
+        tma += xa;
+        tmb += xb;
+        twa += cell(&a, cause, "words");
+        twb += cell(&b, cause, "words");
+        if xa > 0 || xb > 0 {
+            println!("  {cause:<12} {xa:>12} -> {xb:>12}  {}", delta(xa, xb));
+        }
+    }
+    println!("  {:<12} {tma:>12} -> {tmb:>12}  {}", "TOTAL", delta(tma, tmb));
+    println!();
+
+    println!("traffic (wire words):");
+    for cause in CAUSES {
+        let (xa, xb) = (cell(&a, cause, "words"), cell(&b, cause, "words"));
+        if xa > 0 || xb > 0 {
+            println!("  {cause:<12} {xa:>12} -> {xb:>12}  {}", delta(xa, xb));
+        }
+    }
+    println!("  {:<12} {twa:>12} -> {twb:>12}  {}", "TOTAL", delta(twa, twb));
+    std::process::exit(0);
+}
+
+/// Read and parse one rollup JSON file, aborting with a pointer at the
+/// producing command on failure.
+fn load_rollup(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("hemprof: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    Json::parse(text.trim()).unwrap_or_else(|e| {
+        eprintln!(
+            "hemprof: {path}: invalid JSON ({e}) — expected the output of \
+             `hemprof <kernel> --report json`"
+        );
+        std::process::exit(1);
+    })
+}
+
+/// Signed A->B change with a percentage (against A when non-zero).
+fn delta(a: u64, b: u64) -> String {
+    let d = b as i128 - a as i128;
+    if a == 0 {
+        format!("({d:+})")
+    } else {
+        format!("({:+}, {:+.1}%)", d, 100.0 * d as f64 / a as f64)
+    }
 }
 
 fn run_serve(args: &Args, perfetto_path: Option<String>) {

@@ -31,6 +31,26 @@ pub enum Continuation {
     /// (external client requests injected by `Runtime::inject_request`;
     /// the reply time, minus the arrival time, is the request's latency).
     Request(u64),
+    /// Deliver into a modeled collective's fold state: the member (or
+    /// root) record keyed `(init, id, pos)` on `node`. Filling slot 0
+    /// (the member's own contribution) may complete the member's sub-tree
+    /// fold and fire its up leg. Delivery is free on `node` itself — a
+    /// member finishing on its own stack contributes zero wire words —
+    /// and degrades to a wire leg only if user code forwards the
+    /// continuation off-node.
+    Coll {
+        /// Node holding the fold state.
+        node: hem_machine::NodeId,
+        /// Initiating node (collective identity).
+        init: hem_machine::NodeId,
+        /// Initiator-local collective id (collective identity).
+        id: u64,
+        /// Tree position whose state receives the value.
+        pos: u32,
+        /// Which collective (attributes the wire leg in the forwarded
+        /// case).
+        kind: crate::msg::CollKind,
+    },
 }
 
 impl Continuation {
@@ -38,6 +58,7 @@ impl Continuation {
     pub fn words(&self) -> u64 {
         match self {
             Continuation::Into(_) | Continuation::Request(_) => 2,
+            Continuation::Coll { .. } => 3,
             _ => 1,
         }
     }

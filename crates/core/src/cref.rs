@@ -174,6 +174,52 @@ fn eval(
                 let c = read(&locals, count).as_int().map_err(tv)?;
                 slots[slot.idx()] = SlotState::Join(c.max(0) as u32);
             }
+            Instr::Multicast {
+                slot,
+                group,
+                method: callee,
+                args,
+            } => {
+                // The C equivalent of a multicast is a plain for-loop of
+                // calls; the interconnect's fan-out tree has no analogue.
+                let a: Vec<Value> = args.iter().map(|o| read(&locals, o)).collect();
+                for mref in group_refs(rt, obj, *group)? {
+                    *cycles += rt.cost.plain_call;
+                    let t = rt.resolve_ref(mref);
+                    eval(rt, cycles, t, *callee, a.clone(), depth + 1)?;
+                }
+                if let Some(s) = slot {
+                    fill_slot(&mut slots, *s, Value::Nil);
+                }
+            }
+            Instr::Reduce {
+                slot,
+                group,
+                method: callee,
+                args,
+                op,
+            } => {
+                let a: Vec<Value> = args.iter().map(|o| read(&locals, o)).collect();
+                let mut acc: Option<Value> = None;
+                for mref in group_refs(rt, obj, *group)? {
+                    *cycles += rt.cost.plain_call;
+                    let t = rt.resolve_ref(mref);
+                    let v = eval(rt, cycles, t, *callee, a.clone(), depth + 1)?
+                        .unwrap_or(Value::Nil);
+                    acc = Some(match acc {
+                        None => v,
+                        Some(prev) => {
+                            *cycles += rt.cost.op;
+                            bin_op(*op, prev, v).map_err(tv)?
+                        }
+                    });
+                }
+                fill_slot(&mut slots, *slot, acc.unwrap_or(Value::Nil));
+            }
+            Instr::Barrier { slot, .. } => {
+                // Synchronous execution is already barrier-ordered.
+                fill_slot(&mut slots, *slot, Value::Nil);
+            }
             Instr::Reply { src } => return Ok(Some(read(&locals, src))),
             Instr::Halt => return Ok(None),
             Instr::StoreCont { .. } | Instr::SendToCont { .. } => {
@@ -194,6 +240,24 @@ fn eval(
             }
         }
         pc += 1;
+    }
+}
+
+fn fill_slot(slots: &mut [SlotState], s: hem_ir::Slot, v: Value) {
+    match &mut slots[s.idx()] {
+        SlotState::Join(k) if *k > 0 => *k -= 1,
+        st => *st = SlotState::Full(v),
+    }
+}
+
+fn group_refs(rt: &Runtime, obj: ObjRef, field: hem_ir::FieldId) -> Result<Vec<ObjRef>, Trap> {
+    match kind(rt, obj, field) {
+        FieldKind::Array(a) => rt.nodes[obj.node.idx()].objects[obj.index as usize].arrays
+            [a as usize]
+            .iter()
+            .map(|v| v.as_obj().map_err(|_| Trap::new("collective group member is not an object")))
+            .collect(),
+        FieldKind::Scalar(_) => Err(Trap::new("array access to scalar field")),
     }
 }
 

@@ -193,6 +193,27 @@ pub(crate) fn exec_simple(
     Ok(Next::Advance)
 }
 
+/// Read a collective group: every element of `self.field` must be an
+/// object reference (collectives address objects, and their hosting nodes
+/// define the fan-out tree's membership).
+pub(crate) fn read_group(
+    rt: &Runtime,
+    fr: &ActFrame,
+    node: usize,
+    field: hem_ir::FieldId,
+) -> Result<Vec<ObjRef>, Trap> {
+    match field_kind(rt, fr, field) {
+        FieldKind::Array(a) => obj(rt, fr, node).arrays[a as usize]
+            .iter()
+            .map(|v| {
+                v.as_obj()
+                    .map_err(|e| Trap::from_value(fr.method, fr.pc, e))
+            })
+            .collect(),
+        FieldKind::Scalar(_) => unreachable!("validated"),
+    }
+}
+
 #[inline]
 fn field_kind(rt: &Runtime, fr: &ActFrame, field: hem_ir::FieldId) -> FieldKind {
     let class = rt.nodes[fr.obj.node.idx()].objects[fr.obj.index as usize].class;

@@ -191,17 +191,26 @@ pub enum Mutant {
     /// scheduler (no rollbacks happen), caught only by diffing the
     /// speculative path against `SchedImpl::EventIndex`.
     SkipWireSeqRestore,
+    /// Price every modeled-collective down leg at one wire hop instead of
+    /// its fan-out-tree depth (see `Runtime::issue_collective`). A pure,
+    /// uniform timing change: traces stay internally consistent and every
+    /// scheduler implementation reproduces it bit-identically, so
+    /// cross-executor diffing can *not* see it — it is caught only by an
+    /// explicit assertion on the collective delivery schedule
+    /// (`tests/collectives.rs`).
+    CollectiveSkipsHopCost,
 }
 
 impl Mutant {
     /// Every mutant, for smoke-check loops.
-    pub const ALL: [Mutant; 6] = [
+    pub const ALL: [Mutant; 7] = [
         Mutant::EagerWake,
         Mutant::DoubleRootReply,
         Mutant::ShellSlotZero,
         Mutant::DropJoinDecrement,
         Mutant::SkipDepthGuard,
         Mutant::SkipWireSeqRestore,
+        Mutant::CollectiveSkipsHopCost,
     ];
 
     /// The `HEM_MUTANT` spelling of this mutant.
@@ -213,6 +222,7 @@ impl Mutant {
             Mutant::DropJoinDecrement => "drop-join-decrement",
             Mutant::SkipDepthGuard => "skip-depth-guard",
             Mutant::SkipWireSeqRestore => "skip-wire-seq-restore",
+            Mutant::CollectiveSkipsHopCost => "collective-skips-hop-cost",
         }
     }
 

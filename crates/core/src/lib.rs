@@ -89,6 +89,7 @@ pub use cont::{CallerInfo, Continuation};
 pub use context::{ActFrame, Context, SlotState, WaitState};
 pub use error::Trap;
 pub use explore::{Explorer, Mutant, TieBreak, TieChoice};
+pub use msg::CollKind;
 pub use object::Object;
 pub use rt::{NodeObjectState, Runtime, SchedImpl};
 pub use sanitize::Sanitizer;

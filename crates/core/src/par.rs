@@ -136,6 +136,57 @@ fn step_loop(
                     return Ok(StepEnd::Suspend { mask, missing });
                 }
             }
+            Instr::Multicast {
+                slot,
+                group,
+                method: callee,
+                args,
+            } => {
+                let members = exec::read_group(rt, fr, node, *group)?;
+                let a = exec::read_args(fr, args);
+                let (kind, cont) = match slot {
+                    None => (crate::msg::CollKind::Cast, Continuation::Discard),
+                    Some(s) => (
+                        crate::msg::CollKind::CastAcked,
+                        par_coll_cont(fr, node, id, gen, *s),
+                    ),
+                };
+                rt.issue_collective(node, kind, &members, *callee, a, cont)?;
+                fr.pc += 1;
+            }
+            Instr::Reduce {
+                slot,
+                group,
+                method: callee,
+                args,
+                op,
+            } => {
+                let members = exec::read_group(rt, fr, node, *group)?;
+                let a = exec::read_args(fr, args);
+                let cont = par_coll_cont(fr, node, id, gen, *slot);
+                rt.issue_collective(
+                    node,
+                    crate::msg::CollKind::Reduce(*op),
+                    &members,
+                    *callee,
+                    a,
+                    cont,
+                )?;
+                fr.pc += 1;
+            }
+            Instr::Barrier { slot, group } => {
+                let members = exec::read_group(rt, fr, node, *group)?;
+                let cont = par_coll_cont(fr, node, id, gen, *slot);
+                rt.issue_collective(
+                    node,
+                    crate::msg::CollKind::Barrier,
+                    &members,
+                    MethodId(0),
+                    Vec::new(),
+                    cont,
+                )?;
+                fr.pc += 1;
+            }
             Instr::Reply { src } => {
                 let c = rt.nodes[node].ctxs.get(id);
                 if c.cont_consumed {
@@ -201,6 +252,26 @@ fn step_loop(
             },
         }
     }
+}
+
+/// Mark a collective's result slot pending and build the continuation the
+/// collective root delivers into (the stepping context's own slot).
+fn par_coll_cont(
+    fr: &mut ActFrame,
+    node: usize,
+    id: u32,
+    gen: u32,
+    s: hem_ir::Slot,
+) -> Continuation {
+    if !matches!(fr.slots[s.idx()], SlotState::Join(_)) {
+        fr.slots[s.idx()] = SlotState::Pending;
+    }
+    Continuation::Into(ContRef {
+        node: NodeId(node as u32),
+        ctx: id,
+        gen,
+        slot: s.0,
+    })
 }
 
 /// Apply fills buffered for the context being stepped.

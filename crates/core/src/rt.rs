@@ -195,6 +195,47 @@ pub(crate) struct Node {
     /// [`SchedImpl`] and thread count, which a network-global counter
     /// (dependent on the global interleaving of sends) could not be.
     pub wire_seq: u64,
+    /// In-flight modeled-collective fold state hosted on this node, keyed
+    /// `(initiator node, initiator-local id, tree position)` — position 0
+    /// is the initiator's root record, member rank r sits at r + 1.
+    /// Multiple members of one collective can share a node (and the
+    /// initiator can be a member of its own group), hence the position in
+    /// the key. Lives in `Node` so the speculative executor's
+    /// copy-on-dirty checkpoint rewinds it for free.
+    pub coll: BTreeMap<(u32, u64, u32), CollState>,
+    /// Contributions that beat their position's down leg here (jitter and
+    /// retransmission reorder legs): stashed in arrival order, drained
+    /// into the fold state the moment the down leg creates it.
+    pub coll_early: BTreeMap<(u32, u64, u32), Vec<(u8, Value)>>,
+    /// Next initiator-local collective id — per-node, so ids are a pure
+    /// function of the initiating node's own execution history (the same
+    /// argument as `wire_seq`).
+    pub coll_next: u64,
+}
+
+/// Fold state for one tree position of one in-flight modeled collective
+/// (see [`Runtime::issue_collective`]). `acc` slot 0 is the position's own
+/// contribution, slots 1 and 2 its left and right tree children's folded
+/// sub-trees; contributions arrive in any order but are always *folded* in
+/// slot order, so reduction results are arrival-order independent.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CollState {
+    /// Which collective this record belongs to.
+    pub kind: crate::msg::CollKind,
+    /// Contributions received so far.
+    pub acc: [Option<Value>; 3],
+    /// Bitmask of `acc` slots that must fill before the fold completes.
+    pub need: u8,
+    /// Bitmask of `acc` slots filled so far.
+    pub filled: u8,
+    /// Node hosting the tree parent (up-leg destination; unused at pos 0).
+    pub parent: NodeId,
+    /// Tree position of the parent (unused at pos 0).
+    pub parent_pos: u32,
+    /// Fold slot this position fills at its parent (unused at pos 0).
+    pub child_ix: u8,
+    /// Root record only: where the folded result is delivered.
+    pub cont: Option<Continuation>,
 }
 
 impl Node {
@@ -215,6 +256,9 @@ impl Node {
             rx_floor: BTreeMap::new(),
             rx_seen: BTreeMap::new(),
             wire_seq: 0,
+            coll: BTreeMap::new(),
+            coll_early: BTreeMap::new(),
+            coll_next: 0,
         }
     }
 
@@ -913,17 +957,11 @@ impl Runtime {
         words: u64,
         latency: Cycles,
         send_cost: Cycles,
+        class: hem_machine::net::WireClass,
         msg: Msg,
     ) {
         if !self.reliable {
-            self.inject(
-                from,
-                dest,
-                deliver,
-                words,
-                hem_machine::net::WireClass::Data,
-                Packet::Raw(msg),
-            );
+            self.inject(from, dest, deliver, words, class, Packet::Raw(msg));
             return;
         }
         let d = dest.0;
@@ -955,14 +993,7 @@ impl Runtime {
         );
         n.tx_timers.insert((deadline, d, seq));
         self.sched_note(deadline, 2, from);
-        self.inject(
-            from,
-            dest,
-            deliver,
-            words,
-            hem_machine::net::WireClass::Data,
-            Packet::Data { seq, msg },
-        );
+        self.inject(from, dest, deliver, words, class, Packet::Data { seq, msg });
     }
 
     /// Send a request message, charging sender-side costs and wire latency.
@@ -989,7 +1020,16 @@ impl Runtime {
             },
         );
         let deliver = self.nodes[from].time + self.cost.msg_latency;
-        self.transmit(from, dest, deliver, words, self.cost.msg_latency, c, msg);
+        self.transmit(
+            from,
+            dest,
+            deliver,
+            words,
+            self.cost.msg_latency,
+            c,
+            hem_machine::net::WireClass::Data,
+            msg,
+        );
         self.poll_network(from)
     }
 
@@ -1018,7 +1058,16 @@ impl Runtime {
             },
         );
         let deliver = self.nodes[from].time + self.cost.reply_latency;
-        self.transmit(from, dest, deliver, words, self.cost.reply_latency, c, msg);
+        self.transmit(
+            from,
+            dest,
+            deliver,
+            words,
+            self.cost.reply_latency,
+            c,
+            hem_machine::net::WireClass::Data,
+            msg,
+        );
         self.poll_network(from)
     }
 
@@ -1140,11 +1189,7 @@ impl Runtime {
                 node: NodeId(node as u32),
                 from: src,
                 words: msg.words(),
-                cause: if msg.is_reply() {
-                    crate::trace::MsgCause::Reply
-                } else {
-                    crate::trace::MsgCause::Request
-                },
+                cause: msg.cause(),
             },
         );
     }
@@ -1243,6 +1288,248 @@ impl Runtime {
                 );
             }
         }
+    }
+
+    // ================= modeled collectives =================
+
+    /// Issue a modeled collective (multicast / reduce / barrier) from code
+    /// running on `node`, one invocation of `method(args)` per `members`
+    /// entry, completion (or the folded reduction) delivered through
+    /// `cont`.
+    ///
+    /// The interconnect models the group operation as a virtual binary
+    /// fan-out tree over the member ranks (see
+    /// [`hem_machine::net::Network::multicast`]): every down leg still
+    /// *originates* at the initiator — so transport framing, fault fates,
+    /// and per-sender wire sequencing apply to collectives exactly as to
+    /// point-to-point sends — but a leg to tree depth `d` is delivered
+    /// `d` wire hops later, and the initiator's clock is charged one
+    /// message-compose plus per-word injection costs rather than P full
+    /// sends (the tree's interior forwarding runs on the interconnect,
+    /// not on any node's clock, like transport acks). Contributions fold
+    /// up the same tree: each member combines its own result with its
+    /// tree children's sub-trees *in slot order* — so reduction results
+    /// are independent of arrival order — and sends one compact up leg to
+    /// its parent.
+    pub(crate) fn issue_collective(
+        &mut self,
+        node: usize,
+        kind: crate::msg::CollKind,
+        members: &[ObjRef],
+        method: MethodId,
+        args: Vec<Value>,
+        cont: Continuation,
+    ) -> Result<(), Trap> {
+        use crate::msg::CollKind;
+        let src = self.nodes[node].id;
+        let dests: Vec<NodeId> = members.iter().map(|o| o.node).collect();
+        let leg_words = match kind {
+            CollKind::Barrier => 1,
+            _ => 2 + args.len() as u64,
+        };
+        let plan = match kind {
+            CollKind::Cast | CollKind::CastAcked => self.net.multicast(src, &dests, leg_words),
+            CollKind::Reduce(_) => self.net.reduce(&dests, src, leg_words, self.cost.op),
+            CollKind::Barrier => self.net.barrier(src, &dests),
+        };
+        self.ctr(node).coll_initiated += 1;
+        if members.is_empty() {
+            // Degenerate group: nothing to deliver, nothing to wait for.
+            return self.deliver_cont(node, cont, Value::Nil);
+        }
+        let id = self.nodes[node].coll_next;
+        self.nodes[node].coll_next += 1;
+        if kind.has_up_phase() {
+            // Root fold state: awaits the initiator's direct tree children
+            // (positions 1 and, for groups of two or more, 2).
+            let mut need = 1u8 << 1;
+            if members.len() >= 2 {
+                need |= 1 << 2;
+            }
+            self.nodes[node].coll.insert(
+                (src.0, id, 0),
+                CollState {
+                    kind,
+                    acc: [None, None, None],
+                    need,
+                    filled: 0,
+                    parent: src,
+                    parent_pos: 0,
+                    child_ix: 0,
+                    cont: Some(cont),
+                },
+            );
+        }
+        // One compose charge for the whole collective; each leg then
+        // charges only word-injection cost.
+        self.charge(node, self.cost.msg_send);
+        // Mutant: price every leg at one hop, ignoring its tree depth.
+        let skip_hops = self.mutant_is(Mutant::CollectiveSkipsHopCost);
+        for leg in &plan.legs {
+            let msg = Msg::CollDown {
+                obj: members[leg.rank as usize].index,
+                method,
+                args: args.clone(),
+                init: src,
+                id,
+                pos: leg.pos,
+                parent: leg.parent,
+                parent_pos: leg.parent_pos,
+                child_ix: leg.child_ix,
+                children: leg.children,
+                kind,
+            };
+            let words = msg.words();
+            let c = self.cost.msg_word * words;
+            self.charge(node, c);
+            let ctr = self.ctr(node);
+            ctr.msgs_sent += 1;
+            ctr.coll_legs_sent += 1;
+            ctr.coll_words_sent += words;
+            self.emit(
+                node,
+                crate::trace::TraceEvent::MsgSent {
+                    from: src,
+                    to: leg.dest,
+                    words,
+                    cause: kind.cause(),
+                },
+            );
+            let hops = if skip_hops { 1 } else { leg.depth } as Cycles;
+            let latency = self.cost.msg_latency * hops;
+            let deliver = self.nodes[node].time + latency;
+            self.transmit(
+                node,
+                leg.dest,
+                deliver,
+                words,
+                latency,
+                c,
+                hem_machine::net::WireClass::Coll,
+                msg,
+            );
+        }
+        self.poll_network(node)
+    }
+
+    /// Deposit a contribution into fold slot `ix` of the collective state
+    /// `(init, id, pos)` hosted on `node`; when the state's last expected
+    /// slot fills, fold in slot order and either deliver the result (root)
+    /// or send the up leg to the tree parent.
+    pub(crate) fn coll_fill(
+        &mut self,
+        node: usize,
+        init: NodeId,
+        id: u64,
+        pos: u32,
+        ix: u8,
+        v: Value,
+    ) -> Result<(), Trap> {
+        let key = (init.0, id, pos);
+        let Some(st) = self.nodes[node].coll.get_mut(&key) else {
+            // The position's own down leg hasn't arrived yet (jitter or a
+            // lost-and-retransmitted frame reordered the legs): stash the
+            // contribution; the down-leg handler drains it into the fold
+            // state it creates. Root state (pos 0) is created before any
+            // leg is sent, so it can never be early.
+            self.nodes[node]
+                .coll_early
+                .entry(key)
+                .or_default()
+                .push((ix, v));
+            return Ok(());
+        };
+        if st.filled & (1 << ix) != 0 {
+            return Err(Trap::new(format!(
+                "double collective contribution (init {} id {id} pos {pos} slot {ix})",
+                init.0
+            )));
+        }
+        st.acc[ix as usize] = Some(v);
+        st.filled |= 1 << ix;
+        let done = st.filled == st.need;
+        self.charge(node, self.cost.future_store);
+        self.ctr(node).coll_contribs += 1;
+        if !done {
+            return Ok(());
+        }
+        let st = self.nodes[node]
+            .coll
+            .remove(&key)
+            .expect("completed collective state vanished");
+        let result = match st.kind {
+            crate::msg::CollKind::Reduce(op) => {
+                // Fold in slot order (own, left sub-tree, right sub-tree),
+                // never in arrival order.
+                let mut acc: Option<Value> = None;
+                for slot in st.acc.iter() {
+                    let Some(v) = slot else { continue };
+                    acc = Some(match acc {
+                        None => v.clone(),
+                        Some(a) => {
+                            self.charge(node, self.cost.op);
+                            hem_ir::value::bin_op(op, a, v.clone()).map_err(|e| {
+                                Trap::new(format!("collective reduce combine: {e:?}"))
+                            })?
+                        }
+                    });
+                }
+                acc.unwrap_or(Value::Nil)
+            }
+            _ => Value::Nil,
+        };
+        if pos == 0 {
+            let cont = st.cont.expect("root collective state without continuation");
+            self.deliver_cont(node, cont, result)
+        } else {
+            self.send_coll_up(
+                node,
+                st.parent,
+                Msg::CollUp {
+                    init,
+                    id,
+                    parent_pos: st.parent_pos,
+                    child_ix: st.child_ix,
+                    value: result,
+                    kind: st.kind,
+                },
+            )
+        }
+    }
+
+    /// Send an up-tree collective leg. Priced like a reply (up legs are
+    /// the collective's answer traffic) but classed and attributed as
+    /// collective wire words.
+    fn send_coll_up(&mut self, from: usize, dest: NodeId, msg: Msg) -> Result<(), Trap> {
+        let words = msg.words();
+        let cause = msg.cause();
+        let c = self.cost.reply_send + self.cost.reply_word * words;
+        self.charge(from, c);
+        let ctr = self.ctr(from);
+        ctr.msgs_sent += 1;
+        ctr.coll_legs_sent += 1;
+        ctr.coll_words_sent += words;
+        self.emit(
+            from,
+            crate::trace::TraceEvent::MsgSent {
+                from: self.nodes[from].id,
+                to: dest,
+                words,
+                cause,
+            },
+        );
+        let deliver = self.nodes[from].time + self.cost.reply_latency;
+        self.transmit(
+            from,
+            dest,
+            deliver,
+            words,
+            self.cost.reply_latency,
+            c,
+            hem_machine::net::WireClass::Coll,
+            msg,
+        );
+        self.poll_network(from)
     }
 
     // ================= futures & continuations =================
@@ -1373,6 +1660,36 @@ impl Runtime {
                     self.fill_slot(node, cr.ctx, cr.gen, cr.slot, v)
                 } else {
                     self.send_reply(node, cr.node, cr, v)
+                }
+            }
+            Continuation::Coll {
+                node: cn,
+                init,
+                id,
+                pos,
+                kind,
+            } => {
+                if cn.idx() == node {
+                    // The member completed on its own node (the common
+                    // case): the contribution lands in the local fold
+                    // state for zero wire words.
+                    self.coll_fill(node, init, id, pos, 0, v)
+                } else {
+                    // The member's method forwarded its continuation
+                    // off-node: the contribution degrades to a wire leg
+                    // aimed at the fold state's own-contribution slot.
+                    self.send_coll_up(
+                        node,
+                        cn,
+                        Msg::CollUp {
+                            init,
+                            id,
+                            parent_pos: pos,
+                            child_ix: 0,
+                            value: v,
+                            kind,
+                        },
+                    )
                 }
             }
             Continuation::Request(req) => {
@@ -2065,6 +2382,91 @@ impl Runtime {
             Msg::Reply { cont, value } => {
                 debug_assert_eq!(cont.node.idx(), node);
                 self.fill_slot(node, cont.ctx, cont.gen, cont.slot, value)
+            }
+            Msg::CollDown {
+                obj,
+                method,
+                args,
+                init,
+                id,
+                pos,
+                parent,
+                parent_pos,
+                child_ix,
+                children,
+                kind,
+            } => {
+                self.ctr(node).coll_legs_handled += 1;
+                if kind == crate::msg::CollKind::Cast {
+                    // Fire-and-forget: no fold state, nothing flows back.
+                    self.ctr(node).wrapper_runs += 1;
+                    return crate::wrapper::run_invocation(
+                        self,
+                        node,
+                        obj,
+                        method,
+                        args,
+                        Continuation::Discard,
+                        false,
+                    );
+                }
+                let mut need = 1u8;
+                if children >= 1 {
+                    need |= 1 << 1;
+                }
+                if children >= 2 {
+                    need |= 1 << 2;
+                }
+                let prev = self.nodes[node].coll.insert(
+                    (init.0, id, pos),
+                    CollState {
+                        kind,
+                        acc: [None, None, None],
+                        need,
+                        filled: 0,
+                        parent,
+                        parent_pos,
+                        child_ix,
+                        cont: None,
+                    },
+                );
+                if prev.is_some() {
+                    return Err(Trap::new(format!(
+                        "duplicate collective leg (init {} id {id} pos {pos})",
+                        init.0
+                    )));
+                }
+                // Child contributions that raced ahead of this leg were
+                // stashed; fold them in now that the state exists.
+                if let Some(early) = self.nodes[node].coll_early.remove(&(init.0, id, pos)) {
+                    for (ix, v) in early {
+                        self.coll_fill(node, init, id, pos, ix, v)?;
+                    }
+                }
+                if kind == crate::msg::CollKind::Barrier {
+                    // Arrival *is* the member's contribution; no method runs.
+                    return self.coll_fill(node, init, id, pos, 0, Value::Nil);
+                }
+                self.ctr(node).wrapper_runs += 1;
+                let cont = Continuation::Coll {
+                    node: NodeId(node as u32),
+                    init,
+                    id,
+                    pos,
+                    kind,
+                };
+                crate::wrapper::run_invocation(self, node, obj, method, args, cont, false)
+            }
+            Msg::CollUp {
+                init,
+                id,
+                parent_pos,
+                child_ix,
+                value,
+                kind: _,
+            } => {
+                self.ctr(node).coll_legs_handled += 1;
+                self.coll_fill(node, init, id, parent_pos, child_ix, value)
             }
         }
     }

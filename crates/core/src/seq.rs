@@ -148,6 +148,81 @@ fn run_inner(
                     return Ok(out);
                 }
             }
+            Instr::Multicast {
+                slot,
+                group,
+                method: callee,
+                args,
+            } => {
+                let members = exec::read_group(rt, &st.fr, node, *group)?;
+                let a = exec::read_args(&st.fr, args);
+                match slot {
+                    None => {
+                        // Fire-and-forget: nothing flows back, the stack
+                        // execution continues.
+                        rt.issue_collective(
+                            node,
+                            crate::msg::CollKind::Cast,
+                            &members,
+                            *callee,
+                            a,
+                            Continuation::Discard,
+                        )?;
+                        st.fr.pc += 1;
+                    }
+                    Some(s) => {
+                        if let Some(out) = seq_collective(
+                            rt,
+                            node,
+                            &mut st,
+                            *s,
+                            crate::msg::CollKind::CastAcked,
+                            &members,
+                            *callee,
+                            a,
+                        )? {
+                            return Ok(out);
+                        }
+                    }
+                }
+            }
+            Instr::Reduce {
+                slot,
+                group,
+                method: callee,
+                args,
+                op,
+            } => {
+                let members = exec::read_group(rt, &st.fr, node, *group)?;
+                let a = exec::read_args(&st.fr, args);
+                if let Some(out) = seq_collective(
+                    rt,
+                    node,
+                    &mut st,
+                    *slot,
+                    crate::msg::CollKind::Reduce(*op),
+                    &members,
+                    *callee,
+                    a,
+                )? {
+                    return Ok(out);
+                }
+            }
+            Instr::Barrier { slot, group } => {
+                let members = exec::read_group(rt, &st.fr, node, *group)?;
+                if let Some(out) = seq_collective(
+                    rt,
+                    node,
+                    &mut st,
+                    *slot,
+                    crate::msg::CollKind::Barrier,
+                    &members,
+                    MethodId(0),
+                    Vec::new(),
+                )? {
+                    return Ok(out);
+                }
+            }
             Instr::Reply { src } => {
                 if st.consumed.is_some() {
                     return Err(Trap::at(
@@ -491,6 +566,41 @@ fn seq_invoke(
             }
         },
     }
+}
+
+/// Handle a slot-bearing collective from a stack frame. The completion
+/// arrives over the wire (up-tree legs), never synchronously, so the frame
+/// always falls back first — exactly like a remote `Invoke` with a slot —
+/// and the collective's root continuation points into the fallen-back
+/// context.
+#[allow(clippy::too_many_arguments)]
+fn seq_collective(
+    rt: &mut Runtime,
+    node: usize,
+    st: &mut SeqState,
+    slot: Slot,
+    kind: crate::msg::CollKind,
+    members: &[ObjRef],
+    callee: MethodId,
+    args: Vec<Value>,
+) -> Result<Option<SeqOutcome>, Trap> {
+    let pc = st.fr.pc;
+    if !matches!(st.fr.slots[slot.idx()], SlotState::Join(_)) {
+        st.fr.slots[slot.idx()] = SlotState::Pending;
+    }
+    let out = do_fallback(rt, node, st, pc + 1, WaitState::Ready)?;
+    let SeqOutcome::Blocked { ctx, .. } = out else {
+        unreachable!()
+    };
+    let gen = rt.nodes[node].ctxs.gen(ctx);
+    let cont = Continuation::Into(ContRef {
+        node: NodeId(node as u32),
+        ctx,
+        gen,
+        slot: slot.0,
+    });
+    rt.issue_collective(node, kind, members, callee, args, cont)?;
+    Ok(Some(out))
 }
 
 /// Handle a `Forward` from a stack frame (paper Fig. 7): pass our

@@ -384,6 +384,7 @@ impl Runtime {
                     // Serial step: the next event is (or ties with) a
                     // retransmission timer; run it with full-machine
                     // visibility and exact single-threaded semantics.
+                    self.sched_stats.serial_steps += 1;
                     if let Err(trap) = self.dispatch_event(wkey.0, wkey.1, wkey.2 as usize) {
                         outcome = Err((wkey, trap));
                         break 'windows;
@@ -447,8 +448,10 @@ impl Runtime {
                 // Barrier, pass 2: route cross-shard packets, merge
                 // captures, accumulate the dispatch count.
                 merged.clear();
+                let mut wevents = 0u64;
                 for slot in workers.iter_mut() {
                     let wk = slot.as_mut().expect("worker at barrier");
+                    wevents += wk.sched_stats.events_dispatched;
                     self.sched_stats.events_dispatched += wk.sched_stats.events_dispatched;
                     if wk.result.is_some() {
                         self.result = wk.result.take();
@@ -465,6 +468,10 @@ impl Runtime {
                     }
                     merged.append(&mut sh.capture);
                 }
+                self.sched_stats.windows += 1;
+                self.sched_stats.window_events += wevents;
+                self.sched_stats.max_window_events =
+                    self.sched_stats.max_window_events.max(wevents);
                 // Stable sort of key-sorted shard runs == deterministic
                 // merge; keys are unique per event and the ordinal orders
                 // records within one, so the order is total. (Conservative

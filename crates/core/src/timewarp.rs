@@ -271,6 +271,7 @@ impl Runtime {
                     // event: never speculate past it — its handler
                     // inspects remote inboxes. Exact serial semantics.
                     self.spec.serial_steps += 1;
+                    self.sched_stats.serial_steps += 1;
                     if let Err(trap) = self.dispatch_event(wkey.0, wkey.1, wkey.2 as usize) {
                         outcome = Err((wkey, trap));
                         break 'windows;
@@ -369,6 +370,7 @@ impl Runtime {
                         // Clean window: commit.
                         self.spec.windows += 1;
                         self.spec.max_window = self.spec.max_window.max(end - wkey.0);
+                        self.sched_stats.windows += 1;
                         clean_streak += 1;
                         if clean_streak >= 4 {
                             clean_streak = 0;
@@ -377,9 +379,11 @@ impl Runtime {
                         let mut captures: Vec<Vec<(EventKey, u32, TraceRecord)>> =
                             Vec::with_capacity(threads);
                         let mut dispatched: Vec<Vec<EventKey>> = Vec::with_capacity(threads);
+                        let mut wevents = 0u64;
                         for slot in workers.iter_mut() {
                             let wk = slot.as_mut().expect("worker at barrier");
                             self.sched_stats.events_dispatched += wk.sched_stats.events_dispatched;
+                            wevents += wk.sched_stats.events_dispatched;
                             if wk.result.is_some() {
                                 self.result = wk.result.take();
                             }
@@ -394,6 +398,9 @@ impl Runtime {
                             captures.push(std::mem::take(&mut sh.capture));
                             dispatched.push(std::mem::take(&mut sh.dispatched));
                         }
+                        self.sched_stats.window_events += wevents;
+                        self.sched_stats.max_window_events =
+                            self.sched_stats.max_window_events.max(wevents);
                         // Heads-merge (module docs): replay events in
                         // serial order — always the minimum key among the
                         // shards' next-undispatched events — flushing each
@@ -502,6 +509,7 @@ impl Runtime {
                         // the machine back at the window edge, so `wkey`
                         // is still the minimum) and open a fresh window.
                         self.spec.serial_steps += 1;
+                        self.sched_stats.serial_steps += 1;
                         if let Err(trap) = self.dispatch_event(wkey.0, wkey.1, wkey.2 as usize) {
                             outcome = Err((wkey, trap));
                             break 'windows;

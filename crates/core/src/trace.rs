@@ -29,12 +29,29 @@ pub enum MsgCause {
     /// transport only). Receivers never see this cause: a delivered
     /// retransmission is handled as its payload's `Request`/`Reply`.
     Retransmit,
+    /// Leg of a modeled multicast (down-tree delivery of one invocation
+    /// to one group member).
+    Multicast,
+    /// Leg of a modeled reduction (down-tree delivery or up-tree partial
+    /// combine).
+    Reduce,
+    /// Leg of a modeled barrier (down-tree release probe or up-tree
+    /// arrival notification).
+    Barrier,
 }
 
 impl MsgCause {
     /// Is this an application reply (the old `reply` bool)?
     pub fn is_reply(self) -> bool {
         matches!(self, MsgCause::Reply)
+    }
+
+    /// Is this a modeled-collective leg (multicast/reduce/barrier)?
+    pub fn is_collective(self) -> bool {
+        matches!(
+            self,
+            MsgCause::Multicast | MsgCause::Reduce | MsgCause::Barrier
+        )
     }
 }
 
@@ -45,6 +62,9 @@ impl std::fmt::Display for MsgCause {
             MsgCause::Reply => "reply",
             MsgCause::Ack => "ack",
             MsgCause::Retransmit => "retransmit",
+            MsgCause::Multicast => "multicast",
+            MsgCause::Reduce => "reduce",
+            MsgCause::Barrier => "barrier",
         };
         write!(f, "{s}")
     }

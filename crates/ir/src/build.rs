@@ -378,6 +378,62 @@ impl MethodBuilder {
         });
     }
 
+    // ---- modeled collectives ----
+
+    /// Raw multicast of `method(args)` over the members of `self.group`
+    /// (an array field of object references). With a slot, the slot
+    /// resolves once every member has completed; `None` = fire-and-forget.
+    pub fn multicast(
+        &mut self,
+        slot: Option<Slot>,
+        group: FieldId,
+        method: MethodId,
+        args: &[Operand],
+    ) {
+        self.body.push(Instr::Multicast {
+            slot,
+            group,
+            method,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Multicast awaiting completion in a fresh slot; returns the slot.
+    pub fn multicast_into(&mut self, group: FieldId, method: MethodId, args: &[Operand]) -> Slot {
+        let s = self.slot();
+        self.multicast(Some(s), group, method, args);
+        s
+    }
+
+    /// Reduce `method(args)` over the members of `self.group`, combining
+    /// results with `op`; returns the fresh slot that resolves to the
+    /// folded value.
+    pub fn reduce(
+        &mut self,
+        group: FieldId,
+        method: MethodId,
+        args: &[Operand],
+        op: BinOp,
+    ) -> Slot {
+        let slot = self.slot();
+        self.body.push(Instr::Reduce {
+            slot,
+            group,
+            method,
+            args: args.to_vec(),
+            op,
+        });
+        slot
+    }
+
+    /// Barrier over the nodes hosting the members of `self.group`;
+    /// returns the fresh slot that resolves at full arrival.
+    pub fn barrier(&mut self, group: FieldId) -> Slot {
+        let slot = self.slot();
+        self.body.push(Instr::Barrier { slot, group });
+        slot
+    }
+
     // ---- terminators & continuations ----
 
     /// Reply with a value (terminator).

@@ -149,6 +149,39 @@ fn render_instr(p: &Program, m: &Method, ins: &Instr) -> String {
         ),
         Instr::GetSlot { dst, slot } => format!("r{} = f{}", dst.0, slot.0),
         Instr::JoinInit { slot, count } => format!("f{} = join({})", slot.0, op(count)),
+        Instr::Multicast {
+            slot,
+            group,
+            method,
+            args,
+        } => {
+            let dst = match slot {
+                Some(s) => format!("f{} <- ", s.0),
+                None => String::new(),
+            };
+            format!(
+                "{dst}multicast self.{}.{}({})",
+                fname(p, m, *group),
+                mname(p, *method),
+                ops(args)
+            )
+        }
+        Instr::Reduce {
+            slot,
+            group,
+            method,
+            args,
+            op: o,
+        } => format!(
+            "f{} <- reduce[{o:?}] self.{}.{}({})",
+            slot.0,
+            fname(p, m, *group),
+            mname(p, *method),
+            ops(args)
+        ),
+        Instr::Barrier { slot, group } => {
+            format!("f{} <- barrier self.{}", slot.0, fname(p, m, *group))
+        }
         Instr::Reply { src } => format!("reply {}", op(src)),
         Instr::Forward {
             target,

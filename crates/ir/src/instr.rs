@@ -243,6 +243,49 @@ pub enum Instr {
         count: Operand,
     },
 
+    // ---- modeled collectives (group = an array field of self holding
+    //      object references; the interconnect delivers over a fan-out
+    //      tree instead of P independent sends) ----
+    /// Invoke `method(args)` on every object in `self.group`. With a
+    /// slot, the slot resolves (to nil) once every member has completed;
+    /// without one, fire-and-forget — nothing flows back.
+    Multicast {
+        /// Completion future (`None` = fire-and-forget).
+        slot: Option<Slot>,
+        /// Array field of self holding the member object references.
+        group: FieldId,
+        /// Method every member runs.
+        method: MethodId,
+        /// Arguments (identical for every member).
+        args: Vec<Operand>,
+    },
+    /// Invoke `method(args)` on every member of `self.group` and combine
+    /// the results pairwise with `op` up the fan-out tree; `slot` resolves
+    /// to the single folded value. The fold is performed in tree-slot
+    /// order, so the result is independent of completion order (`op`
+    /// should still be associative for the grouping to be meaningful).
+    Reduce {
+        /// Future receiving the folded result.
+        slot: Slot,
+        /// Array field of self holding the member object references.
+        group: FieldId,
+        /// Method every member runs.
+        method: MethodId,
+        /// Arguments (identical for every member).
+        args: Vec<Operand>,
+        /// Pairwise combining operation.
+        op: BinOp,
+    },
+    /// Synchronize with every node hosting a member of `self.group`:
+    /// `slot` resolves (to nil) once every member's node has been reached
+    /// and its arrival has percolated back. No method runs on the members.
+    Barrier {
+        /// Future resolving at full arrival.
+        slot: Slot,
+        /// Array field of self holding the member object references.
+        group: FieldId,
+    },
+
     // ---- terminators ----
     /// Determine the caller's future with `src` and finish.
     Reply {

@@ -309,6 +309,39 @@ impl Program {
                 check_slot(*slot, err);
                 check_op(count, err);
             }
+            Instr::Multicast {
+                slot,
+                group,
+                method,
+                args,
+            } => {
+                if let Some(s) = slot {
+                    check_slot(*s, err);
+                }
+                check_field(*group, true, err);
+                check_call(*method, args, err);
+                for a in args {
+                    check_op(a, err);
+                }
+            }
+            Instr::Reduce {
+                slot,
+                group,
+                method,
+                args,
+                ..
+            } => {
+                check_slot(*slot, err);
+                check_field(*group, true, err);
+                check_call(*method, args, err);
+                for a in args {
+                    check_op(a, err);
+                }
+            }
+            Instr::Barrier { slot, group } => {
+                check_slot(*slot, err);
+                check_field(*group, true, err);
+            }
             Instr::Reply { src } => check_op(src, err),
             Instr::Forward {
                 target,

@@ -221,6 +221,45 @@ pub fn print_program(p: &Program) -> String {
                     Instr::JoinInit { slot, count } => {
                         format!("join f{} {}", slot.0, print_operand(count))
                     }
+                    Instr::Multicast {
+                        slot,
+                        group,
+                        method,
+                        args,
+                    } => {
+                        let sl = match slot {
+                            Some(s) => format!("f{}", s.0),
+                            None => "_".to_string(),
+                        };
+                        let mut line =
+                            format!("mcast {} {} {}", sl, fname(*group), callee(*method));
+                        for a in args {
+                            let _ = write!(line, " {}", print_operand(a));
+                        }
+                        line
+                    }
+                    Instr::Reduce {
+                        slot,
+                        group,
+                        method,
+                        args,
+                        op,
+                    } => {
+                        let mut line = format!(
+                            "reduce f{} {} {} {}",
+                            slot.0,
+                            bin_name(*op),
+                            fname(*group),
+                            callee(*method)
+                        );
+                        for a in args {
+                            let _ = write!(line, " {}", print_operand(a));
+                        }
+                        line
+                    }
+                    Instr::Barrier { slot, group } => {
+                        format!("barrier f{} {}", slot.0, fname(*group))
+                    }
                     Instr::Reply { src } => format!("reply {}", print_operand(src)),
                     Instr::Forward {
                         target,
@@ -602,6 +641,33 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
                 ["join", s, c] => Instr::JoinInit {
                     slot: parse_slot(s, ln)?,
                     count: parse_operand(c, ln)?,
+                },
+                ["mcast", sl, g, m, args @ ..] => Instr::Multicast {
+                    slot: if *sl == "_" {
+                        None
+                    } else {
+                        Some(parse_slot(sl, ln)?)
+                    },
+                    group: field_id(g, ln)?,
+                    method: callee(m, ln)?,
+                    args: args
+                        .iter()
+                        .map(|a| parse_operand(a, ln))
+                        .collect::<Result<_, _>>()?,
+                },
+                ["reduce", sl, o, g, m, args @ ..] => Instr::Reduce {
+                    slot: parse_slot(sl, ln)?,
+                    op: bin_of(o).ok_or_else(|| Parser::err(ln, format!("bad binop `{o}`")))?,
+                    group: field_id(g, ln)?,
+                    method: callee(m, ln)?,
+                    args: args
+                        .iter()
+                        .map(|a| parse_operand(a, ln))
+                        .collect::<Result<_, _>>()?,
+                },
+                ["barrier", sl, g] => Instr::Barrier {
+                    slot: parse_slot(sl, ln)?,
+                    group: field_id(g, ln)?,
                 },
                 ["reply", s] => Instr::Reply {
                     src: parse_operand(s, ln)?,

@@ -27,6 +27,104 @@ pub enum WireClass {
     Ack,
     /// Retransmitted copy of a data frame.
     Retx,
+    /// First wire copy of a collective leg (multicast/reduce/barrier
+    /// down- or up-leg). Retransmitted legs fall back to [`WireClass::Retx`]
+    /// like any other data frame.
+    Coll,
+}
+
+/// One leg of a planned collective: where it goes and where it sits in the
+/// virtual distribution tree.
+///
+/// Collectives are modeled over a binary-heap-shaped tree laid over the
+/// participants: the initiator occupies position 0, member rank `r`
+/// occupies position `r + 1`, and the parent of position `p` is
+/// `(p - 1) / 2`. A leg to a member at tree depth `d` costs `d` hops of
+/// wire latency instead of one — the fan-out is pipelined down the tree,
+/// not `P` independent sends — and the member's reduction contribution
+/// travels one hop back up to its tree parent rather than all the way to
+/// the initiator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollLeg {
+    /// Member rank in the group (index into the caller's member list).
+    pub rank: u32,
+    /// Tree position (`rank + 1`; position 0 is the initiator).
+    pub pos: u32,
+    /// Node the member lives on.
+    pub dest: NodeId,
+    /// Tree depth of `pos` — the number of hops the down-leg is charged.
+    pub depth: u32,
+    /// Tree position of the parent (`0` = the initiator itself).
+    pub parent_pos: u32,
+    /// Node the parent lives on (the up-leg's destination).
+    pub parent: NodeId,
+    /// Number of tree children whose contributions this member must fold
+    /// before sending its own up-leg.
+    pub children: u8,
+    /// This member's contribution index at its parent (1 = left child,
+    /// 2 = right child; index 0 is the parent's own contribution), fixing
+    /// the fold order independent of arrival order.
+    pub child_ix: u8,
+}
+
+/// A planned collective: the legs plus the cost parameters the runtime
+/// charges when it executes them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollPlan {
+    /// One leg per member, in rank order.
+    pub legs: Vec<CollLeg>,
+    /// Payload words each down-leg carries (0 for barriers).
+    pub words: u64,
+    /// Per-contribution fold cost charged where the fold happens
+    /// (reductions only).
+    pub op_cost: Cycles,
+    /// Depth of the deepest leg — the number of pipelined hops the
+    /// slowest member waits for.
+    pub depth: u32,
+}
+
+/// Tree depth of a collective position: `floor(log2(pos + 1))`.
+/// Position 0 (the initiator) is at depth 0, positions 1–2 at depth 1,
+/// 3–6 at depth 2, and so on.
+pub fn coll_depth(pos: u32) -> u32 {
+    (pos + 1).ilog2()
+}
+
+/// Parent position of a non-root collective position.
+pub fn coll_parent(pos: u32) -> u32 {
+    debug_assert!(pos > 0, "the root has no parent");
+    (pos - 1) / 2
+}
+
+/// Lay the virtual tree over `src` + `members` and emit one leg per
+/// member. Pure shape — no counters, no costs.
+fn plan_legs(src: NodeId, members: &[NodeId]) -> Vec<CollLeg> {
+    let n = members.len() as u32;
+    (0..n)
+        .map(|rank| {
+            let pos = rank + 1;
+            let parent_pos = coll_parent(pos);
+            let parent = if parent_pos == 0 {
+                src
+            } else {
+                members[(parent_pos - 1) as usize]
+            };
+            let children = [2 * pos + 1, 2 * pos + 2]
+                .iter()
+                .filter(|&&c| c <= n)
+                .count() as u8;
+            CollLeg {
+                rank,
+                pos,
+                dest: members[rank as usize],
+                depth: coll_depth(pos),
+                parent_pos,
+                parent,
+                children,
+                child_ix: if pos % 2 == 1 { 1 } else { 2 },
+            }
+        })
+        .collect()
 }
 
 /// A message in flight, carrying its destination and delivery time.
@@ -93,6 +191,17 @@ pub struct Network<M> {
     pub ack_words: u64,
     /// Words that crossed the wire in retransmitted copies.
     pub retx_words: u64,
+    /// Words that crossed the wire in first-copy collective legs.
+    pub coll_words: u64,
+    /// Multicasts planned through this network.
+    pub multicasts: u64,
+    /// Reductions planned through this network.
+    pub reduces: u64,
+    /// Barriers planned through this network.
+    pub barriers: u64,
+    /// Collective legs planned (down-legs; up-legs mirror them 1:1 for
+    /// reductions and barriers).
+    pub coll_legs: u64,
     /// Installed fault schedule, if any (see [`FaultPlan`]).
     plan: Option<FaultPlan>,
     /// Cumulative fault-injection counters.
@@ -110,6 +219,11 @@ impl<M> Default for Network<M> {
             data_words: 0,
             ack_words: 0,
             retx_words: 0,
+            coll_words: 0,
+            multicasts: 0,
+            reduces: 0,
+            barriers: 0,
+            coll_legs: 0,
             plan: None,
             faults: FaultStats::default(),
         }
@@ -177,6 +291,58 @@ impl<M> Network<M> {
             WireClass::Data => self.data_words += words,
             WireClass::Ack => self.ack_words += words,
             WireClass::Retx => self.retx_words += words,
+            WireClass::Coll => self.coll_words += words,
+        }
+    }
+
+    /// Plan a modeled multicast from `src` to `dests`: one leg per member,
+    /// each charged `depth(member) × hop latency` by the caller instead of
+    /// `P` independent full-latency sends. `words` is the payload each leg
+    /// carries. Only plans and counts — the caller injects the legs (so
+    /// transport framing, fault fates, and wire-seq tagging apply
+    /// unchanged).
+    pub fn multicast(&mut self, src: NodeId, dests: &[NodeId], words: u64) -> CollPlan {
+        self.multicasts += 1;
+        self.coll_legs += dests.len() as u64;
+        let legs = plan_legs(src, dests);
+        let depth = legs.iter().map(|l| l.depth).max().unwrap_or(0);
+        CollPlan {
+            legs,
+            words,
+            op_cost: 0,
+            depth,
+        }
+    }
+
+    /// Plan a modeled reduction over `group` toward `root`: the same tree
+    /// as [`Self::multicast`], but each member folds its tree children's
+    /// contributions (at `op_cost` per contribution) before sending one
+    /// up-leg to its parent.
+    pub fn reduce(&mut self, group: &[NodeId], root: NodeId, words: u64, op_cost: Cycles) -> CollPlan {
+        self.reduces += 1;
+        self.coll_legs += group.len() as u64;
+        let legs = plan_legs(root, group);
+        let depth = legs.iter().map(|l| l.depth).max().unwrap_or(0);
+        CollPlan {
+            legs,
+            words,
+            op_cost,
+            depth,
+        }
+    }
+
+    /// Plan a modeled barrier rooted at `root` over `group`: a zero-payload
+    /// tree down-sweep followed by the up-sweep of arrivals.
+    pub fn barrier(&mut self, root: NodeId, group: &[NodeId]) -> CollPlan {
+        self.barriers += 1;
+        self.coll_legs += group.len() as u64;
+        let legs = plan_legs(root, group);
+        let depth = legs.iter().map(|l| l.depth).max().unwrap_or(0);
+        CollPlan {
+            legs,
+            words: 0,
+            op_cost: 0,
+            depth,
         }
     }
 
@@ -331,6 +497,11 @@ impl<M> Network<M> {
             data_words: self.data_words,
             ack_words: self.ack_words,
             retx_words: self.retx_words,
+            coll_words: self.coll_words,
+            multicasts: self.multicasts,
+            reduces: self.reduces,
+            barriers: self.barriers,
+            coll_legs: self.coll_legs,
             faults: self.faults,
         }
     }
@@ -352,6 +523,11 @@ impl<M> Network<M> {
         self.data_words += other.data_words;
         self.ack_words += other.ack_words;
         self.retx_words += other.retx_words;
+        self.coll_words += other.coll_words;
+        self.multicasts += other.multicasts;
+        self.reduces += other.reduces;
+        self.barriers += other.barriers;
+        self.coll_legs += other.coll_legs;
         self.faults.absorb(&other.faults);
     }
 
@@ -368,6 +544,11 @@ impl<M> Network<M> {
         self.data_words = snap.data_words;
         self.ack_words = snap.ack_words;
         self.retx_words = snap.retx_words;
+        self.coll_words = snap.coll_words;
+        self.multicasts = snap.multicasts;
+        self.reduces = snap.reduces;
+        self.barriers = snap.barriers;
+        self.coll_legs = snap.coll_legs;
         self.faults = snap.faults;
     }
 }
@@ -518,11 +699,106 @@ mod tests {
         net.send_classed(NodeId(0), NodeId(1), 1, 5, WireClass::Data, 0);
         net.send_classed(NodeId(1), NodeId(0), 2, 1, WireClass::Ack, 0);
         net.send_classed(NodeId(0), NodeId(1), 3, 5, WireClass::Retx, 0);
+        net.send_classed(NodeId(0), NodeId(2), 3, 4, WireClass::Coll, 0);
         net.send(NodeId(0), NodeId(1), 4, 2, 0); // plain send = Data
         let s = net.stats();
         assert_eq!(s.data_words, 7);
         assert_eq!(s.ack_words, 1);
         assert_eq!(s.retx_words, 5);
-        assert_eq!(s.words, s.data_words + s.ack_words + s.retx_words);
+        assert_eq!(s.coll_words, 4);
+        assert_eq!(
+            s.words,
+            s.data_words + s.ack_words + s.retx_words + s.coll_words
+        );
+    }
+
+    #[test]
+    fn coll_tree_shape_is_a_binary_heap() {
+        // Depths: pos 0 → 0, 1–2 → 1, 3–6 → 2, 7–14 → 3.
+        assert_eq!(coll_depth(0), 0);
+        assert_eq!(coll_depth(1), 1);
+        assert_eq!(coll_depth(2), 1);
+        assert_eq!(coll_depth(3), 2);
+        assert_eq!(coll_depth(6), 2);
+        assert_eq!(coll_depth(7), 3);
+        assert_eq!(coll_parent(1), 0);
+        assert_eq!(coll_parent(2), 0);
+        assert_eq!(coll_parent(5), 2);
+        assert_eq!(coll_parent(6), 2);
+
+        let mut net: Network<u8> = Network::new();
+        let dests: Vec<NodeId> = (1..8).map(NodeId).collect();
+        let plan = net.multicast(NodeId(0), &dests, 3);
+        assert_eq!(plan.legs.len(), 7);
+        assert_eq!(plan.words, 3);
+        assert_eq!(plan.depth, 3, "7 members + root = 8 positions, depth 3");
+        // Rank 0 (pos 1) is a direct child of the initiator.
+        assert_eq!(plan.legs[0].parent, NodeId(0));
+        assert_eq!(plan.legs[0].parent_pos, 0);
+        assert_eq!(plan.legs[0].depth, 1);
+        assert_eq!(plan.legs[0].child_ix, 1);
+        // Rank 2 (pos 3) hangs under pos 1 = rank 0 = NodeId(1).
+        assert_eq!(plan.legs[2].parent, NodeId(1));
+        assert_eq!(plan.legs[2].parent_pos, 1);
+        assert_eq!(plan.legs[2].depth, 2);
+        assert_eq!(plan.legs[2].child_ix, 1);
+        // Rank 3 (pos 4) is pos 1's right child.
+        assert_eq!(plan.legs[3].parent_pos, 1);
+        assert_eq!(plan.legs[3].child_ix, 2);
+        // Interior nodes know how many children to await: pos 1 has
+        // children at positions 3 and 4 (both ≤ 7).
+        assert_eq!(plan.legs[0].children, 2);
+        // Pos 7 is a leaf (children at 15, 16 > 7).
+        assert_eq!(plan.legs[6].children, 0);
+        // Every child_ix is consistent with its parity.
+        for l in &plan.legs {
+            assert_eq!(l.child_ix, if l.pos % 2 == 1 { 1 } else { 2 });
+        }
+        assert_eq!(net.multicasts, 1);
+        assert_eq!(net.coll_legs, 7);
+    }
+
+    #[test]
+    fn coll_plans_cover_degenerate_groups() {
+        let mut net: Network<u8> = Network::new();
+        // Empty group: no legs, depth 0.
+        let p = net.barrier(NodeId(0), &[]);
+        assert!(p.legs.is_empty());
+        assert_eq!(p.depth, 0);
+        // Size-1 group: one depth-1 leg, a leaf, parented on the root.
+        let p = net.reduce(&[NodeId(5)], NodeId(0), 2, 9);
+        assert_eq!(p.legs.len(), 1);
+        assert_eq!(p.op_cost, 9);
+        let l = p.legs[0];
+        assert_eq!((l.depth, l.children, l.parent), (1, 0, NodeId(0)));
+        // Root inside its own group (root == src) still plans cleanly:
+        // the self-leg is an ordinary member leg.
+        let p = net.multicast(NodeId(0), &[NodeId(0), NodeId(1)], 1);
+        assert_eq!(p.legs[0].dest, NodeId(0));
+        assert_eq!(p.legs[0].parent, NodeId(0));
+        assert_eq!(net.barriers, 1);
+        assert_eq!(net.reduces, 1);
+        assert_eq!(net.multicasts, 1);
+        assert_eq!(net.coll_legs, 3);
+    }
+
+    #[test]
+    fn coll_counters_absorb_and_restore() {
+        let mut a: Network<u8> = Network::new();
+        a.multicast(NodeId(0), &[NodeId(1), NodeId(2)], 1);
+        a.send_classed(NodeId(0), NodeId(1), 1, 4, WireClass::Coll, 0);
+        let snap = a.stats();
+        let mut b: Network<u8> = Network::new();
+        b.reduce(&[NodeId(0)], NodeId(1), 2, 3);
+        b.barrier(NodeId(0), &[NodeId(1)]);
+        a.absorb_counters(&b);
+        let s = a.stats();
+        assert_eq!(
+            (s.multicasts, s.reduces, s.barriers, s.coll_legs),
+            (1, 1, 1, 4)
+        );
+        assert_eq!(s.coll_words, 4);
+        a.restore_counters(&snap);
+        assert_eq!(a.stats(), snap);
     }
 }

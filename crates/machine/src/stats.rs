@@ -69,6 +69,18 @@ pub struct Counters {
     /// Received data messages discarded as duplicates (wire duplication or
     /// a retransmit racing its original).
     pub dups_suppressed: u64,
+    /// Collectives (multicast/reduce/barrier) initiated on this node.
+    pub coll_initiated: u64,
+    /// Collective legs injected from this node (down-legs at the
+    /// initiator, up-legs at members).
+    pub coll_legs_sent: u64,
+    /// Collective legs handled on this node.
+    pub coll_legs_handled: u64,
+    /// Reduction contributions folded on this node (own values and child
+    /// up-legs).
+    pub coll_contribs: u64,
+    /// Payload words sent from this node in collective legs.
+    pub coll_words_sent: u64,
 }
 
 impl Counters {
@@ -103,6 +115,11 @@ impl Counters {
         self.acks_sent += other.acks_sent;
         self.acks_handled += other.acks_handled;
         self.dups_suppressed += other.dups_suppressed;
+        self.coll_initiated += other.coll_initiated;
+        self.coll_legs_sent += other.coll_legs_sent;
+        self.coll_legs_handled += other.coll_legs_handled;
+        self.coll_contribs += other.coll_contribs;
+        self.coll_words_sent += other.coll_words_sent;
     }
 
     /// Total method invocations observed (stack completions + heap starts +
@@ -156,6 +173,18 @@ pub struct SchedStats {
     /// non-zero value means any report derived from the trace was computed
     /// from a *truncated* event stream.
     pub dropped_events: u64,
+    /// Parallel virtual-time windows executed (sharded and speculative
+    /// executors; 0 under the single-threaded dispatchers, like the heap
+    /// diagnostics above).
+    pub windows: u64,
+    /// Events the window coordinator stepped serially (timers, or window
+    /// bases no window could cover).
+    pub serial_steps: u64,
+    /// Events dispatched inside parallel windows (occupancy numerator:
+    /// `window_events / windows` is the mean events per window).
+    pub window_events: u64,
+    /// Most events dispatched in any single parallel window.
+    pub max_window_events: u64,
 }
 
 /// Machine-global interconnect traffic and fault-injection counters.
@@ -174,6 +203,17 @@ pub struct NetStats {
     pub ack_words: u64,
     /// Words carried by retransmitted data-frame copies.
     pub retx_words: u64,
+    /// Words carried by first-copy collective legs.
+    /// `words == data_words + ack_words + retx_words + coll_words`.
+    pub coll_words: u64,
+    /// Multicasts planned.
+    pub multicasts: u64,
+    /// Reductions planned.
+    pub reduces: u64,
+    /// Barriers planned.
+    pub barriers: u64,
+    /// Collective down-legs planned.
+    pub coll_legs: u64,
     /// Fault-injection counters (all zero with no fault plan installed).
     pub faults: crate::fault::FaultStats,
 }
@@ -190,6 +230,11 @@ impl NetStats {
         self.data_words += other.data_words;
         self.ack_words += other.ack_words;
         self.retx_words += other.retx_words;
+        self.coll_words += other.coll_words;
+        self.multicasts += other.multicasts;
+        self.reduces += other.reduces;
+        self.barriers += other.barriers;
+        self.coll_legs += other.coll_legs;
         self.faults.absorb(&other.faults);
     }
 }

@@ -107,9 +107,9 @@ pub struct Report {
     pub rows: Vec<MethodRow>,
     /// Grand totals.
     pub total: MethodCell,
-    /// Messages and words by cause: `(requests, replies, acks, retx)`,
-    /// each `(msgs, words)`.
-    pub traffic: [(u64, u64); 4],
+    /// Messages and words by cause: `(requests, replies, acks, retx,
+    /// multicasts, reduces, barriers)`, each `(msgs, words)`.
+    pub traffic: [(u64, u64); 7],
     /// Active directed links.
     pub links: usize,
     /// Continuations lazily materialized.
@@ -161,7 +161,7 @@ impl Report {
                 cell,
             });
         }
-        let mut traffic = [(0u64, 0u64); 4];
+        let mut traffic = [(0u64, 0u64); 7];
         let mut per_link = Vec::new();
         for ((f, t), l) in rollup.per_link() {
             for (i, tr) in traffic.iter_mut().enumerate() {
@@ -263,7 +263,15 @@ impl Report {
             100.0 * c.fallback_rate(),
         );
         let _ = writeln!(o);
-        let names = ["requests", "replies", "acks", "retransmits"];
+        let names = [
+            "requests",
+            "replies",
+            "acks",
+            "retransmits",
+            "multicasts",
+            "reduces",
+            "barriers",
+        ];
         let _ = writeln!(o, "traffic ({} active links):", self.links);
         for (i, name) in names.iter().enumerate() {
             let (m, w) = self.traffic[i];
@@ -391,7 +399,15 @@ impl Report {
             );
         }
         let _ = write!(o, "],\"traffic\":{{");
-        let names = ["requests", "replies", "acks", "retransmits"];
+        let names = [
+            "requests",
+            "replies",
+            "acks",
+            "retransmits",
+            "multicasts",
+            "reduces",
+            "barriers",
+        ];
         for (i, name) in names.iter().enumerate() {
             if i > 0 {
                 o.push(',');

@@ -97,13 +97,13 @@ impl MethodCell {
 }
 
 /// Per-directed-link traffic, indexed by [`MsgCause`] (`Request`, `Reply`,
-/// `Ack`, `Retransmit` in that order).
+/// `Ack`, `Retransmit`, `Multicast`, `Reduce`, `Barrier` in that order).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkCell {
     /// Messages injected, by cause.
-    pub msgs: [u64; 4],
+    pub msgs: [u64; 7],
     /// Payload words injected, by cause.
-    pub words: [u64; 4],
+    pub words: [u64; 7],
 }
 
 /// Index of a cause in [`LinkCell`] arrays.
@@ -113,6 +113,9 @@ pub fn cause_idx(c: MsgCause) -> usize {
         MsgCause::Reply => 1,
         MsgCause::Ack => 2,
         MsgCause::Retransmit => 3,
+        MsgCause::Multicast => 4,
+        MsgCause::Reduce => 5,
+        MsgCause::Barrier => 6,
     }
 }
 
@@ -222,7 +225,7 @@ impl LinkTable {
     fn merge(&mut self, other: &LinkTable) {
         for ((from, to), cell) in other.iter() {
             let mine = self.entry(from, to);
-            for i in 0..4 {
+            for i in 0..7 {
                 mine.msgs[i] += cell.msgs[i];
                 mine.words[i] += cell.words[i];
             }
@@ -305,7 +308,7 @@ pub struct Rollup {
     /// Traffic per directed link.
     links: LinkTable,
     /// Messages *handled* per node, by cause index — receiver-side counts.
-    handled: Vec<[u64; 4]>,
+    handled: Vec<[u64; 7]>,
     /// Continuations lazily materialized, per node.
     conts_created: Vec<u64>,
     /// Context residency (allocation → free), in virtual cycles.
@@ -410,7 +413,7 @@ impl Rollup {
             TraceEvent::MsgHandled { node, cause, .. } => {
                 let n = node.0 as usize;
                 if self.handled.len() <= n {
-                    self.handled.resize(n + 1, [0; 4]);
+                    self.handled.resize(n + 1, [0; 7]);
                 }
                 self.handled[n][cause_idx(cause)] += 1;
             }
@@ -511,8 +514,8 @@ impl Rollup {
     }
 
     /// Messages sent from `node`, by cause index.
-    pub fn sent_by_node(&self, node: u32) -> [u64; 4] {
-        let mut out = [0u64; 4];
+    pub fn sent_by_node(&self, node: u32) -> [u64; 7] {
+        let mut out = [0u64; 7];
         for ((f, _), l) in self.links.iter() {
             if f == node {
                 for (o, m) in out.iter_mut().zip(l.msgs) {
@@ -531,10 +534,10 @@ impl Rollup {
     }
 
     /// Messages handled machine-wide, by cause index (receiver side).
-    pub fn handled_by_cause(&self) -> [u64; 4] {
-        let mut out = [0u64; 4];
+    pub fn handled_by_cause(&self) -> [u64; 7] {
+        let mut out = [0u64; 7];
         for h in &self.handled {
-            for i in 0..4 {
+            for i in 0..7 {
                 out[i] += h[i];
             }
         }
@@ -542,22 +545,25 @@ impl Rollup {
     }
 
     /// Messages handled on `node`, by cause index.
-    pub fn handled_on(&self, node: u32) -> [u64; 4] {
-        self.handled.get(node as usize).copied().unwrap_or([0; 4])
+    pub fn handled_on(&self, node: u32) -> [u64; 7] {
+        self.handled.get(node as usize).copied().unwrap_or([0; 7])
     }
 
-    /// Total payload words injected, split `(data, ack, retx)` to line up
-    /// with `NetStats`.
-    pub fn words_by_class(&self) -> (u64, u64, u64) {
+    /// Total payload words injected, split `(data, ack, retx, coll)` to
+    /// line up with `NetStats` (collective legs of all three kinds share
+    /// one wire class).
+    pub fn words_by_class(&self) -> (u64, u64, u64, u64) {
         let mut data = 0;
         let mut ack = 0;
         let mut retx = 0;
+        let mut coll = 0;
         for (_, l) in self.links.iter() {
             data += l.words[0] + l.words[1];
             ack += l.words[2];
             retx += l.words[3];
+            coll += l.words[4] + l.words[5] + l.words[6];
         }
-        (data, ack, retx)
+        (data, ack, retx, coll)
     }
 
     /// Fold another rollup into this one — deterministically: every
@@ -580,10 +586,10 @@ impl Rollup {
         }
         self.links.merge(&other.links);
         if self.handled.len() < other.handled.len() {
-            self.handled.resize(other.handled.len(), [0; 4]);
+            self.handled.resize(other.handled.len(), [0; 7]);
         }
         for (mine, theirs) in self.handled.iter_mut().zip(&other.handled) {
-            for i in 0..4 {
+            for i in 0..7 {
                 mine[i] += theirs[i];
             }
         }
@@ -744,10 +750,10 @@ mod tests {
         let r = Rollup::from_records(&recs);
         assert_eq!(r.total_sent(), 3);
         let links = r.per_link();
-        assert_eq!(links[&(0, 1)].msgs, [1, 0, 1, 0]);
+        assert_eq!(links[&(0, 1)].msgs, [1, 0, 1, 0, 0, 0, 0]);
         assert_eq!(links[&(1, 0)].words[1], 2);
-        assert_eq!(r.words_by_class(), (6, 1, 0));
-        assert_eq!(r.sent_by_node(0), [1, 0, 1, 0]);
+        assert_eq!(r.words_by_class(), (6, 1, 0, 0));
+        assert_eq!(r.sent_by_node(0), [1, 0, 1, 0, 0, 0, 0]);
     }
 
     #[test]
@@ -806,9 +812,9 @@ mod tests {
             },
         ));
         let links = r.per_link();
-        assert_eq!(links[&(3, 4)].msgs, [100, 0, 0, 0]);
-        assert_eq!(links[&(3, 4)].words, [200, 0, 0, 0]);
-        assert_eq!(links[&(4, 3)].msgs, [0, 1, 0, 0]);
+        assert_eq!(links[&(3, 4)].msgs, [100, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(links[&(3, 4)].words, [200, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(links[&(4, 3)].msgs, [0, 1, 0, 0, 0, 0, 0]);
         assert_eq!(r.total_sent(), 101);
     }
 

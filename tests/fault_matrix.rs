@@ -125,7 +125,14 @@ fn run_kernel(kernel: &str, mode: ExecMode, sched: SchedImpl, plan: Option<&Faul
             .unwrap();
             arm(&mut rt);
             let inst = sync::setup(&mut rt, &ids, 16);
+            // The full structure mix: acked multicast (fan), fire-and-
+            // forget multicast (scatter), modeled reduce and barrier, and
+            // the continuation-stored rendezvous — so every collective
+            // leg kind meets every fault fate.
             rt.call(inst.drivers[0], ids.fan, &[]).unwrap();
+            rt.call(inst.drivers[0], ids.scatter, &[]).unwrap();
+            rt.call(inst.drivers[1], ids.sum_all, &[]).unwrap();
+            rt.call(inst.drivers[2], ids.quiesce, &[]).unwrap();
             sync::run_rendezvous(&mut rt, &inst).unwrap();
             rt
         }
@@ -532,6 +539,9 @@ fn run_kernel_raw(kernel: &str) -> Outcome {
             .unwrap();
             let inst = sync::setup(&mut rt, &ids, 16);
             rt.call(inst.drivers[0], ids.fan, &[]).unwrap();
+            rt.call(inst.drivers[0], ids.scatter, &[]).unwrap();
+            rt.call(inst.drivers[1], ids.sum_all, &[]).unwrap();
+            rt.call(inst.drivers[2], ids.quiesce, &[]).unwrap();
             sync::run_rendezvous(&mut rt, &inst).unwrap();
             Outcome {
                 makespan: rt.makespan(),

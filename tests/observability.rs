@@ -46,21 +46,29 @@ fn rollup_counts_match_machine_stats_on_all_kernels() {
         assert_eq!(rollup.total_sent(), stats.net.sent, "{name}: sent");
 
         // Trace-derived per-cause counts equal the machine counters.
+        // `msgs_sent` covers requests plus every collective leg; the trace
+        // splits the legs out by cause.
         let links = rollup.per_link();
-        let mut by_cause = [0u64; 4];
+        let mut by_cause = [0u64; 7];
         for l in links.values() {
             for (b, m) in by_cause.iter_mut().zip(l.msgs) {
                 *b += m;
             }
         }
-        assert_eq!(by_cause[0], totals.msgs_sent, "{name}: requests");
+        let coll_legs = by_cause[4] + by_cause[5] + by_cause[6];
+        assert_eq!(
+            by_cause[0],
+            totals.msgs_sent - totals.coll_legs_sent,
+            "{name}: requests"
+        );
         assert_eq!(by_cause[1], totals.replies_sent, "{name}: replies");
         assert_eq!(by_cause[2], totals.acks_sent, "{name}: acks");
         assert_eq!(by_cause[3], totals.retransmits, "{name}: retransmits");
+        assert_eq!(coll_legs, totals.coll_legs_sent, "{name}: collective legs");
 
         // Word accounting agrees with both the senders' counters and the
         // interconnect's wire-class buckets.
-        let mut words = [0u64; 4];
+        let mut words = [0u64; 7];
         for l in links.values() {
             for (wd, w) in words.iter_mut().zip(l.words) {
                 *wd += w;
@@ -68,17 +76,32 @@ fn rollup_counts_match_machine_stats_on_all_kernels() {
         }
         assert_eq!(words[0], totals.req_words_sent, "{name}: request words");
         assert_eq!(words[1], totals.reply_words_sent, "{name}: reply words");
-        let (data, ack, retx) = rollup.words_by_class();
+        assert_eq!(
+            words[4] + words[5] + words[6],
+            totals.coll_words_sent,
+            "{name}: collective words"
+        );
+        let (data, ack, retx, coll) = rollup.words_by_class();
         assert_eq!(data, stats.net.data_words, "{name}: data words");
         assert_eq!(ack, stats.net.ack_words, "{name}: ack words");
         assert_eq!(retx, stats.net.retx_words, "{name}: retx words");
+        assert_eq!(coll, stats.net.coll_words, "{name}: collective words");
 
         // Per-node sends: link rows summed over destinations equal each
         // node's own counters.
         for (n, c) in stats.per_node.iter().enumerate() {
             let sent = rollup.sent_by_node(n as u32);
-            assert_eq!(sent[0], c.msgs_sent, "{name}: node {n} requests");
+            assert_eq!(
+                sent[0],
+                c.msgs_sent - c.coll_legs_sent,
+                "{name}: node {n} requests"
+            );
             assert_eq!(sent[1], c.replies_sent, "{name}: node {n} replies");
+            assert_eq!(
+                sent[4] + sent[5] + sent[6],
+                c.coll_legs_sent,
+                "{name}: node {n} collective legs"
+            );
         }
 
         // Invocation-path rollups equal the counter totals.
@@ -100,12 +123,18 @@ fn rollup_counts_match_machine_stats_on_all_kernels() {
         assert_eq!(rollup.total_conts(), totals.conts_created, "{name}: conts");
         assert_eq!(rollup.suspends, totals.suspends, "{name}: suspends");
 
-        // Handled messages (requests + replies) match the receivers.
+        // Handled messages (requests + replies + collective legs) match
+        // the receivers.
         let handled = rollup.handled_by_cause();
         assert_eq!(
-            handled[0] + handled[1],
+            handled[0] + handled[1] + handled[4] + handled[5] + handled[6],
             totals.msgs_handled,
             "{name}: handled"
+        );
+        assert_eq!(
+            handled[4] + handled[5] + handled[6],
+            totals.coll_legs_handled,
+            "{name}: collective legs handled"
         );
 
         assert_eq!(stats.sched.dropped_events, 0, "{name}: unbounded trace");
@@ -378,7 +407,7 @@ fn reliable_transport_traffic_is_attributed_to_ack_frames() {
     let stats = rt.stats();
     let rollup = Rollup::from_records(&records);
 
-    let mut by_cause = [0u64; 4];
+    let mut by_cause = [0u64; 7];
     for l in rollup.per_link().values() {
         for (b, m) in by_cause.iter_mut().zip(l.msgs) {
             *b += m;
@@ -388,13 +417,14 @@ fn reliable_transport_traffic_is_attributed_to_ack_frames() {
     assert!(by_cause[2] > 0, "acks flowed");
     assert_eq!(by_cause[2], totals.acks_sent);
     assert_eq!(rollup.total_sent(), stats.net.sent);
-    let (data, ack, retx) = rollup.words_by_class();
+    let (data, ack, retx, coll) = rollup.words_by_class();
     assert_eq!(
-        (data, ack, retx),
+        (data, ack, retx, coll),
         (
             stats.net.data_words,
             stats.net.ack_words,
-            stats.net.retx_words
+            stats.net.retx_words,
+            stats.net.coll_words
         )
     );
     assert!(stats.net.ack_words > 0);

@@ -123,6 +123,9 @@ fn run_kernel(kernel: &str, seed: u64, sched: SchedImpl, plan: Option<&FaultPlan
             arm(&mut rt);
             let inst = sync::setup(&mut rt, &ids, 16);
             rt.call(inst.drivers[0], ids.fan, &[]).unwrap();
+            rt.call(inst.drivers[0], ids.scatter, &[]).unwrap();
+            rt.call(inst.drivers[1], ids.sum_all, &[]).unwrap();
+            rt.call(inst.drivers[2], ids.quiesce, &[]).unwrap();
             sync::run_rendezvous(&mut rt, &inst).unwrap();
             rt
         }

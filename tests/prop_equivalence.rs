@@ -168,6 +168,98 @@ fn run(
     (r, rt.makespan(), rt.stats().totals())
 }
 
+/// A driver over a cell population with three group operations: the
+/// modeled acked multicast of `bump(1)`, the hand-rolled join-loop
+/// fan-out it replaced, and a modeled `reduce` of `read` under `Add` —
+/// the fixtures for the collective equivalence properties below.
+struct FanWorld {
+    program: Program,
+    fan_mcast: MethodId,
+    fan_loop: MethodId,
+    sum: MethodId,
+    value: hem::ir::FieldId,
+    cells: hem::ir::FieldId,
+}
+
+fn build_fan_world() -> FanWorld {
+    let mut pb = ProgramBuilder::new();
+    let cell = pb.class("Cell", false);
+    let value = pb.field(cell, "value");
+    let read = pb.method(cell, "read", 0, |mb| {
+        let v = mb.get_field(value);
+        mb.reply(v);
+    });
+    let bump = pb.method(cell, "bump", 1, |mb| {
+        let v = mb.get_field(value);
+        let nv = mb.binl(BinOp::Add, v, mb.arg(0));
+        mb.set_field(value, nv);
+        mb.reply(nv);
+    });
+    let driver = pb.class("Driver", false);
+    let cells = pb.array_field(driver, "cells");
+    let fan_mcast = pb.method(driver, "fan_mcast", 0, |mb| {
+        let s = mb.multicast_into(cells, bump, &[1i64.into()]);
+        mb.touch(&[s]);
+        mb.reply_nil();
+    });
+    let fan_loop = pb.method(driver, "fan_loop", 0, |mb| {
+        let n = mb.arr_len(cells);
+        let join = mb.slot();
+        mb.join_init(join, n);
+        mb.for_range(0i64, n, |mb, k| {
+            let c = mb.get_elem(cells, k);
+            mb.invoke(Some(join), c, bump, &[1i64.into()], LocalityHint::Unknown);
+        });
+        mb.touch(&[join]);
+        mb.reply_nil();
+    });
+    let sum = pb.method(driver, "sum", 0, |mb| {
+        let s = mb.reduce(cells, read, &[], BinOp::Add);
+        let v = mb.touch_get(s);
+        mb.reply(v);
+    });
+    FanWorld {
+        program: pb.finish(),
+        fan_mcast,
+        fan_loop,
+        sum,
+        value,
+        cells,
+    }
+}
+
+/// Place one cell per `(node, value)` pair plus a driver on node 0, all
+/// on a 4-node machine with the given cost model and fault plan.
+fn fan_setup(
+    w: &FanWorld,
+    cells: &[(u32, i64)],
+    cost: CostModel,
+    plan: Option<hem::machine::fault::FaultPlan>,
+) -> (Runtime, hem::ir::ObjRef, Vec<hem::ir::ObjRef>) {
+    let mut rt = Runtime::new(
+        w.program.clone(),
+        4,
+        cost,
+        ExecMode::Hybrid,
+        InterfaceSet::Full,
+    )
+    .unwrap();
+    if let Some(p) = plan {
+        rt.set_fault_plan(p);
+    }
+    let refs: Vec<_> = cells
+        .iter()
+        .map(|&(n, v)| {
+            let c = rt.alloc_object_by_name("Cell", NodeId(n % 4));
+            rt.set_field(c, w.value, Value::Int(v));
+            c
+        })
+        .collect();
+    let d = rt.alloc_object_by_name("Driver", NodeId(0));
+    rt.set_array(d, w.cells, refs.iter().map(|c| Value::Obj(*c)).collect());
+    (rt, d, refs)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -243,6 +335,71 @@ proptest! {
         let home = vec![0u32; placement.len()];
         let (lv, _) = run_placed(&program, root, 4, &home, ExecMode::Hybrid, arg);
         prop_assert_eq!(hv, lv, "placement {:?} changed the result", placement);
+    }
+
+    #[test]
+    fn multicast_matches_hand_rolled_fanout(
+        cells in proptest::collection::vec((0u32..4, -50i64..50), 1..9),
+        reps in 1usize..3,
+    ) {
+        // Under unit hop costs the modeled multicast is semantically a
+        // compressed spelling of the join-loop fan-out: same member
+        // invocations (each cell bumped once per round), same final
+        // state — only the wire accounting moves from request/reply
+        // buckets to collective legs.
+        let w = build_fan_world();
+        let n = cells.len() as u64;
+        let (mut a, da, ca) = fan_setup(&w, &cells, CostModel::unit(), None);
+        let (mut b, db, cb) = fan_setup(&w, &cells, CostModel::unit(), None);
+        for _ in 0..reps {
+            prop_assert_eq!(a.call(da, w.fan_mcast, &[]).expect("no traps"),
+                Some(Value::Nil));
+            prop_assert_eq!(b.call(db, w.fan_loop, &[]).expect("no traps"),
+                Some(Value::Nil));
+        }
+        for (x, y) in ca.iter().zip(&cb) {
+            prop_assert_eq!(
+                a.get_field(*x, w.value), b.get_field(*y, w.value),
+                "cell state diverged between multicast and loop fan-out"
+            );
+        }
+        let (ta, tb) = (a.stats().totals(), b.stats().totals());
+        let r = reps as u64;
+        // Multicast run: one collective per round, n acked down legs and
+        // n up legs each; nothing rides the request/reply buckets.
+        prop_assert_eq!(ta.coll_initiated, r);
+        prop_assert_eq!(ta.coll_legs_sent, 2 * n * r);
+        prop_assert_eq!(ta.msgs_sent - ta.coll_legs_sent, 0);
+        // Loop run: point-to-point requests for the remote members only —
+        // the hybrid model invokes same-node cells on the stack, while
+        // the collective sends every member (including self) a leg.
+        let remote = cells.iter().filter(|&&(node, _)| node % 4 != 0).count() as u64;
+        prop_assert_eq!(tb.coll_initiated, 0);
+        prop_assert_eq!(tb.msgs_sent, remote * r);
+        prop_assert_eq!(tb.replies_sent, remote * r);
+    }
+
+    #[test]
+    fn reduce_is_arrival_order_independent(
+        cells in proptest::collection::vec((0u32..4, -50i64..50), 1..9),
+        seed in 1u64..u64::MAX,
+        jitter in 1u64..120,
+    ) {
+        // Contributions fold in tree-slot order, never arrival order: a
+        // jitter-only fault plan (no loss, no duplication) arbitrarily
+        // reorders the up legs yet the folded sum must equal the plain
+        // left-to-right sum of the values.
+        let w = build_fan_world();
+        let expect: i64 = cells.iter().map(|&(_, v)| v).sum();
+        let (mut a, da, _) = fan_setup(&w, &cells, CostModel::cm5(), None);
+        prop_assert_eq!(a.call(da, w.sum, &[]).expect("no traps"),
+            Some(Value::Int(expect)));
+        let mut plan = hem::machine::fault::FaultPlan::seeded(seed);
+        plan.jitter_max = jitter;
+        let (mut b, db, _) = fan_setup(&w, &cells, CostModel::cm5(), Some(plan));
+        prop_assert_eq!(b.call(db, w.sum, &[]).expect("no traps"),
+            Some(Value::Int(expect)));
+        prop_assert!(b.stats().totals().coll_contribs > 0);
     }
 
     #[test]

@@ -84,6 +84,10 @@ enum OpDesc {
     StoreCont(u8),
     /// First-class send through whatever the accumulator holds.
     SendCont,
+    /// Modeled collective over the array field: fire-and-forget
+    /// multicast, acked multicast, reduce (with a fuzzed fold op), or
+    /// barrier — the `mcast`/`reduce`/`barrier` text forms.
+    Collective { kind: u8, hop: u8 },
 }
 
 #[derive(Debug, Clone)]
@@ -95,7 +99,7 @@ struct FuzzMethodDesc {
 }
 
 fn op_desc() -> impl Strategy<Value = OpDesc> {
-    (0u8..12, 0u8..6, any::<bool>(), -64i64..64, 0u32..1 << 20).prop_map(
+    (0u8..13, 0u8..6, any::<bool>(), -64i64..64, 0u32..1 << 20).prop_map(
         |(kind, sel, flag, k, fbits)| {
             // Finite float derived from small integer ratios: always
             // prints with full round-trip fidelity.
@@ -114,6 +118,10 @@ fn op_desc() -> impl Strategy<Value = OpDesc> {
                 8 => OpDesc::JoinPair(sel),
                 9 => OpDesc::IfElse(k),
                 10 => OpDesc::ForRange(sel),
+                11 => OpDesc::Collective {
+                    kind: k.rem_euclid(4) as u8,
+                    hop: sel,
+                },
                 _ => {
                     if flag {
                         OpDesc::StoreCont(sel)
@@ -275,6 +283,27 @@ fn build_fuzz_program(descs: &[FuzzMethodDesc], locked_split: usize) -> Program 
                     }
                     OpDesc::SendCont => {
                         mb.send_to_cont(acc, 7i64);
+                    }
+                    OpDesc::Collective { kind, hop } => {
+                        let (callee, arity) = callee_of(hop);
+                        let args = vec![acc.into(); arity as usize];
+                        match kind % 4 {
+                            0 => mb.multicast(None, arr, callee, &args),
+                            1 => {
+                                let s = mb.multicast_into(arr, callee, &args);
+                                mb.touch(&[s]);
+                            }
+                            2 => {
+                                let fold = INT_OPS[hop as usize % INT_OPS.len()];
+                                let s = mb.reduce(arr, callee, &args, fold);
+                                let t = mb.touch_get(s);
+                                mb.mov(acc, t);
+                            }
+                            _ => {
+                                let s = mb.barrier(arr);
+                                mb.touch(&[s]);
+                            }
+                        }
                     }
                 }
             }
