@@ -17,7 +17,10 @@
 //! hemprof diff A.json B.json
 //!   compare two `--report json` rollups: signed per-cause traffic
 //!   deltas (requests/replies/acks/retransmits/multicasts/reduces/
-//!   barriers), total wire words, and makespan
+//!   barriers), total wire words, makespan, scheduler-window occupancy,
+//!   and — when both reports carry them — blame and series sections.
+//!   Exits non-zero when the two reports profile different kernels or
+//!   machine sizes.
 //!
 //! hemprof serve [options]
 //!   --p N             machine size (default 16)
@@ -30,6 +33,20 @@
 //!   --deadline D      shed when infeasible at arrival (default 0 = off)
 //!   --max-queue Q     shed when target queue >= Q (default 0 = off)
 //!   --seed S          arrival seed (default 20260806)
+//!   --series          windowed virtual-time series section (report +
+//!                     Perfetto counter tracks)
+//!   --series-window W series window in cycles (default horizon/50)
+//!   --drop P          fault plan: drop P permille of messages
+//!   --dup P           fault plan: duplicate P permille of deliveries
+//!   --jitter J        fault plan: up to J cycles extra latency
+//!   --fault-seed S    fault-plan seed (default: the arrival seed)
+//!
+//! hemprof blame [serve options]
+//!   run the service mix with the per-request blame tracker attached:
+//!   the report gains a blame section decomposing each request's sojourn
+//!   into queue/exec/wire/lock/retx segments that tile it exactly, an
+//!   aggregate p99-tail view, and the slowest requests. Takes every
+//!   `serve` option (including --series and the fault-plan flags).
 //!
 //! common options
 //!   --mode M          hybrid|parallel (default hybrid)
@@ -55,9 +72,10 @@ use hem_bench::Args;
 use hem_core::{ExecMode, Runtime};
 use hem_machine::arrival::ArrivalDist;
 use hem_machine::cost::CostModel;
+use hem_machine::fault::FaultPlan;
 use hem_machine::Cycles;
 use hem_obs::json::Json;
-use hem_obs::{critpath, perfetto, Report, Rollup, SegClass, Timeline};
+use hem_obs::{critpath, perfetto, Blame, Fanout, Report, Rollup, SegClass, Series, Timeline};
 
 fn usage() -> ! {
     eprintln!("usage: hemprof <sor|md|em3d|fib> [--p N] [--size N] [--iters N] [--seed S]");
@@ -65,7 +83,9 @@ fn usage() -> ! {
     eprintln!("       hemprof diff A.json B.json    (two `--report json` rollups)");
     eprintln!("       hemprof serve [--p N] [--backends N] [--until H] [--warmup W] [--rate G]");
     eprintln!("               [--arrival poisson|bursty|diurnal] [--clients N] [--deadline D]");
-    eprintln!("               [--max-queue Q] [--seed S]");
+    eprintln!("               [--max-queue Q] [--seed S] [--series] [--series-window W]");
+    eprintln!("               [--drop P] [--dup P] [--jitter J] [--fault-seed S]");
+    eprintln!("       hemprof blame [serve options]  (per-request blame decomposition)");
     eprintln!("       common: [--mode hybrid|parallel] [--cost cm5|t3d|unit] [--threads N]");
     eprintln!("               [--speculative] [--ring N]");
     eprintln!("               [--report table|json] [--perfetto FILE] [--critical-path]");
@@ -119,15 +139,17 @@ fn main() {
         run_diff();
     }
 
-    if sub == "serve" {
-        run_serve(&args, perfetto_path);
+    if sub == "serve" || sub == "blame" {
+        run_serve(&args, perfetto_path, sub == "blame");
         return;
     }
 
     let kernel = match Kernel::parse(&sub) {
         Some(k) => k,
         None => {
-            eprintln!("hemprof: unknown kernel '{sub}' (expected sor, md, em3d, fib, or serve)");
+            eprintln!(
+                "hemprof: unknown kernel '{sub}' (expected sor, md, em3d, fib, serve, or blame)"
+            );
             std::process::exit(2);
         }
     };
@@ -176,7 +198,7 @@ fn main() {
     if let Some(s) = &spec {
         report = report.with_speculative(s.clone());
     }
-    emit(&args, report, &mut rt, perfetto_path, None, spec);
+    emit(&args, report, &mut rt, perfetto_path, None, spec, None);
 }
 
 /// `hemprof diff A.json B.json` — compare two rollup JSON reports
@@ -193,14 +215,39 @@ fn run_diff() -> ! {
             .unwrap_or("?")
             .to_string()
     };
-    println!("rollup diff: {} -> {}", title(&a), title(&b));
+    // Refuse to diff apples against oranges: the first two title tokens
+    // are the kernel name and the machine size for every producer
+    // (`<kernel|serve> p=N ...`), and a delta across different kernels or
+    // machine sizes is noise, not signal.
+    let (ta, tb) = (title(&a), title(&b));
+    let head =
+        |t: &str| -> Vec<String> { t.split_whitespace().take(2).map(String::from).collect() };
+    let (ha, hb) = (head(&ta), head(&tb));
+    if ha != hb {
+        eprintln!(
+            "hemprof: refusing to diff mismatched runs:\n  A profiles: {}\n  B profiles: {}\n\
+             (kernel and machine size must match; re-run one side with the other's \
+             configuration)",
+            if ha.is_empty() { "?" } else { ta.as_str() },
+            if hb.is_empty() { "?" } else { tb.as_str() },
+        );
+        std::process::exit(1);
+    }
+
+    println!("rollup diff: {ta} -> {tb}");
     println!("  A: {a_path}");
     println!("  B: {b_path}");
     println!();
 
     let makespan = |d: &Json| d.get("makespan").and_then(Json::as_num).unwrap_or(0.0) as u64;
     let (ma, mb) = (makespan(&a), makespan(&b));
-    println!("{:<14} {:>12} -> {:>12}  {}", "makespan", ma, mb, delta(ma, mb));
+    println!(
+        "{:<14} {:>12} -> {:>12}  {}",
+        "makespan",
+        ma,
+        mb,
+        delta(ma, mb)
+    );
     println!();
 
     const CAUSES: [&str; 7] = [
@@ -239,7 +286,11 @@ fn run_diff() -> ! {
             println!("  {cause:<12} {xa:>12} -> {xb:>12}  {}", delta(xa, xb));
         }
     }
-    println!("  {:<12} {tma:>12} -> {tmb:>12}  {}", "TOTAL", delta(tma, tmb));
+    println!(
+        "  {:<12} {tma:>12} -> {tmb:>12}  {}",
+        "TOTAL",
+        delta(tma, tmb)
+    );
     println!();
 
     println!("traffic (wire words):");
@@ -249,7 +300,122 @@ fn run_diff() -> ! {
             println!("  {cause:<12} {xa:>12} -> {xb:>12}  {}", delta(xa, xb));
         }
     }
-    println!("  {:<12} {twa:>12} -> {twb:>12}  {}", "TOTAL", delta(twa, twb));
+    println!(
+        "  {:<12} {twa:>12} -> {twb:>12}  {}",
+        "TOTAL",
+        delta(twa, twb)
+    );
+
+    // Scheduler-window occupancy (host diagnostics; executor-dependent).
+    let sched = |d: &Json, key: &str| -> u64 {
+        d.get("sched")
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_num)
+            .unwrap_or(0.0) as u64
+    };
+    if a.get("sched").is_some() || b.get("sched").is_some() {
+        println!();
+        println!("scheduler (host diagnostics):");
+        for key in [
+            "events_dispatched",
+            "windows",
+            "serial_steps",
+            "window_events",
+            "max_window_events",
+        ] {
+            let (xa, xb) = (sched(&a, key), sched(&b, key));
+            if xa > 0 || xb > 0 {
+                println!("  {key:<18} {xa:>12} -> {xb:>12}  {}", delta(xa, xb));
+            }
+        }
+    }
+
+    // Blame decomposition, when both reports carry one (hemprof blame).
+    let blame = |d: &Json, path: &[&str]| -> u64 {
+        let mut cur = d.get("blame");
+        for k in path {
+            cur = cur.and_then(|c| c.get(k));
+        }
+        cur.and_then(Json::as_num).unwrap_or(0.0) as u64
+    };
+    match (a.get("blame").is_some(), b.get("blame").is_some()) {
+        (true, true) => {
+            println!();
+            println!("blame (cycles per category over all completions):");
+            for cat in ["queue", "exec", "wire", "lock", "retx"] {
+                let (xa, xb) = (blame(&a, &["totals", cat]), blame(&b, &["totals", cat]));
+                if xa > 0 || xb > 0 {
+                    println!("  {cat:<12} {xa:>12} -> {xb:>12}  {}", delta(xa, xb));
+                }
+            }
+            for (label, path) in [
+                ("completed", &["completed"] as &[&str]),
+                ("sojourn p50", &["sojourn", "p50"]),
+                ("sojourn p99", &["sojourn", "p99"]),
+            ] {
+                let (xa, xb) = (blame(&a, path), blame(&b, path));
+                println!("  {label:<12} {xa:>12} -> {xb:>12}  {}", delta(xa, xb));
+            }
+        }
+        (true, false) | (false, true) => {
+            println!();
+            println!("blame: only one side has a blame section — skipped");
+        }
+        (false, false) => {}
+    }
+
+    // Series rollup, when both reports carry one (--series).
+    let series_sum = |d: &Json, key: &str, peak: bool| -> u64 {
+        let mut acc = 0u64;
+        if let Some(buckets) = d
+            .get("series")
+            .and_then(|s| s.get("buckets"))
+            .and_then(Json::as_arr)
+        {
+            for b in buckets {
+                let v = b.get(key).and_then(Json::as_num).unwrap_or(0.0) as u64;
+                acc = if peak { acc.max(v) } else { acc + v };
+            }
+        }
+        acc
+    };
+    match (a.get("series").is_some(), b.get("series").is_some()) {
+        (true, true) => {
+            let win = |d: &Json| -> u64 {
+                d.get("series")
+                    .and_then(|s| s.get("window"))
+                    .and_then(Json::as_num)
+                    .unwrap_or(0.0) as u64
+            };
+            println!();
+            if win(&a) != win(&b) {
+                println!(
+                    "series: window mismatch ({} vs {} cycles) — totals still comparable:",
+                    win(&a),
+                    win(&b)
+                );
+            } else {
+                println!("series (window {} cycles):", win(&a));
+            }
+            for (label, key, peak) in [
+                ("arrived", "arrived", false),
+                ("done", "done", false),
+                ("shed", "shed", false),
+                ("peak in-flight", "in_flight", true),
+                ("peak queue-wait", "queue_wait", true),
+            ] {
+                let (xa, xb) = (series_sum(&a, key, peak), series_sum(&b, key, peak));
+                if xa > 0 || xb > 0 {
+                    println!("  {label:<15} {xa:>12} -> {xb:>12}  {}", delta(xa, xb));
+                }
+            }
+        }
+        (true, false) | (false, true) => {
+            println!();
+            println!("series: only one side has a series section — skipped");
+        }
+        (false, false) => {}
+    }
     std::process::exit(0);
 }
 
@@ -279,7 +445,7 @@ fn delta(a: u64, b: u64) -> String {
     }
 }
 
-fn run_serve(args: &Args, perfetto_path: Option<String>) {
+fn run_serve(args: &Args, perfetto_path: Option<String>, blame: bool) {
     let mut cfg = ServeConfig::new();
     if let Some(p) = args.get("--p") {
         cfg.p = p;
@@ -329,9 +495,78 @@ fn run_serve(args: &Args, perfetto_path: Option<String>) {
         std::process::exit(2);
     }
 
-    let (mut rt, out) = cfg.run();
+    let drop: u16 = args.get("--drop").unwrap_or(0);
+    let dup: u16 = args.get("--dup").unwrap_or(0);
+    let jitter: Cycles = args.get("--jitter").unwrap_or(0);
+    let fault_seed: Option<u64> = args.get("--fault-seed");
+    if drop > 0 || dup > 0 || jitter > 0 || fault_seed.is_some() {
+        let mut plan = FaultPlan::seeded(fault_seed.unwrap_or(cfg.seed));
+        plan.drop_permille = drop;
+        plan.dup_permille = dup;
+        plan.jitter_max = jitter;
+        cfg.fault = Some(plan);
+    }
+
+    let series_window: Option<Cycles> =
+        if args.has("--series") || args.get::<Cycles>("--series-window").is_some() {
+            Some(
+                args.get("--series-window")
+                    .unwrap_or((cfg.horizon / 50).max(1)),
+            )
+        } else {
+            None
+        };
+
+    // One observer slot on the runtime, several consumers of the stream:
+    // tee the rollup (always), the blame tracker (`blame` subcommand),
+    // and the series collector (`--series`) over the same records.
+    let mut fan = Fanout::new().with(Box::new(Rollup::new()));
+    if blame {
+        fan = fan.with(Box::new(Blame::new()));
+    }
+    if let Some(w) = series_window {
+        fan = fan.with(Box::new(Series::new(w)));
+    }
+    let (mut rt, out) = cfg.run_with_observer(Box::new(fan));
+
     let spec = spec_summary(&rt, cfg.speculative, cfg.threads);
-    let mut report = report_from(&mut rt, &cfg.title()).with_service(cfg.summary(&out));
+    let any: Box<dyn std::any::Any> = rt.take_observer().expect("fanout attached");
+    let fan = any.downcast::<Fanout>().expect("a Fanout");
+    let mut rollup = None;
+    let mut blame_summary = None;
+    let mut series_summary = None;
+    for part in fan.into_parts() {
+        let part: Box<dyn std::any::Any> = part;
+        let part = match part.downcast::<Rollup>() {
+            Ok(r) => {
+                rollup = Some(r);
+                continue;
+            }
+            Err(p) => p,
+        };
+        let part = match part.downcast::<Blame>() {
+            Ok(b) => {
+                blame_summary = Some(b.summary(0.99, 10));
+                continue;
+            }
+            Err(p) => p,
+        };
+        if let Ok(s) = part.downcast::<Series>() {
+            series_summary = Some(s.summary());
+        }
+    }
+    let rollup = rollup.expect("a Rollup in the fanout");
+
+    let stats = rt.stats();
+    let mut report = Report::new(&cfg.title(), &rollup, &stats, rt.program(), rt.schemas())
+        .with_sched(hem_obs::SchedSummary::from_stats(&stats.sched))
+        .with_service(cfg.summary(&out));
+    if let Some(b) = blame_summary {
+        report = report.with_blame(b);
+    }
+    if let Some(s) = &series_summary {
+        report = report.with_series(s.clone());
+    }
     if let Some(s) = &spec {
         report = report.with_speculative(s.clone());
     }
@@ -342,6 +577,7 @@ fn run_serve(args: &Args, perfetto_path: Option<String>) {
         perfetto_path,
         Some(cfg.horizon),
         spec,
+        series_summary,
     );
 }
 
@@ -371,6 +607,7 @@ fn report_from(rt: &mut Runtime, title: &str) -> Report {
     let rollup = any.downcast::<Rollup>().expect("a Rollup");
     let stats = rt.stats();
     Report::new(title, &rollup, &stats, rt.program(), rt.schemas())
+        .with_sched(hem_obs::SchedSummary::from_stats(&stats.sched))
 }
 
 /// Print the report, then serve the ring-dependent extras (`--events`,
@@ -383,6 +620,7 @@ fn emit(
     perfetto_path: Option<String>,
     horizon: Option<Cycles>,
     spec: Option<hem_obs::SpecSummary>,
+    series: Option<hem_obs::SeriesSummary>,
 ) {
     let stats = rt.stats();
     if stats.sched.dropped_events > 0 {
@@ -426,7 +664,8 @@ fn emit(
     let tl = Timeline::build(&records, stats.per_node.len());
 
     if let Some(path) = perfetto_path {
-        let json = perfetto::to_json_with_spec(&records, &tl, rt.program(), spec.as_ref());
+        let json =
+            perfetto::to_json_full(&records, &tl, rt.program(), spec.as_ref(), series.as_ref());
         std::fs::write(&path, &json).unwrap_or_else(|e| {
             eprintln!("hemprof: cannot write {path}: {e}");
             std::process::exit(1);

@@ -11,6 +11,7 @@ use hem_apps::service::{self, Disposition, ServeOutcome, ServeParams};
 use hem_core::{ExecMode, Runtime};
 use hem_machine::arrival::ArrivalDist;
 use hem_machine::cost::CostModel;
+use hem_machine::fault::FaultPlan;
 use hem_machine::Cycles;
 use hem_obs::{Log2Hist, ServiceSummary};
 
@@ -50,6 +51,10 @@ pub struct ServeConfig {
     /// unbounded). The rollup-backed report does not depend on ring
     /// completeness — it streams through the observer hook.
     pub ring: Option<usize>,
+    /// Deterministic interconnect fault schedule; installing one engages
+    /// the reliable transport (retransmission keeps lost work alive, and
+    /// the recovered time shows up in the blame report's `retx` bucket).
+    pub fault: Option<FaultPlan>,
 }
 
 impl ServeConfig {
@@ -72,14 +77,22 @@ impl ServeConfig {
             threads: 1,
             speculative: false,
             ring: None,
+            fault: None,
         }
     }
 
     /// One-line caption for reports.
     pub fn title(&self) -> String {
+        let fault = match &self.fault {
+            Some(f) => format!(
+                " fault[drop={} dup={} jitter={} seed={}]",
+                f.drop_permille, f.dup_permille, f.jitter_max, f.seed
+            ),
+            None => String::new(),
+        };
         format!(
-            "serve p={} horizon={} warmup={} {:?} clients={} seed={} {}",
-            self.p, self.horizon, self.warmup, self.dist, self.clients, self.seed, self.mode,
+            "serve p={} horizon={} warmup={} {:?} clients={} seed={} {}{}",
+            self.p, self.horizon, self.warmup, self.dist, self.clients, self.seed, self.mode, fault,
         )
     }
 
@@ -90,6 +103,13 @@ impl ServeConfig {
     /// # Panics
     /// On a trap — the service kernel is deadlock-free by construction.
     pub fn run(&self) -> (Runtime, ServeOutcome) {
+        self.run_with_observer(Box::new(hem_obs::Rollup::new()))
+    }
+
+    /// [`ServeConfig::run`] with a caller-supplied observer in place of
+    /// the plain rollup — e.g. a [`hem_obs::Fanout`] teeing a rollup, a
+    /// blame tracker, and a series collector over the same stream.
+    pub fn run_with_observer(&self, obs: Box<dyn hem_core::Observer>) -> (Runtime, ServeOutcome) {
         let ids = service::build();
         let mut rt = crate::rt(
             ids.program.clone(),
@@ -113,7 +133,10 @@ impl ServeConfig {
             Some(cap) => rt.enable_trace_ring(cap),
             None => rt.enable_trace(),
         }
-        rt.attach_observer(Box::new(hem_obs::Rollup::new()));
+        if let Some(plan) = &self.fault {
+            rt.set_fault_plan(plan.clone());
+        }
+        rt.attach_observer(obs);
         let inst = service::setup(&mut rt, &ids, self.backends);
         let params = ServeParams {
             horizon: self.horizon,

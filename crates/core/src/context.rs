@@ -122,6 +122,11 @@ pub struct Context {
     /// True if this context's continuation has been consumed (forwarded or
     /// stored); a subsequent `Reply` is a trap.
     pub cont_consumed: bool,
+    /// Blame tag (originating external request id + 1; 0 = untagged) of
+    /// the step that created this context; dispatching the context later
+    /// re-establishes the tag. Rides the node-checkpoint `Clone` so
+    /// Time-Warp rollback rewinds it with the rest of the table.
+    pub req: u64,
 }
 
 /// Per-node context table: slab with free list and generations. `Clone`
@@ -151,6 +156,7 @@ impl CtxTable {
             e.wait = wait;
             e.holds_lock = false;
             e.cont_consumed = false;
+            e.req = 0;
             // gen was bumped at free time.
             i
         } else {
@@ -161,6 +167,7 @@ impl CtxTable {
                 gen: 0,
                 holds_lock: false,
                 cont_consumed: false,
+                req: 0,
             });
             (self.entries.len() - 1) as u32
         }

@@ -204,8 +204,8 @@ fn eval(
                 for mref in group_refs(rt, obj, *group)? {
                     *cycles += rt.cost.plain_call;
                     let t = rt.resolve_ref(mref);
-                    let v = eval(rt, cycles, t, *callee, a.clone(), depth + 1)?
-                        .unwrap_or(Value::Nil);
+                    let v =
+                        eval(rt, cycles, t, *callee, a.clone(), depth + 1)?.unwrap_or(Value::Nil);
                     acc = Some(match acc {
                         None => v,
                         Some(prev) => {
@@ -255,7 +255,10 @@ fn group_refs(rt: &Runtime, obj: ObjRef, field: hem_ir::FieldId) -> Result<Vec<O
         FieldKind::Array(a) => rt.nodes[obj.node.idx()].objects[obj.index as usize].arrays
             [a as usize]
             .iter()
-            .map(|v| v.as_obj().map_err(|_| Trap::new("collective group member is not an object")))
+            .map(|v| {
+                v.as_obj()
+                    .map_err(|_| Trap::new("collective group member is not an object"))
+            })
             .collect(),
         FieldKind::Scalar(_) => Err(Trap::new("array access to scalar field")),
     }

@@ -33,6 +33,10 @@ pub struct DeferredInvoke {
     pub cont: Continuation,
     /// Whether the continuation was forwarded to this invocation.
     pub forwarded: bool,
+    /// Blame tag of the deferred invocation (request id + 1; 0 =
+    /// untagged). Constructors leave it 0; `Runtime::lock_defer` stamps
+    /// the deferring step's tag before queueing the waiter.
+    pub req: u64,
 }
 
 /// Lock state for instances of locked classes.

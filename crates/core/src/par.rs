@@ -375,6 +375,7 @@ fn par_invoke(
                 args,
                 cont,
                 forwarded: false,
+                req: 0,
             },
         );
         return Ok(());
@@ -487,6 +488,7 @@ fn par_forward(
                 args,
                 cont: my_cont,
                 forwarded: true,
+                req: 0,
             },
         );
         return Ok(());

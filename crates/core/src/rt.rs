@@ -27,6 +27,13 @@ pub(crate) struct InboxEntry {
     pub seq: u64,
     pub src: NodeId,
     pub msg: Packet,
+    /// Blame tag of the step that injected the packet (request id + 1;
+    /// 0 = untagged). Not part of the ordering key: delivery order is
+    /// still exactly `(deliver, seq)`.
+    pub req: u64,
+    /// Whether this wire copy was a retransmission (blame attributes its
+    /// transit to the retransmit penalty).
+    pub retx: bool,
 }
 
 impl PartialEq for InboxEntry {
@@ -154,6 +161,9 @@ pub(crate) struct Pending {
     pub deadline: Cycles,
     /// Retransmissions so far (drives the exponential backoff).
     pub attempt: u32,
+    /// Blame tag of the original send (request id + 1; 0 = untagged);
+    /// retransmitted copies re-carry it.
+    pub req: u64,
 }
 
 /// One simulated processor. `Clone` is the speculative executor's
@@ -315,6 +325,14 @@ pub struct Runtime {
     pub(crate) net: Network<Packet>,
     pub(crate) next_task: u64,
     pub(crate) current_task: u64,
+    /// Blame tag of the work currently executing (request id + 1; 0 =
+    /// untagged). Step-transient like `current_task`: set when a
+    /// dispatched event (or nested poll handling) begins, read when the
+    /// step sends messages, defers on locks, or allocates contexts —
+    /// never consulted across steps, so Time-Warp rollback needs no
+    /// checkpointing for it (all durable tag state lives inside `Node`-
+    /// contained structures, which node checkpoints already rewind).
+    pub(crate) current_req: u64,
     pub(crate) result: Option<Value>,
     pub(crate) active: Option<ActiveCtx>,
     pub(crate) seq_depth: u32,
@@ -445,6 +463,7 @@ impl Runtime {
             net: Network::new(),
             next_task: 0,
             current_task: 0,
+            current_req: 0,
             result: None,
             active: None,
             seq_depth: 0,
@@ -913,6 +932,11 @@ impl Runtime {
                 },
             );
         }
+        // The wire is drained synchronously within this injection, so the
+        // sending step's blame tag is still current — stamp it (and the
+        // retransmission class) onto each inbox entry so the receiving
+        // step can pick the tag up without widening the wire format.
+        let retx = class == hem_machine::net::WireClass::Retx;
         while let Some(m) = self.net.pop() {
             let d = m.dest.idx();
             let entry = InboxEntry {
@@ -920,6 +944,8 @@ impl Runtime {
                 seq: m.seq,
                 src: m.src,
                 msg: m.msg,
+                req: self.current_req,
+                retx,
             };
             // In a shard worker, a packet for a node another shard owns is
             // parked in the outbox; the coordinator routes it at the next
@@ -989,6 +1015,7 @@ impl Runtime {
                 send_cost,
                 deadline,
                 attempt: 0,
+                req: self.current_req,
             },
         );
         n.tx_timers.insert((deadline, d, seq));
@@ -1017,6 +1044,7 @@ impl Runtime {
                 to: dest,
                 words,
                 cause: crate::trace::MsgCause::Request,
+                req: self.current_req,
             },
         );
         let deliver = self.nodes[from].time + self.cost.msg_latency;
@@ -1055,6 +1083,7 @@ impl Runtime {
                 to: dest,
                 words,
                 cause: crate::trace::MsgCause::Reply,
+                req: self.current_req,
             },
         );
         let deliver = self.nodes[from].time + self.cost.reply_latency;
@@ -1095,8 +1124,10 @@ impl Runtime {
             }
             let e = self.nodes[node].inbox.pop().expect("peeked entry");
             let saved = self.current_task;
-            let r = self.handle_packet(node, e.src, e.msg);
+            let saved_req = self.current_req;
+            let r = self.handle_packet(node, e.src, e.msg, e.req, e.deliver, e.retx);
             self.current_task = saved;
+            self.current_req = saved_req;
             r?;
         }
     }
@@ -1105,13 +1136,25 @@ impl Runtime {
     /// `src`: charges handler entry, acknowledges and duplicate-suppresses
     /// data frames, retires pending state on acks, and runs any payload
     /// through [`Self::handle_msg`]. Raw packets take the legacy path
-    /// unchanged.
-    fn handle_packet(&mut self, node: usize, src: NodeId, pkt: Packet) -> Result<(), Trap> {
+    /// unchanged. `req`/`deliver`/`retx` come from the consumed
+    /// [`InboxEntry`]: the originating request's blame tag (which becomes
+    /// the current tag for all work this handling triggers), the wire
+    /// delivery time, and whether the consumed copy was a retransmission.
+    fn handle_packet(
+        &mut self,
+        node: usize,
+        src: NodeId,
+        pkt: Packet,
+        req: u64,
+        deliver: Cycles,
+        retx: bool,
+    ) -> Result<(), Trap> {
+        self.current_req = req;
         match pkt {
             Packet::Raw(msg) => {
                 self.charge(node, self.cost.handler);
                 self.ctr(node).msgs_handled += 1;
-                self.emit_handled(node, src, &msg);
+                self.emit_handled(node, src, &msg, req, deliver, retx);
                 self.handle_msg(node, msg)
             }
             Packet::Data { seq, msg } => {
@@ -1127,13 +1170,14 @@ impl Runtime {
                         to: src,
                         words: 1,
                         cause: crate::trace::MsgCause::Ack,
+                        req,
                     },
                 );
-                let deliver = self.nodes[node].time + self.cost.reply_latency;
+                let deliver_ack = self.nodes[node].time + self.cost.reply_latency;
                 self.inject(
                     node,
                     src,
-                    deliver,
+                    deliver_ack,
                     1,
                     hem_machine::net::WireClass::Ack,
                     Packet::Ack { seq },
@@ -1150,7 +1194,7 @@ impl Runtime {
                     return Ok(());
                 }
                 self.ctr(node).msgs_handled += 1;
-                self.emit_handled(node, src, &msg);
+                self.emit_handled(node, src, &msg, req, deliver, retx);
                 self.handle_msg(node, msg)
             }
             Packet::Ack { seq } => {
@@ -1163,6 +1207,9 @@ impl Runtime {
                         from: src,
                         words: 1,
                         cause: crate::trace::MsgCause::Ack,
+                        req,
+                        deliver,
+                        retx,
                     },
                 );
                 let n = &mut self.nodes[node];
@@ -1179,7 +1226,15 @@ impl Runtime {
     /// Emit the [`crate::trace::TraceEvent::MsgHandled`] record for a
     /// delivered application payload.
     #[inline]
-    fn emit_handled(&mut self, node: usize, src: NodeId, msg: &Msg) {
+    fn emit_handled(
+        &mut self,
+        node: usize,
+        src: NodeId,
+        msg: &Msg,
+        req: u64,
+        deliver: Cycles,
+        retx: bool,
+    ) {
         if !self.tracing_active() {
             return;
         }
@@ -1190,6 +1245,9 @@ impl Runtime {
                 from: src,
                 words: msg.words(),
                 cause: msg.cause(),
+                req,
+                deliver,
+                retx,
             },
         );
     }
@@ -1231,14 +1289,24 @@ impl Runtime {
             }
             self.nodes[node].tx_timers.remove(&(dl, dest, seq));
             let live = self.frame_in_flight(node, dest as usize, seq);
-            let (send_cost, words, latency, msg, attempt) = {
+            let (send_cost, words, latency, msg, attempt, req) = {
                 let p = self.nodes[node]
                     .tx_pending
                     .get_mut(&(dest, seq))
                     .expect("timer without pending frame");
                 p.attempt += 1;
-                (p.send_cost, p.words, p.latency, p.msg.clone(), p.attempt)
+                (
+                    p.send_cost,
+                    p.words,
+                    p.latency,
+                    p.msg.clone(),
+                    p.attempt,
+                    p.req,
+                )
             };
+            // Re-carry the original send's blame tag on the fresh copy
+            // (the timer step itself is untagged work).
+            self.current_req = req;
             if !live {
                 self.charge(node, send_cost);
                 self.ctr(node).retransmits += 1;
@@ -1260,6 +1328,7 @@ impl Runtime {
                         to: NodeId(dest),
                         words,
                         cause: crate::trace::MsgCause::Retransmit,
+                        req,
                     },
                 );
             }
@@ -1393,6 +1462,7 @@ impl Runtime {
                     to: leg.dest,
                     words,
                     cause: kind.cause(),
+                    req: self.current_req,
                 },
             );
             let hops = if skip_hops { 1 } else { leg.depth } as Cycles;
@@ -1465,10 +1535,10 @@ impl Runtime {
                 for slot in st.acc.iter() {
                     let Some(v) = slot else { continue };
                     acc = Some(match acc {
-                        None => v.clone(),
+                        None => *v,
                         Some(a) => {
                             self.charge(node, self.cost.op);
-                            hem_ir::value::bin_op(op, a, v.clone()).map_err(|e| {
+                            hem_ir::value::bin_op(op, a, *v).map_err(|e| {
                                 Trap::new(format!("collective reduce combine: {e:?}"))
                             })?
                         }
@@ -1516,6 +1586,7 @@ impl Runtime {
                 to: dest,
                 words,
                 cause,
+                req: self.current_req,
             },
         );
         let deliver = self.nodes[from].time + self.cost.reply_latency;
@@ -1799,6 +1870,9 @@ impl Runtime {
             n.counters.fallbacks += 1;
         }
         let id = n.ctxs.alloc(frame, cont, wait);
+        // The context inherits the creating step's blame tag, so a later
+        // resume of it (a kind-1 ready dispatch) re-establishes the tag.
+        n.ctxs.get_mut(id).req = self.current_req;
         self.san_ctx_alloc(node, id, fallback);
         self.emit(
             node,
@@ -1961,15 +2035,19 @@ impl Runtime {
     }
 
     /// Defer an invocation on a held lock.
-    pub(crate) fn lock_defer(&mut self, node: usize, obj: u32, d: DeferredInvoke) {
+    pub(crate) fn lock_defer(&mut self, node: usize, obj: u32, mut d: DeferredInvoke) {
         self.charge(node, self.cost.lock_enqueue);
         self.emit(
             node,
             crate::trace::TraceEvent::LockDeferred {
                 node: NodeId(node as u32),
                 obj,
+                req: self.current_req,
             },
         );
+        // The deferred invocation carries the waiter's blame tag: when the
+        // lock is granted, the kind-1 dispatch re-establishes it.
+        d.req = self.current_req;
         let n = &mut self.nodes[node];
         let l = n.objects[obj as usize]
             .lock
@@ -2035,6 +2113,11 @@ impl Runtime {
                 cont: Continuation::Request(req),
                 forwarded: false,
             }),
+            // The blame tag is the request id shifted into the "+1, 0 =
+            // untagged" encoding; everything this request causes inherits
+            // it through the inbox/context/lock-waiter chain.
+            req: req + 1,
+            retx: false,
         });
         let t = self.nodes[d].time.max(at);
         self.sched_note(t, 0, d);
@@ -2079,6 +2162,7 @@ impl Runtime {
         self.san_root_reset();
         self.poll_floor = Cycles::MAX;
         self.san_step = Self::SAN_ROOT_STEP;
+        self.current_req = 0;
         crate::wrapper::run_invocation(
             self,
             obj.node.idx(),
@@ -2250,19 +2334,24 @@ impl Runtime {
         let r = if kind == 0 {
             let e = self.nodes[i].inbox.pop().expect("selected inbox entry");
             self.nodes[i].time = t;
-            self.emit_event_start(i, kind);
-            self.handle_packet(i, e.src, e.msg)
+            self.current_req = e.req;
+            self.emit_event_start(i, kind, e.req);
+            self.handle_packet(i, e.src, e.msg, e.req, e.deliver, e.retx)
         } else if kind == 2 {
             self.nodes[i].time = t;
-            self.emit_event_start(i, kind);
+            self.current_req = 0;
+            self.emit_event_start(i, kind, 0);
             self.run_retransmits(i);
             Ok(())
         } else if let Some((obj, d)) = self.nodes[i].granted.pop_front() {
-            self.emit_event_start(i, kind);
+            self.current_req = d.req;
+            self.emit_event_start(i, kind, d.req);
             self.run_granted(i, obj, d)
         } else {
             let c = self.nodes[i].ready.pop_front().expect("selected ready ctx");
-            self.emit_event_start(i, kind);
+            let req = self.nodes[i].ctxs.get(c).req;
+            self.current_req = req;
+            self.emit_event_start(i, kind, req);
             crate::par::dispatch(self, i, c)
         };
         if r.is_ok() {
@@ -2277,14 +2366,16 @@ impl Runtime {
     }
 
     /// Emit the step-start marker for a dispatched event (the node's clock
-    /// already stands at the event's start time).
+    /// already stands at the event's start time). `req` is the step's
+    /// blame tag (the caller has just set `current_req` to it).
     #[inline]
-    fn emit_event_start(&mut self, i: usize, kind: u8) {
+    fn emit_event_start(&mut self, i: usize, kind: u8, req: u64) {
         self.emit(
             i,
             crate::trace::TraceEvent::EventStart {
                 node: NodeId(i as u32),
                 kind,
+                req,
             },
         );
     }

@@ -471,6 +471,7 @@ fn seq_invoke(
                         args,
                         cont: Continuation::Discard,
                         forwarded: false,
+                        req: 0,
                     },
                 );
                 Ok(None)
@@ -496,6 +497,7 @@ fn seq_invoke(
                         args,
                         cont,
                         forwarded: false,
+                        req: 0,
                     },
                 );
                 Ok(Some(out))
@@ -653,6 +655,7 @@ fn seq_forward(
                 args,
                 cont,
                 forwarded: true,
+                req: 0,
             },
         );
         return Ok(SeqOutcome::Consumed { shell });

@@ -265,6 +265,7 @@ impl Runtime {
             // collide with the coordinator's or another shard's.
             next_task: (s as u64 + 1) << 48,
             current_task: 0,
+            current_req: 0,
             result: None,
             active: None,
             seq_depth: 0,

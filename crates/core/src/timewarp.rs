@@ -781,6 +781,8 @@ mod tests {
                 seq: x,
                 src: NodeId(1),
                 msg: Packet::Ack { seq: x },
+                req: 0,
+                retx: false,
             }),
             2 => {
                 n.inbox.pop();

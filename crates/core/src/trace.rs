@@ -134,6 +134,12 @@ pub enum TraceEvent {
         words: u64,
         /// What the message is (request/reply/ack/retransmit).
         cause: MsgCause,
+        /// Blame tag: originating external request id + 1, or 0 when the
+        /// send is not attributable to a request (closed-system kernels,
+        /// internal bookkeeping). The tag rides the causal chain —
+        /// invocations, replies, collectives, retransmissions — at zero
+        /// virtual-time cost.
+        req: u64,
     },
     /// A delivered message was handled on its destination node (transport
     /// duplicates that were suppressed emit [`TraceEvent::DupSuppressed`]
@@ -149,6 +155,16 @@ pub enum TraceEvent {
         /// Payload kind; never [`MsgCause::Retransmit`] (a delivered
         /// retransmission carries its original payload).
         cause: MsgCause,
+        /// Blame tag (request id + 1; 0 = untagged), inherited from the
+        /// tag carried by the sending step.
+        req: u64,
+        /// When the wire delivered the message to the inbox; the record's
+        /// `at` minus this is time the message sat waiting for its node.
+        deliver: Cycles,
+        /// Whether the consumed copy arrived via a retransmission (the
+        /// first copy was lost or slow) — attributes recovered wire time
+        /// to the retransmit penalty rather than normal transit.
+        retx: bool,
     },
     /// A context suspended on a touch.
     Suspend {
@@ -170,6 +186,9 @@ pub enum TraceEvent {
         node: NodeId,
         /// Object index.
         obj: u32,
+        /// Blame tag (request id + 1; 0 = untagged) of the deferred
+        /// invocation — the waiter, not the lock holder.
+        req: u64,
     },
     /// The fault plan lost an injected packet (never enqueued).
     MsgDropped {
@@ -222,6 +241,10 @@ pub enum TraceEvent {
         node: NodeId,
         /// Candidate kind (0 message, 1 local work, 2 timers).
         kind: u8,
+        /// Blame tag (request id + 1; 0 = untagged) of the work this step
+        /// runs: the handled message's tag for kind 0, the granted or
+        /// resumed context's tag for kind 1, always 0 for kind 2.
+        req: u64,
     },
     /// The dispatched event completed; the record's time is the node's
     /// clock after all work charged during the step.

@@ -88,6 +88,7 @@ pub(crate) fn run_invocation(
                         args,
                         cont,
                         forwarded,
+                        req: 0,
                     },
                 );
                 return Ok(());
@@ -153,6 +154,7 @@ pub(crate) fn par_invoke_ctx(
                     args,
                     cont,
                     forwarded,
+                    req: 0,
                 },
             );
             return Ok(None);

@@ -318,7 +318,13 @@ impl<M> Network<M> {
     /// as [`Self::multicast`], but each member folds its tree children's
     /// contributions (at `op_cost` per contribution) before sending one
     /// up-leg to its parent.
-    pub fn reduce(&mut self, group: &[NodeId], root: NodeId, words: u64, op_cost: Cycles) -> CollPlan {
+    pub fn reduce(
+        &mut self,
+        group: &[NodeId],
+        root: NodeId,
+        words: u64,
+        op_cost: Cycles,
+    ) -> CollPlan {
         self.reduces += 1;
         self.coll_legs += group.len() as u64;
         let legs = plan_legs(root, group);

@@ -338,6 +338,7 @@ mod tests {
                 TraceEvent::EventStart {
                     node: a,
                     kind: KIND_LOCAL,
+                    req: 0,
                 },
             ),
             rec(
@@ -347,6 +348,7 @@ mod tests {
                     to: b,
                     words: 2,
                     cause: MsgCause::Request,
+                    req: 0,
                 },
             ),
             rec(10, TraceEvent::EventEnd { node: a }),
@@ -355,6 +357,7 @@ mod tests {
                 TraceEvent::EventStart {
                     node: b,
                     kind: KIND_MSG,
+                    req: 0,
                 },
             ),
             rec(
@@ -364,6 +367,9 @@ mod tests {
                     from: a,
                     words: 2,
                     cause: MsgCause::Request,
+                    req: 0,
+                    deliver: 0,
+                    retx: false,
                 },
             ),
             rec(20, TraceEvent::EventEnd { node: b }),
@@ -417,6 +423,7 @@ mod tests {
                 TraceEvent::EventStart {
                     node: b,
                     kind: KIND_MSG,
+                    req: 0,
                 },
             ),
             rec(
@@ -426,6 +433,9 @@ mod tests {
                     from: NodeId(9),
                     words: 1,
                     cause: MsgCause::Request,
+                    req: 0,
+                    deliver: 0,
+                    retx: false,
                 },
             ),
             rec(20, TraceEvent::EventEnd { node: b }),
@@ -446,6 +456,7 @@ mod tests {
                 TraceEvent::EventStart {
                     node: n,
                     kind: KIND_LOCAL,
+                    req: 0,
                 },
             ),
             rec(4, TraceEvent::Suspend { node: n, ctx: 0 }),
@@ -455,6 +466,7 @@ mod tests {
                 TraceEvent::EventStart {
                     node: n,
                     kind: KIND_LOCAL,
+                    req: 0,
                 },
             ),
             rec(30, TraceEvent::Resume { node: n, ctx: 0 }),

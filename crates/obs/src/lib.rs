@@ -8,8 +8,11 @@
 //! | module | artifact |
 //! |---|---|
 //! | [`rollup`] | per-method × per-node × per-schema aggregates, per-link traffic, residency/touch-latency histograms |
+//! | [`blame`] | per-request sojourn decomposition (queue/exec/wire/lock/retx), exact tiling, p99-tail view |
+//! | [`series`] | windowed virtual-time series: offered/completed rate, in-flight, queue depth, per-node occupancy |
+//! | [`fanout`] | an observer tee so one run can stream several of the above |
 //! | [`model`]  | a [`model::Timeline`]: scheduler steps, context spans, matched message flows |
-//! | [`perfetto`] | Chrome/Perfetto `trace_event` JSON of the timeline |
+//! | [`perfetto`] | Chrome/Perfetto `trace_event` JSON of the timeline (plus series counter tracks) |
 //! | [`critpath`] | the longest virtual-time path through the happens-before DAG, plus per-node time breakdowns |
 //! | [`report`] | paper-Table-style text / JSON summaries built from a rollup |
 //! | [`json`] | a dependency-free JSON DOM + parser used to validate exports |
@@ -21,21 +24,27 @@
 
 #![warn(missing_docs)]
 
+pub mod blame;
 pub mod critpath;
+pub mod fanout;
 pub mod hist;
 pub mod json;
 pub mod model;
 pub mod perfetto;
 pub mod report;
 pub mod rollup;
+pub mod series;
 
+pub use blame::{Blame, BlameCat, BlameSummary, RequestBlame};
 pub use critpath::{
     critical_path, critical_path_until, node_breakdowns, CriticalPath, NodeBreakdown, SegClass,
 };
+pub use fanout::Fanout;
 pub use hist::Log2Hist;
 pub use model::Timeline;
-pub use report::{Report, ServiceSummary, SpecSummary};
+pub use report::{Report, SchedSummary, ServiceSummary, SpecSummary};
 pub use rollup::Rollup;
+pub use series::{Series, SeriesBucket, SeriesSummary};
 
 use hem_core::TraceEvent;
 
@@ -64,6 +73,16 @@ pub fn event_node(e: &TraceEvent) -> u32 {
         TraceEvent::MsgSent { from, .. }
         | TraceEvent::MsgDropped { from, .. }
         | TraceEvent::MsgDuplicated { from, .. } => from.0,
+    }
+}
+
+/// Render a blame tag (`request id + 1`; 0 = untagged) as a description
+/// suffix.
+fn req_suffix(req: u64) -> String {
+    if req == 0 {
+        String::new()
+    } else {
+        format!(" <req {}>", req - 1)
     }
 }
 
@@ -98,20 +117,36 @@ pub fn describe(e: &TraceEvent, program: &hem_ir::Program) -> String {
             to,
             words,
             cause,
-        } => format!("n{} -> n{} {} ({} words)", from.0, to.0, cause, words),
+            req,
+        } => format!(
+            "n{} -> n{} {} ({} words){}",
+            from.0,
+            to.0,
+            cause,
+            words,
+            req_suffix(req)
+        ),
         TraceEvent::MsgHandled {
             node,
             from,
             words,
             cause,
+            req,
+            retx,
+            ..
         } => format!(
-            "n{} handled {} from n{} ({} words)",
-            node.0, cause, from.0, words
+            "n{} handled {} from n{} ({} words){}{}",
+            node.0,
+            cause,
+            from.0,
+            words,
+            if retx { " [retx copy]" } else { "" },
+            req_suffix(req)
         ),
         TraceEvent::Suspend { node, ctx } => format!("n{} suspend ctx{}", node.0, ctx),
         TraceEvent::Resume { node, ctx } => format!("n{} resume ctx{}", node.0, ctx),
-        TraceEvent::LockDeferred { node, obj } => {
-            format!("n{} lock-deferred obj{}", node.0, obj)
+        TraceEvent::LockDeferred { node, obj, req } => {
+            format!("n{} lock-deferred obj{}{}", node.0, obj, req_suffix(req))
         }
         TraceEvent::MsgDropped {
             from,
@@ -133,13 +168,13 @@ pub fn describe(e: &TraceEvent, program: &hem_ir::Program) -> String {
             format!("n{} suppressed duplicate from n{}", node.0, from.0)
         }
         TraceEvent::CtxFreed { node, ctx } => format!("n{} freed ctx{}", node.0, ctx),
-        TraceEvent::EventStart { node, kind } => {
+        TraceEvent::EventStart { node, kind, req } => {
             let k = match kind {
                 0 => "handle-message",
                 1 => "local-work",
                 _ => "retx-timers",
             };
-            format!("n{} step start [{}]", node.0, k)
+            format!("n{} step start [{}]{}", node.0, k, req_suffix(req))
         }
         TraceEvent::EventEnd { node } => format!("n{} step end", node.0),
         TraceEvent::RequestArrived { node, req } => {

@@ -279,7 +279,7 @@ impl Builder {
         self.node_end[ni] = self.node_end[ni].max(rec.at);
 
         match rec.event {
-            TraceEvent::EventStart { node, kind } => {
+            TraceEvent::EventStart { node, kind, .. } => {
                 // A still-open step (a root span, or a step whose
                 // `EventEnd` a trap skipped) ends where its last record
                 // was.
@@ -302,6 +302,7 @@ impl Builder {
                 to,
                 words,
                 cause,
+                ..
             } => {
                 self.touch_activity(node, rec.at);
                 self.pending
@@ -314,6 +315,7 @@ impl Builder {
                 from,
                 words,
                 cause,
+                ..
             } => {
                 self.touch_activity(node, rec.at);
                 // FIFO match; a handle with no same-cause send left tries
@@ -459,6 +461,7 @@ mod tests {
                 TraceEvent::EventStart {
                     node: n,
                     kind: KIND_LOCAL,
+                    req: 0,
                 },
             ),
             rec(
@@ -496,6 +499,7 @@ mod tests {
                     to: NodeId(1),
                     words: 3,
                     cause: MsgCause::Request,
+                    req: 0,
                 },
             ),
             rec(
@@ -503,6 +507,7 @@ mod tests {
                 TraceEvent::EventStart {
                     node: n,
                     kind: KIND_MSG,
+                    req: 0,
                 },
             ),
             rec(11, TraceEvent::EventEnd { node: n }),
@@ -526,6 +531,7 @@ mod tests {
                     to: b,
                     words: 2,
                     cause: MsgCause::Request,
+                    req: 0,
                 },
             ),
             rec(
@@ -535,6 +541,7 @@ mod tests {
                     to: b,
                     words: 9,
                     cause: MsgCause::Request,
+                    req: 0,
                 },
             ),
             rec(
@@ -542,6 +549,7 @@ mod tests {
                 TraceEvent::EventStart {
                     node: b,
                     kind: KIND_MSG,
+                    req: 0,
                 },
             ),
             rec(
@@ -551,6 +559,9 @@ mod tests {
                     from: a,
                     words: 2,
                     cause: MsgCause::Request,
+                    req: 0,
+                    deliver: 0,
+                    retx: false,
                 },
             ),
             rec(8, TraceEvent::EventEnd { node: b }),
@@ -559,6 +570,7 @@ mod tests {
                 TraceEvent::EventStart {
                     node: b,
                     kind: KIND_MSG,
+                    req: 0,
                 },
             ),
             rec(
@@ -568,6 +580,9 @@ mod tests {
                     from: a,
                     words: 9,
                     cause: MsgCause::Request,
+                    req: 0,
+                    deliver: 0,
+                    retx: false,
                 },
             ),
             rec(10, TraceEvent::EventEnd { node: b }),
@@ -591,6 +606,7 @@ mod tests {
                     to: b,
                     words: 5,
                     cause: MsgCause::Request,
+                    req: 0,
                 },
             ),
             rec(
@@ -608,6 +624,7 @@ mod tests {
                     to: b,
                     words: 5,
                     cause: MsgCause::Retransmit,
+                    req: 0,
                 },
             ),
             rec(
@@ -615,6 +632,7 @@ mod tests {
                 TraceEvent::EventStart {
                     node: b,
                     kind: KIND_MSG,
+                    req: 0,
                 },
             ),
             rec(
@@ -624,6 +642,9 @@ mod tests {
                     from: a,
                     words: 5,
                     cause: MsgCause::Request,
+                    req: 0,
+                    deliver: 0,
+                    retx: false,
                 },
             ),
             rec(46, TraceEvent::EventEnd { node: b }),
@@ -649,6 +670,7 @@ mod tests {
                 TraceEvent::EventStart {
                     node: n,
                     kind: KIND_MSG,
+                    req: 0,
                 },
             ),
             rec(110, TraceEvent::RequestDone { node: n, req: 7 }),

@@ -82,7 +82,55 @@ pub fn to_json_with_spec(
     program: &Program,
     spec: Option<&crate::SpecSummary>,
 ) -> String {
+    to_json_full(records, tl, program, spec, None)
+}
+
+/// [`to_json_with_spec`], optionally with virtual-time series counter
+/// tracks: a synthetic "series" process whose `C` (counter) events plot
+/// the windowed load (arrived/done/shed), in-flight requests, queue-wait
+/// integral, and total node occupancy over virtual time — one sample per
+/// series window, stamped at the window's start.
+pub fn to_json_full(
+    records: &[TraceRecord],
+    tl: &Timeline,
+    program: &Program,
+    spec: Option<&crate::SpecSummary>,
+    series: Option<&crate::SeriesSummary>,
+) -> String {
     let mut w = W::new();
+
+    if let Some(se) = series {
+        // One process above both the node pids and the speculation pid.
+        let pid = tl.n_nodes + 1;
+        w.event(format_args!(
+            "\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"series (window {} cycles)\"}}",
+            se.window
+        ));
+        for b in &se.buckets {
+            let ts = b.start;
+            w.event(format_args!(
+                "\"ph\":\"C\",\"cat\":\"series\",\"name\":\"load\",\"pid\":{pid},\"tid\":0,\
+                 \"ts\":{ts},\"args\":{{\"arrived\":{},\"done\":{},\"shed\":{}}}",
+                b.arrived, b.done, b.shed
+            ));
+            w.event(format_args!(
+                "\"ph\":\"C\",\"cat\":\"series\",\"name\":\"in-flight\",\"pid\":{pid},\
+                 \"tid\":0,\"ts\":{ts},\"args\":{{\"requests\":{}}}",
+                b.in_flight
+            ));
+            w.event(format_args!(
+                "\"ph\":\"C\",\"cat\":\"series\",\"name\":\"queue wait\",\"pid\":{pid},\
+                 \"tid\":0,\"ts\":{ts},\"args\":{{\"cycles\":{}}}",
+                b.queue_wait
+            ));
+            w.event(format_args!(
+                "\"ph\":\"C\",\"cat\":\"series\",\"name\":\"occupancy\",\"pid\":{pid},\
+                 \"tid\":0,\"ts\":{ts},\"args\":{{\"busy_cycles\":{}}}",
+                b.busy_total()
+            ));
+        }
+    }
 
     if let Some(s) = spec {
         // One process above the node pids; counters are totals stamped at
@@ -263,7 +311,11 @@ mod tests {
         let recs = vec![
             TraceRecord {
                 at: 0,
-                event: TraceEvent::EventStart { node: a, kind: 1 },
+                event: TraceEvent::EventStart {
+                    node: a,
+                    kind: 1,
+                    req: 0,
+                },
             },
             TraceRecord {
                 at: 6,
@@ -315,7 +367,11 @@ mod tests {
         let recs = vec![
             TraceRecord {
                 at: 0,
-                event: TraceEvent::EventStart { node: a, kind: 1 },
+                event: TraceEvent::EventStart {
+                    node: a,
+                    kind: 1,
+                    req: 0,
+                },
             },
             TraceRecord {
                 at: 1,
@@ -332,6 +388,7 @@ mod tests {
                     to: b,
                     words: 3,
                     cause: MsgCause::Request,
+                    req: 0,
                 },
             },
             TraceRecord {
@@ -344,7 +401,11 @@ mod tests {
             },
             TraceRecord {
                 at: 9,
-                event: TraceEvent::EventStart { node: b, kind: 0 },
+                event: TraceEvent::EventStart {
+                    node: b,
+                    kind: 0,
+                    req: 0,
+                },
             },
             TraceRecord {
                 at: 9,
@@ -353,6 +414,9 @@ mod tests {
                     from: a,
                     words: 3,
                     cause: MsgCause::Request,
+                    req: 0,
+                    deliver: 0,
+                    retx: false,
                 },
             },
             TraceRecord {
@@ -410,7 +474,11 @@ mod tests {
             },
             TraceRecord {
                 at: 11,
-                event: TraceEvent::EventStart { node: n, kind: 0 },
+                event: TraceEvent::EventStart {
+                    node: n,
+                    kind: 0,
+                    req: 0,
+                },
             },
             TraceRecord {
                 at: 30,

@@ -13,9 +13,53 @@ use hem_analysis::SchemaMap;
 use hem_ir::{MethodId, Program};
 use hem_machine::stats::MachineStats;
 
+use crate::blame::BlameSummary;
 use crate::hist::Log2Hist;
 use crate::json::escape;
 use crate::rollup::{MethodCell, Rollup};
+use crate::series::SeriesSummary;
+
+/// Scheduler-occupancy counters lifted straight out of
+/// `MachineStats.sched`: how the dispatch loop (and, for the parallel
+/// executors, the window coordinator) actually ran. Host-execution
+/// diagnostics — like [`SpecSummary`], they vary with the executor and
+/// thread count while the simulated machine stays bit-identical.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedSummary {
+    /// Events actually dispatched.
+    pub events_dispatched: u64,
+    /// Parallel virtual-time windows executed (0 under the
+    /// single-threaded dispatchers).
+    pub windows: u64,
+    /// Events the window coordinator stepped serially.
+    pub serial_steps: u64,
+    /// Events dispatched inside parallel windows.
+    pub window_events: u64,
+    /// Most events dispatched in any single parallel window.
+    pub max_window_events: u64,
+}
+
+impl SchedSummary {
+    /// Lift the counters out of the machine's own stats block.
+    pub fn from_stats(s: &hem_machine::stats::SchedStats) -> SchedSummary {
+        SchedSummary {
+            events_dispatched: s.events_dispatched,
+            windows: s.windows,
+            serial_steps: s.serial_steps,
+            window_events: s.window_events,
+            max_window_events: s.max_window_events,
+        }
+    }
+
+    /// Mean events per parallel window (0.0 when no windows formed).
+    pub fn mean_window_events(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.window_events as f64 / self.windows as f64
+        }
+    }
+}
 
 /// Steady-state summary of an open-system (`hemprof serve`) run: what the
 /// arrival process offered, what admission control did with it, and the
@@ -130,6 +174,16 @@ pub struct Report {
     pub service: Option<ServiceSummary>,
     /// Speculative-executor section (set via [`Report::with_speculative`]).
     pub speculative: Option<SpecSummary>,
+    /// Scheduler / window-occupancy counters (set via
+    /// [`Report::with_sched`]). Opt-in because they are host-execution
+    /// diagnostics: they vary with the executor and thread count, and the
+    /// determinism suites compare default reports across executors
+    /// bit-for-bit.
+    pub sched: Option<SchedSummary>,
+    /// Per-request blame section (set via [`Report::with_blame`]).
+    pub blame: Option<BlameSummary>,
+    /// Virtual-time series section (set via [`Report::with_series`]).
+    pub series: Option<SeriesSummary>,
     /// Makespan in cycles.
     pub makespan: u64,
     /// Node count.
@@ -185,6 +239,9 @@ impl Report {
             touch_q: quantiles(&rollup.touch_latency),
             service: None,
             speculative: None,
+            sched: None,
+            blame: None,
+            series: None,
             makespan: stats.makespan(),
             nodes: stats.per_node.len(),
             dropped_events: stats.sched.dropped_events,
@@ -201,6 +258,24 @@ impl Report {
     /// Attach the speculative-executor diagnostics section.
     pub fn with_speculative(mut self, s: SpecSummary) -> Report {
         self.speculative = Some(s);
+        self
+    }
+
+    /// Attach the scheduler-occupancy diagnostics section.
+    pub fn with_sched(mut self, s: SchedSummary) -> Report {
+        self.sched = Some(s);
+        self
+    }
+
+    /// Attach the per-request blame section.
+    pub fn with_blame(mut self, b: BlameSummary) -> Report {
+        self.blame = Some(b);
+        self
+    }
+
+    /// Attach the virtual-time series section.
+    pub fn with_series(mut self, s: SeriesSummary) -> Report {
+        self.series = Some(s);
         self
     }
 
@@ -356,6 +431,27 @@ impl Report {
                 s.anti_messages, s.ckpt_nodes, s.max_window
             );
         }
+        if let Some(s) = &self.sched {
+            let _ = writeln!(o);
+            let _ = writeln!(
+                o,
+                "scheduler windows (host diagnostics): windows {}  serial-steps {}  \
+                 window-events {} (mean {:.1}/window, max {})",
+                s.windows,
+                s.serial_steps,
+                s.window_events,
+                s.mean_window_events(),
+                s.max_window_events
+            );
+        }
+        if let Some(b) = &self.blame {
+            let _ = writeln!(o);
+            o.push_str(&b.text());
+        }
+        if let Some(s) = &self.series {
+            let _ = writeln!(o);
+            o.push_str(&s.text());
+        }
         o
     }
 
@@ -473,6 +569,24 @@ impl Report {
                 s.max_window
             );
         }
+        if let Some(sc) = &self.sched {
+            let _ = write!(
+                o,
+                ",\"sched\":{{\"events_dispatched\":{},\"windows\":{},\"serial_steps\":{},\
+                 \"window_events\":{},\"max_window_events\":{}}}",
+                sc.events_dispatched,
+                sc.windows,
+                sc.serial_steps,
+                sc.window_events,
+                sc.max_window_events
+            );
+        }
+        if let Some(b) = &self.blame {
+            let _ = write!(o, ",\"blame\":{}", b.json());
+        }
+        if let Some(s) = &self.series {
+            let _ = write!(o, ",\"series\":{}", s.json());
+        }
         o.push('}');
         o
     }
@@ -517,6 +631,7 @@ mod tests {
                     to: NodeId(1),
                     words: 4,
                     cause: MsgCause::Request,
+                    req: 0,
                 },
             },
         ];
@@ -618,6 +733,64 @@ mod tests {
         let p99 = q.get("p99").unwrap().as_num().unwrap();
         assert!(p50 > 0.0 && p99 >= p50);
         assert_eq!(svc.get("latency_max").unwrap().as_num(), Some(160.0));
+    }
+
+    #[test]
+    fn sched_blame_and_series_sections_render() {
+        let (r, mut st, p, sm) = toy();
+        st.sched.events_dispatched = 100;
+        st.sched.windows = 10;
+        st.sched.serial_steps = 3;
+        st.sched.window_events = 40;
+        st.sched.max_window_events = 9;
+        let blame = crate::blame::Blame::from_records(&[
+            TraceRecord {
+                at: 5,
+                event: TraceEvent::RequestArrived {
+                    node: NodeId(0),
+                    req: 0,
+                },
+            },
+            TraceRecord {
+                at: 25,
+                event: TraceEvent::RequestDone {
+                    node: NodeId(0),
+                    req: 0,
+                },
+            },
+        ])
+        .summary(0.99, 4);
+        let series = crate::series::Series::from_records(16, &[]).summary();
+        let rep = Report::new("toy", &r, &st, &p, &sm)
+            .with_sched(SchedSummary::from_stats(&st.sched))
+            .with_blame(blame)
+            .with_series(series);
+        let text = rep.text();
+        assert!(text.contains("scheduler windows"));
+        assert!(text.contains("windows 10  serial-steps 3"));
+        assert!(text.contains("blame (per-request"));
+        assert!(text.contains("series (window 16"));
+        let doc = Json::parse(&rep.json()).expect("valid json");
+        let sc = doc.get("sched").unwrap();
+        assert_eq!(sc.get("windows").unwrap().as_num(), Some(10.0));
+        assert_eq!(sc.get("window_events").unwrap().as_num(), Some(40.0));
+        assert_eq!(
+            doc.get("blame").unwrap().get("completed").unwrap().as_num(),
+            Some(1.0)
+        );
+        assert_eq!(
+            doc.get("series").unwrap().get("window").unwrap().as_num(),
+            Some(16.0)
+        );
+        // Without the builders, all three sections stay absent — the
+        // determinism suites rely on default reports being
+        // executor-invariant.
+        let plain = Report::new("toy", &r, &st, &p, &sm);
+        assert!(!plain.text().contains("scheduler windows"));
+        let base = Json::parse(&plain.json()).unwrap();
+        assert!(base.get("blame").is_none());
+        assert!(base.get("series").is_none());
+        assert!(base.get("sched").is_none());
     }
 
     #[test]

@@ -405,6 +405,7 @@ impl Rollup {
                 to,
                 words,
                 cause,
+                ..
             } => {
                 let link = self.links.entry(from.0, to.0);
                 link.msgs[cause_idx(cause)] += 1;
@@ -726,6 +727,7 @@ mod tests {
                     to: NodeId(1),
                     words: 4,
                     cause: MsgCause::Request,
+                    req: 0,
                 },
             ),
             rec(
@@ -735,6 +737,7 @@ mod tests {
                     to: NodeId(0),
                     words: 2,
                     cause: MsgCause::Reply,
+                    req: 0,
                 },
             ),
             rec(
@@ -744,6 +747,7 @@ mod tests {
                     to: NodeId(1),
                     words: 1,
                     cause: MsgCause::Ack,
+                    req: 0,
                 },
             ),
         ];
@@ -771,6 +775,7 @@ mod tests {
                         to: NodeId(to),
                         words: (from + to) as u64,
                         cause: MsgCause::Request,
+                        req: 0,
                     },
                 ));
             }
@@ -799,6 +804,7 @@ mod tests {
                     to: NodeId(4),
                     words: 2,
                     cause: MsgCause::Request,
+                    req: 0,
                 },
             ));
         }
@@ -809,6 +815,7 @@ mod tests {
                 to: NodeId(3),
                 words: 1,
                 cause: MsgCause::Reply,
+                req: 0,
             },
         ));
         let links = r.per_link();
@@ -872,6 +879,7 @@ mod tests {
                     to: NodeId((n + 1) % 4),
                     words: 3,
                     cause: MsgCause::Request,
+                    req: 0,
                 },
             ));
             recs.push(rec(
@@ -881,6 +889,9 @@ mod tests {
                     from: NodeId((n + 3) % 4),
                     words: 3,
                     cause: MsgCause::Request,
+                    req: 0,
+                    deliver: 0,
+                    retx: false,
                 },
             ));
             recs.push(rec(

@@ -198,7 +198,10 @@ fn assert_bit_identical(label: &str, base: &Outcome, other: &Outcome) {
 /// (otherwise the suite silently stops testing them).
 fn assert_uses_collectives(label: &str, out: &Outcome) {
     let t = out.stats.totals();
-    assert!(t.coll_initiated > 0, "{label}: kernel issued no collectives");
+    assert!(
+        t.coll_initiated > 0,
+        "{label}: kernel issued no collectives"
+    );
     assert!(t.coll_legs_sent > 0, "{label}: no collective legs sent");
 }
 
@@ -283,15 +286,14 @@ fn degenerate_groups_resolve_and_stay_identical() {
         let base = run_degenerate(n_cells, SchedImpl::EventIndex);
         assert_eq!(
             base.results,
-            vec![
-                Some(Value::Nil),
-                Some(want_sum.clone()),
-                Some(Value::Nil)
-            ],
+            vec![Some(Value::Nil), Some(want_sum), Some(Value::Nil)],
             "degenerate/{n_cells}: fan / sum_all / quiesce results"
         );
         let t = base.stats.totals();
-        assert_eq!(t.coll_initiated, 3, "degenerate/{n_cells}: collectives issued");
+        assert_eq!(
+            t.coll_initiated, 3,
+            "degenerate/{n_cells}: collectives issued"
+        );
         assert_eq!(
             t.coll_legs_sent % 2,
             0,
@@ -351,7 +353,11 @@ fn multicast_legs_pay_per_hop_latency() {
     );
     rt.call(driver, ids.scatter, &[]).unwrap();
     for c in &cells {
-        assert_eq!(rt.get_field(*c, ids.value), Value::Int(10), "down-sweep ran");
+        assert_eq!(
+            rt.get_field(*c, ids.value),
+            Value::Int(10),
+            "down-sweep ran"
+        );
     }
 
     let trace = rt.take_trace();

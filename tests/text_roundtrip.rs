@@ -87,7 +87,10 @@ enum OpDesc {
     /// Modeled collective over the array field: fire-and-forget
     /// multicast, acked multicast, reduce (with a fuzzed fold op), or
     /// barrier — the `mcast`/`reduce`/`barrier` text forms.
-    Collective { kind: u8, hop: u8 },
+    Collective {
+        kind: u8,
+        hop: u8,
+    },
 }
 
 #[derive(Debug, Clone)]
