@@ -498,11 +498,68 @@ fn bench_speculative(c: &mut Criterion) {
     g.finish();
 }
 
+/// Persistent-pool serve mode: the open-system driver calls `run_until`
+/// once per arrival chunk, so this is the workload the coordinator-free
+/// pool exists for. Guards (loud, before the benchmark): the steady
+/// state moves zero worker `Runtime`s through channels, performs zero
+/// coordinator rendezvous, reuses one pool across all chunks, and the
+/// request dispositions are bit-identical to the single-threaded run.
+/// The benchmark then reports host time per offered request across
+/// thread counts — on a single-CPU container expect overhead, not
+/// speedup (EXPERIMENTS.md records the honest numbers).
+fn bench_pool_chunks(c: &mut Criterion) {
+    let serve_cfg = |threads: usize| {
+        let mut cfg = hem_bench::serve::ServeConfig::new();
+        cfg.p = 16;
+        cfg.backends = 16;
+        cfg.horizon = 40_000;
+        cfg.warmup = 4_000;
+        cfg.threads = threads;
+        cfg
+    };
+    let outcome = |threads: usize| {
+        let (rt, out) = serve_cfg(threads).run();
+        (rt.stats(), out.records.len(), rt.makespan())
+    };
+    let (_, base_reqs, base_mk) = outcome(1);
+    for threads in [2usize, 4] {
+        let (st, reqs, mk) = outcome(threads);
+        assert_eq!(base_reqs, reqs, "serve({threads}) changed the offered load");
+        assert_eq!(base_mk, mk, "serve({threads}) changed the makespan");
+        assert!(st.sched.windows > 0, "serve({threads}) never windowed");
+        assert_eq!(
+            st.sched.runtime_moves, 0,
+            "serve({threads}) moved a worker Runtime through a channel"
+        );
+        assert_eq!(
+            st.sched.coord_roundtrips, 0,
+            "serve({threads}) paid a coordinator rendezvous"
+        );
+        assert!(
+            st.sched.pool_reuses > 0,
+            "serve({threads}) rebuilt the pool between run_until chunks"
+        );
+    }
+
+    let mut g = c.benchmark_group("sharded_pool/serve");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(base_reqs as u64));
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new(format!("threads{threads}"), "P16"),
+            &threads,
+            |b, &threads| b.iter(|| serve_cfg(threads).run().1.records.len()),
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     sched,
     bench_sor_sched,
     bench_em3d_sched,
     bench_sharded,
+    bench_pool_chunks,
     bench_speculative,
     bench_ack_protocol,
     bench_sanitizer,

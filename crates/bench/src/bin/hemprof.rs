@@ -19,8 +19,12 @@
 //!   deltas (requests/replies/acks/retransmits/multicasts/reduces/
 //!   barriers), total wire words, makespan, scheduler-window occupancy,
 //!   and — when both reports carry them — blame and series sections.
-//!   Exits non-zero when the two reports profile different kernels or
-//!   machine sizes.
+//!
+//!   Exit codes: 0 — reports compared; 1 — an input is unreadable or
+//!   not a rollup JSON; 2 — usage error; 3 — the reports profile
+//!   different kernels or machine sizes (a configuration mismatch, not
+//!   a breakage — CI can tell "regression signal is meaningless" apart
+//!   from "the tool or its inputs are broken").
 //!
 //! hemprof serve [options]
 //!   --p N             machine size (default 16)
@@ -52,6 +56,13 @@
 //!   --mode M          hybrid|parallel (default hybrid)
 //!   --cost C          cm5|t3d|unit (default cm5)
 //!   --threads N       host worker threads (sharded executor; default 1)
+//!   --shard-map M     even|profile (default even): shard partition for
+//!                     --threads > 1. "profile" first runs a cheap
+//!                     single-threaded pilot of the same kernel, feeds
+//!                     its per-node busy time back as shard weights, and
+//!                     cuts shard boundaries by cumulative busy time —
+//!                     host-time load balance only, observables stay
+//!                     bit-identical (kernel subcommands only)
 //!   --speculative     optimistic (Time-Warp) executor for --threads > 1
 //!   --ring N          bound the trace ring to N records
 //!   --report F        table|json (default table)
@@ -87,7 +98,7 @@ fn usage() -> ! {
     eprintln!("               [--drop P] [--dup P] [--jitter J] [--fault-seed S]");
     eprintln!("       hemprof blame [serve options]  (per-request blame decomposition)");
     eprintln!("       common: [--mode hybrid|parallel] [--cost cm5|t3d|unit] [--threads N]");
-    eprintln!("               [--speculative] [--ring N]");
+    eprintln!("               [--shard-map even|profile] [--speculative] [--ring N]");
     eprintln!("               [--report table|json] [--perfetto FILE] [--critical-path]");
     eprintln!("               [--events]");
     std::process::exit(2);
@@ -189,6 +200,15 @@ fn main() {
         cfg.threads = t;
     }
     cfg.speculative = args.has("--speculative");
+    match args.get::<String>("--shard-map").as_deref() {
+        None | Some("even") => {}
+        Some("profile") => {
+            if cfg.threads > 1 && !cfg.speculative {
+                cfg.shard_weights = Some(pilot_weights(&cfg));
+            }
+        }
+        Some(_) => usage(),
+    }
 
     // The rollup observes the stream online — reports stay exact even
     // when a bounded ring evicts records.
@@ -231,7 +251,10 @@ fn run_diff() -> ! {
             if ha.is_empty() { "?" } else { ta.as_str() },
             if hb.is_empty() { "?" } else { tb.as_str() },
         );
-        std::process::exit(1);
+        // Dedicated exit code: a mismatch is a configuration problem,
+        // not an I/O failure (1) or a usage error (2) — CI gates key on
+        // the distinction.
+        std::process::exit(3);
     }
 
     println!("rollup diff: {ta} -> {tb}");
@@ -579,6 +602,27 @@ fn run_serve(args: &Args, perfetto_path: Option<String>, blame: bool) {
         spec,
         series_summary,
     );
+}
+
+/// `--shard-map profile`: run a cheap single-threaded pilot of the same
+/// kernel and return its per-node busy time as shard weights. The pilot
+/// uses a tiny trace ring (the rollup streams past it, so the weights
+/// are exact) and no report is printed for it.
+fn pilot_weights(cfg: &ProfileConfig) -> Vec<u64> {
+    let mut pilot = cfg.clone();
+    pilot.threads = 1;
+    pilot.speculative = false;
+    pilot.ring = Some(64);
+    let mut rt = pilot.run_with_observer(Box::new(Rollup::new()));
+    let any: Box<dyn std::any::Any> = rt.take_observer().expect("pilot rollup attached");
+    let rollup = any.downcast::<Rollup>().expect("a Rollup");
+    let w = rollup.node_busy_weights(cfg.p);
+    eprintln!(
+        "hemprof: profile-guided shard map from pilot run (busy-time total {} cycles over {} nodes)",
+        w.iter().sum::<u64>(),
+        w.len()
+    );
+    w
 }
 
 /// Host-side speculation diagnostics for the report and the Perfetto

@@ -97,6 +97,12 @@ pub struct ProfileConfig {
     /// stragglers. Still bit-identical; the speculation diagnostics land
     /// in the report's speculative section.
     pub speculative: bool,
+    /// Per-node busy-time weights steering the sharded executor's
+    /// contiguous partition (`Runtime::set_shard_weights`); `None` keeps
+    /// the equal-slice map. Host-time tuning only — every weighting
+    /// yields a bit-identical trace and report. Typically filled from a
+    /// pilot run's `Rollup::node_busy_weights`.
+    pub shard_weights: Option<Vec<u64>>,
 }
 
 impl ProfileConfig {
@@ -115,6 +121,7 @@ impl ProfileConfig {
             ring: None,
             threads: 1,
             speculative: false,
+            shard_weights: None,
         }
     }
 
@@ -227,6 +234,9 @@ impl ProfileConfig {
     }
 
     fn arm(&self, rt: &mut Runtime, obs: Option<Box<dyn hem_core::Observer>>) {
+        if self.shard_weights.is_some() {
+            rt.set_shard_weights(self.shard_weights.clone());
+        }
         if self.threads > 1 {
             rt.sched_impl = if self.speculative {
                 hem_core::SchedImpl::Speculative {

@@ -422,6 +422,23 @@ pub struct Runtime {
     /// [`MachineStats`]: the counts depend on the thread count, like the
     /// heap diagnostics. See [`crate::timewarp::SpecStats`].
     pub(crate) spec: crate::timewarp::SpecStats,
+    /// Optional per-node busy-time weights for the sharded partition (see
+    /// [`Self::set_shard_weights`]); `None` partitions into equal
+    /// contiguous slices. Host-time tuning only — any contiguous
+    /// partition yields bit-identical observables.
+    pub(crate) shard_weights: Option<Vec<u64>>,
+    /// Persistent shard pool: worker threads with nodes pinned to shards,
+    /// kept alive across windows *and* across `run_until` chunks so the
+    /// steady-state window edge is an atomic epoch publication with zero
+    /// runtime moves and zero coordinator channel round-trips (see
+    /// [`crate::shard`]). Built lazily on the first windowed run, rebuilt
+    /// when [`Self::pool_gen`] or the pool key changes.
+    pub(crate) pool: Option<crate::shard::ShardPool>,
+    /// Generation counter for pool-invalidating configuration changes
+    /// (fault plan, reliable-transport parameters, shard weights). Worker
+    /// runtimes snapshot that configuration when the pool is built, so
+    /// any later change must force a rebuild.
+    pub(crate) pool_gen: u64,
 }
 
 impl Runtime {
@@ -490,6 +507,9 @@ impl Runtime {
             ext_seq: 0,
             completions: std::collections::BTreeMap::new(),
             spec: crate::timewarp::SpecStats::default(),
+            shard_weights: None,
+            pool: None,
+            pool_gen: 0,
         })
     }
 
@@ -505,6 +525,11 @@ impl Runtime {
     /// idempotent. Unless already set, the timeout base is derived as 4×
     /// the cost model's round trip and capped at 64× that.
     pub fn enable_reliable_transport(&mut self) {
+        if !self.reliable {
+            // Worker runtimes in a live shard pool snapshot the transport
+            // configuration; force a rebuild on the next windowed run.
+            self.pool_gen += 1;
+        }
         self.reliable = true;
         if self.retx_base == 0 {
             let rtt = self.cost.msg_latency
@@ -522,7 +547,31 @@ impl Runtime {
     /// would wedge the machine or silently corrupt the run).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.net.set_plan(Some(plan));
+        self.pool_gen += 1; // worker networks hold a plan copy
         self.enable_reliable_transport();
+    }
+
+    /// Install (or clear, with `None`) per-node busy-time weights for the
+    /// sharded executor's partition. The partition stays contiguous but
+    /// cuts shard boundaries by cumulative weight instead of node count,
+    /// so a placement whose hot nodes sit in one contiguous slice no
+    /// longer idles most workers. Feed this from a profile —
+    /// `hem_obs::Rollup::node_busy_weights` exports exactly this vector.
+    ///
+    /// Host-time tuning only: the window protocol and the merge-by-key
+    /// rule are partition-independent, so traces, makespan, stats, and
+    /// rollups stay bit-identical under any weighting.
+    pub fn set_shard_weights(&mut self, weights: Option<Vec<u64>>) {
+        self.shard_weights = weights;
+        self.pool_gen += 1; // the pool pins the node→shard map
+    }
+
+    /// The contiguous node→shard map the sharded executor would use at
+    /// this thread count, honoring any installed
+    /// [`Self::set_shard_weights`]. Diagnostic: lets callers and tests
+    /// inspect how a profile-guided weighting splits the machine.
+    pub fn shard_plan(&self, threads: usize) -> Vec<usize> {
+        crate::shard::shard_partition(self.nodes.len(), threads, self.shard_weights.as_deref())
     }
 
     /// Is the reliable transport engaged?

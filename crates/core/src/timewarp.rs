@@ -317,6 +317,11 @@ impl Runtime {
                         if active[s] {
                             let wk = workers[s].take().expect("worker at barrier");
                             job_tx[s - 1].send((wk, end)).expect("worker thread died");
+                            // One whole runtime shipped out through the
+                            // channel; its twin comes back at the Done
+                            // receive below. The sharded executor's
+                            // pinned pool counts zero of either.
+                            self.sched_stats.runtime_moves += 1;
                         }
                     }
                     let mut fails: Vec<(EventKey, Trap)> = Vec::new();
@@ -328,7 +333,9 @@ impl Runtime {
                     }
                     let jobs_out = (1..threads).filter(|&s| active[s]).count();
                     for _ in 0..jobs_out {
-                        let (s, wk, r) = recv_spin(&res_rx);
+                        let (s, wk, r) = recv_spin(&res_rx, threads);
+                        self.sched_stats.runtime_moves += 1;
+                        self.sched_stats.coord_roundtrips += 1;
                         if let Err(trap) = r {
                             fails.push((wk.shard.as_ref().expect("shard ctx").cur, trap));
                         }

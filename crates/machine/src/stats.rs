@@ -185,6 +185,21 @@ pub struct SchedStats {
     pub window_events: u64,
     /// Most events dispatched in any single parallel window.
     pub max_window_events: u64,
+    /// Whole worker runtimes shipped through an OS channel to reach or
+    /// leave a worker thread. The coordinator-free sharded executor pins
+    /// worker state to its thread and never moves a runtime — this reads
+    /// 0 there at every thread count — while the optimistic (Time-Warp)
+    /// executor still rendezvouses through channels and counts honestly.
+    pub runtime_moves: u64,
+    /// Coordinator channel rendezvous (a job send paired with a result
+    /// receive). 0 under the coordinator-free sharded executor, whose
+    /// window edges advance by an atomic epoch publication instead.
+    pub coord_roundtrips: u64,
+    /// Times a later `run_until` chunk reused the persistent shard pool
+    /// (worker threads, shard map, and pinned worker runtimes) instead of
+    /// rebuilding it. Open-system serve mode calls `run_until` once per
+    /// arrival, so this counts `chunks - 1` on the steady-state path.
+    pub pool_reuses: u64,
 }
 
 /// Machine-global interconnect traffic and fault-injection counters.

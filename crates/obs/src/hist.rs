@@ -110,23 +110,34 @@ impl Log2Hist {
         if self.count == 0 {
             return 0;
         }
+        self.try_quantile(p).expect("count > 0")
+    }
+
+    /// [`Log2Hist::quantile`], but honest about emptiness: `None` when
+    /// the histogram holds no samples. Reports must use this (an empty
+    /// histogram has no quantiles — printing the `quantile` fallback of
+    /// 0 fabricates a perfect latency out of zero completions).
+    pub fn try_quantile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
         if self.count == 1 {
-            return self.sum as u64;
+            return Some(self.sum as u64);
         }
         let p = p.clamp(0.0, 1.0);
         // Nearest rank: the smallest r (1-based) with r ≥ p·count.
         let r = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
         if r == self.count {
-            return self.max;
+            return Some(self.max);
         }
         let mut seen = 0u64;
         for (b, c) in self.nonzero() {
             if seen + c >= r {
-                return Self::interpolate(b, r - seen, c, self.max);
+                return Some(Self::interpolate(b, r - seen, c, self.max));
             }
             seen += c;
         }
-        self.max
+        Some(self.max)
     }
 
     /// Geometric placement of the `j`-th (1-based) of `c` samples inside

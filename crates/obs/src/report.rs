@@ -373,7 +373,7 @@ impl Report {
             self.touch_mean, self.touch_q[0], self.touch_q[1], self.touch_q[2], self.touch
         );
         if let Some(s) = &self.service {
-            let q = quantiles(&s.latency);
+            let q = try_quantiles(&s.latency);
             let _ = writeln!(o);
             let _ = writeln!(
                 o,
@@ -400,14 +400,25 @@ impl Report {
                 s.latency.count(),
                 s.latency.mean()
             );
-            let _ = writeln!(
-                o,
-                "    p50 {}  p95 {}  p99 {}  max {}",
-                q[0],
-                q[1],
-                q[2],
-                s.latency.max()
-            );
+            match q {
+                Some(q) => {
+                    let _ = writeln!(
+                        o,
+                        "    p50 {}  p95 {}  p99 {}  max {}",
+                        q[0],
+                        q[1],
+                        q[2],
+                        s.latency.max()
+                    );
+                }
+                // Warm-up trimming (or a too-short horizon) can leave
+                // zero steady-state completions; an empty histogram has
+                // no quantiles, and printing 0 would fabricate a perfect
+                // latency.
+                None => {
+                    let _ = writeln!(o, "    p50 n/a  p95 n/a  p99 n/a  max n/a (no samples)");
+                }
+            }
         }
         if let Some(s) = &self.speculative {
             let _ = writeln!(o);
@@ -530,12 +541,12 @@ impl Report {
             quantile_obj(self.touch_q)
         );
         if let Some(s) = &self.service {
-            let q = quantiles(&s.latency);
+            let q = try_quantiles(&s.latency);
             let _ = write!(
                 o,
                 ",\"service\":{{\"horizon\":{},\"warmup\":{},\"offered\":{},\"admitted\":{},\
                  \"shed_queue\":{},\"shed_deadline\":{},\"completed\":{},\"pending\":{},\
-                 \"missed_deadline\":{},\"trimmed\":{},\"samples\":{},\"latency_mean\":{:.6},\
+                 \"missed_deadline\":{},\"trimmed\":{},\"samples\":{},\"latency_mean\":{},\
                  \"latency_max\":{},\"latency\":{}}}",
                 s.horizon,
                 s.warmup,
@@ -548,9 +559,19 @@ impl Report {
                 s.missed_deadline,
                 s.trimmed,
                 s.latency.count(),
-                s.latency.mean(),
-                s.latency.max(),
-                quantile_obj(q)
+                // An empty histogram has no mean/max/quantiles: emit
+                // `null` (consumers key off `samples`), never a fake 0.
+                if q.is_some() {
+                    format!("{:.6}", s.latency.mean())
+                } else {
+                    "null".into()
+                },
+                if q.is_some() {
+                    s.latency.max().to_string()
+                } else {
+                    "null".into()
+                },
+                quantile_obj_opt(q)
             );
         }
         if let Some(s) = &self.speculative {
@@ -596,8 +617,25 @@ fn quantiles(h: &Log2Hist) -> [u64; 3] {
     [h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)]
 }
 
+/// `None` when the histogram is empty — empty histograms have no
+/// quantiles, and the `quantile` fallback of 0 must never reach a report.
+fn try_quantiles(h: &Log2Hist) -> Option<[u64; 3]> {
+    Some([
+        h.try_quantile(0.50)?,
+        h.try_quantile(0.95)?,
+        h.try_quantile(0.99)?,
+    ])
+}
+
 fn quantile_obj(q: [u64; 3]) -> String {
     format!("{{\"p50\":{},\"p95\":{},\"p99\":{}}}", q[0], q[1], q[2])
+}
+
+fn quantile_obj_opt(q: Option<[u64; 3]>) -> String {
+    match q {
+        Some(q) => quantile_obj(q),
+        None => r#"{"p50":null,"p95":null,"p99":null}"#.into(),
+    }
 }
 
 #[cfg(test)]
@@ -733,6 +771,39 @@ mod tests {
         let p99 = q.get("p99").unwrap().as_num().unwrap();
         assert!(p50 > 0.0 && p99 >= p50);
         assert_eq!(svc.get("latency_max").unwrap().as_num(), Some(160.0));
+    }
+
+    #[test]
+    fn empty_service_latency_reports_na_not_zero() {
+        // Warm-up trimming can leave zero steady-state completions; the
+        // report must say so instead of fabricating p50/p95/p99 = 0.
+        let (r, s, p, sm) = toy();
+        let rep = Report::new("toy", &r, &s, &p, &sm).with_service(ServiceSummary {
+            offered: 3,
+            admitted: 3,
+            shed_queue: 0,
+            shed_deadline: 0,
+            completed: 2,
+            pending: 1,
+            missed_deadline: 0,
+            trimmed: 2,
+            horizon: 1_000,
+            warmup: 900,
+            latency: Log2Hist::default(),
+        });
+        let text = rep.text();
+        assert!(
+            text.contains("p50 n/a  p95 n/a  p99 n/a  max n/a (no samples)"),
+            "text quantiles honest about emptiness:\n{text}"
+        );
+        assert!(!text.contains("p50 0"), "no fabricated zero quantile");
+        let doc = Json::parse(&rep.json()).expect("valid json");
+        let svc = doc.get("service").unwrap();
+        assert_eq!(svc.get("samples").unwrap().as_num(), Some(0.0));
+        assert_eq!(svc.get("latency").unwrap().get("p50"), Some(&Json::Null));
+        assert_eq!(svc.get("latency").unwrap().get("p99"), Some(&Json::Null));
+        assert_eq!(svc.get("latency_max"), Some(&Json::Null));
+        assert_eq!(svc.get("latency_mean"), Some(&Json::Null));
     }
 
     #[test]
